@@ -1,0 +1,91 @@
+// Command tpcb runs the modified TPC-B benchmark (§5.1 of the paper) on one
+// of the three measured configurations and prints the transaction rate plus
+// the underlying file system, cleaner, lock, and log statistics.
+//
+// Usage:
+//
+//	tpcb -system kernel-lfs -scale 0.05 -txns 5000
+//	tpcb -system user-ffs
+//	tpcb -system user-lfs -groupcommit 8 -fastsync
+//	tpcb -system kernel-lfs -policy greedy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lfs"
+	"repro/internal/sim"
+	"repro/internal/tpcb"
+)
+
+func main() {
+	system := flag.String("system", "kernel-lfs", "configuration: user-ffs, user-lfs, kernel-lfs")
+	scale := flag.Float64("scale", 0.05, "TPC-B scale factor (1.0 = 1,000,000 accounts)")
+	txns := flag.Int("txns", 5000, "transactions to run")
+	groupCommit := flag.Int("groupcommit", 1, "commit batch size")
+	policy := flag.String("policy", "cost-benefit", "LFS cleaner policy: cost-benefit or greedy")
+	fastSync := flag.Bool("fastsync", false, "model fast user-level synchronization (no test-and-set penalty)")
+	flag.Parse()
+
+	costs := sim.SpriteCosts()
+	if *fastSync {
+		costs = sim.FastSyncCosts()
+	}
+	pol := lfs.CostBenefit
+	if *policy == "greedy" {
+		pol = lfs.Greedy
+	}
+	cfg := tpcb.ScaledConfig(*scale)
+	fmt.Printf("database: %d accounts, %d tellers, %d branches; %d transactions\n",
+		cfg.Accounts, cfg.Tellers, cfg.Branches, *txns)
+
+	rig, err := tpcb.BuildRig(tpcb.RigOptions{
+		Kind:         *system,
+		Config:       cfg,
+		Costs:        costs,
+		GroupCommit:  *groupCommit,
+		Policy:       pol,
+		ExpectedTxns: *txns,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := tpcb.RunBenchmark(rig.Sys, rig.Clock, cfg, *txns)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res)
+
+	st := rig.Dev.Stats()
+	fmt.Printf("\ndisk: %d read ops (%d blocks), %d write ops (%d blocks), busy %v\n",
+		st.Reads, st.BlocksRead, st.Writes, st.BlocksWrit, st.BusyTime)
+	if rig.LFS != nil {
+		fst := rig.LFS.Stats()
+		fmt.Printf("lfs: %d partial segments, %d blocks logged, %d checkpoints\n",
+			fst.PartialSegments, fst.BlocksLogged, fst.Checkpoints)
+		fmt.Printf("cleaner: %d segments cleaned, %d blocks copied, %d dead, busy %v (%.1f%% of elapsed)\n",
+			fst.Cleaner.SegmentsCleaned, fst.Cleaner.BlocksCopied, fst.Cleaner.BlocksDead,
+			fst.Cleaner.BusyTime, float64(fst.Cleaner.BusyTime)/float64(res.Elapsed)*100)
+	}
+	if rig.Env != nil {
+		ls := rig.Env.LockStats()
+		ws := rig.Env.LogStats()
+		fmt.Printf("locks: %d acquired, %d waits, %d deadlocks\n", ls.Acquired, ls.Waited, ls.Deadlocks)
+		fmt.Printf("wal: %d records, %d bytes, %d forces, %d group-absorbed commits\n",
+			ws.Records, ws.BytesLogged, ws.Forces, ws.GroupCommits)
+	}
+	if rig.Core != nil {
+		cs := rig.Core.Stats()
+		ls := rig.Core.LockStats()
+		fmt.Printf("embedded: %d committed, %d aborted, %d commit flushes, %d pages (%d bytes) forced\n",
+			cs.Committed, cs.Aborted, cs.CommitFlush, cs.PagesFlushed, cs.BytesFlushed)
+		fmt.Printf("locks: %d acquired, %d waits, %d deadlocks\n", ls.Acquired, ls.Waited, ls.Deadlocks)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tpcb: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command txnbench regenerates the paper's evaluation figures (Figures 4–7
+// of "Transaction Support in a Log-Structured File System", Seltzer, ICDE
+// 1993) and the ablations described in DESIGN.md, printing each as a table
+// next to the paper's reference numbers.
+//
+// Usage:
+//
+//	txnbench -fig all                 # everything at the default scale
+//	txnbench -fig 4 -scale 0.1 -txns 10000
+//	txnbench -fig 6                   # SCAN test + crossover (Figures 6 and 7)
+//	txnbench -fig sync|cleaner|groupcommit|commitbytes|policy
+//
+// All elapsed times are simulated: the workloads run on a simulated RZ55
+// disk with a DECstation-like CPU cost model (see internal/sim).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 4, 5, 6, 7, sync, cleaner, groupcommit, commitbytes, policy, all")
+	scale := flag.Float64("scale", 0.05, "TPC-B scale factor (1.0 = the paper's 1,000,000 accounts)")
+	txns := flag.Int("txns", 5000, "transactions per measured run")
+	flag.Parse()
+
+	opts := figures.Options{Scale: *scale, Txns: *txns}
+
+	type job struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	jobs := map[string]job{
+		"4": {"Figure 4", func() (fmt.Stringer, error) { return figures.Figure4(opts) }},
+		"5": {"Figure 5", func() (fmt.Stringer, error) { return figures.Figure5(opts) }},
+		"6": {"Figures 6+7", func() (fmt.Stringer, error) { return figures.Figure67(opts) }},
+		"7": {"Figures 6+7", func() (fmt.Stringer, error) { return figures.Figure67(opts) }},
+		"sync": {"Sync ablation", func() (fmt.Stringer, error) {
+			return figures.AblationSync(opts)
+		}},
+		"cleaner": {"Cleaner ablation", func() (fmt.Stringer, error) {
+			return figures.AblationCleaner(opts)
+		}},
+		"groupcommit": {"Group-commit ablation", func() (fmt.Stringer, error) {
+			return figures.AblationGroupCommit(opts)
+		}},
+		"commitbytes": {"Commit-volume ablation", func() (fmt.Stringer, error) {
+			return figures.AblationCommitBytes(opts)
+		}},
+		"policy": {"Cleaner-policy ablation", func() (fmt.Stringer, error) {
+			return figures.AblationCleanerPolicy(opts)
+		}},
+	}
+
+	var order []string
+	if *fig == "all" {
+		order = []string{"4", "5", "6", "sync", "cleaner", "groupcommit", "commitbytes", "policy"}
+	} else {
+		if _, ok := jobs[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "txnbench: unknown figure %q\n", *fig)
+			flag.Usage()
+			os.Exit(2)
+		}
+		order = []string{*fig}
+	}
+
+	for i, key := range order {
+		rep, err := jobs[key].run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "txnbench: %s: %v\n", jobs[key].name, err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(rep.String())
+	}
+}

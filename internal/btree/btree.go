@@ -1,0 +1,641 @@
+// Package btree implements a B+-tree access method over a pagestore.Store,
+// in the spirit of the 4.4BSD db(3) btree routines the paper's record layer
+// uses [2]. Keys and values are arbitrary byte strings; keys are kept in
+// lexicographic order, so fixed-width big-endian integer keys scan "in key
+// order" exactly as the paper's SCAN test requires. Leaves are chained for
+// range scans.
+//
+// Concurrency: the tree itself is single-writer; when run under LIBTP the
+// page store acquires two-phase page locks on every access, which
+// approximates the high-concurrency B-tree locking of [7] at page
+// granularity (the paper's own implementation locked pages too, §3).
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/pagestore"
+)
+
+// Errors.
+var (
+	ErrNotFound = errors.New("btree: key not found")
+	ErrTooLarge = errors.New("btree: entry exceeds page capacity")
+	ErrCorrupt  = errors.New("btree: corrupt page")
+)
+
+const (
+	metaMagic = 0x42545231 // "BTR1"
+
+	pgLeaf     = 1
+	pgInternal = 2
+)
+
+// Tree is a B+-tree.
+type Tree struct {
+	st       pagestore.Store
+	pageSize int
+	root     int64
+	height   int
+	count    int64
+}
+
+// meta page layout: magic u32, root i64, height u32, count i64.
+func (t *Tree) writeMeta() error {
+	b := make([]byte, t.pageSize)
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], metaMagic)
+	le.PutUint64(b[4:], uint64(t.root))
+	le.PutUint32(b[12:], uint32(t.height))
+	le.PutUint64(b[16:], uint64(t.count))
+	return t.st.WritePage(0, b)
+}
+
+// Create initializes a new tree on an empty store.
+func Create(st pagestore.Store) (*Tree, error) {
+	t := &Tree{st: st, pageSize: st.PageSize()}
+	if n, err := st.NumPages(); err != nil {
+		return nil, err
+	} else if n != 0 {
+		return nil, fmt.Errorf("btree: store not empty (%d pages)", n)
+	}
+	if _, err := st.AllocPage(); err != nil { // page 0: meta
+		return nil, err
+	}
+	rootNo, err := st.AllocPage()
+	if err != nil {
+		return nil, err
+	}
+	t.root = rootNo
+	t.height = 1
+	if err := t.writeNode(&node{pageNo: rootNo, leaf: true, next: 0}); err != nil {
+		return nil, err
+	}
+	return t, t.writeMeta()
+}
+
+// Open loads an existing tree.
+func Open(st pagestore.Store) (*Tree, error) {
+	t := &Tree{st: st, pageSize: st.PageSize()}
+	b := make([]byte, t.pageSize)
+	if err := st.ReadPage(0, b); err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	if le.Uint32(b[0:]) != metaMagic {
+		return nil, fmt.Errorf("%w: bad meta magic", ErrCorrupt)
+	}
+	t.root = int64(le.Uint64(b[4:]))
+	t.height = int(le.Uint32(b[12:]))
+	t.count = int64(le.Uint64(b[16:]))
+	return t, nil
+}
+
+// Count returns the number of stored records.
+func (t *Tree) Count() int64 { return t.count }
+
+// Height returns the tree height (1 = a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// node is the in-memory form of a tree page.
+type node struct {
+	pageNo   int64
+	leaf     bool
+	next     int64 // leaf chain
+	keys     [][]byte
+	vals     [][]byte // leaf only
+	children []int64  // internal only; len(children) == len(keys)+1
+}
+
+// Page layout:
+//
+//	kind  u8 (leaf/internal)
+//	nkeys u16
+//	leaf:     next i64, then nkeys × (klen u16, vlen u16, key, val)
+//	internal: child0 i64, then nkeys × (klen u16, key, child i64)
+const nodeHeader = 1 + 2
+
+func (t *Tree) nodeSize(n *node) int {
+	size := nodeHeader + 8
+	for i, k := range n.keys {
+		if n.leaf {
+			size += 2 + 2 + len(k) + len(n.vals[i])
+		} else {
+			size += 2 + len(k) + 8
+		}
+	}
+	return size
+}
+
+func (t *Tree) writeNode(n *node) error {
+	b := make([]byte, t.pageSize)
+	le := binary.LittleEndian
+	if n.leaf {
+		b[0] = pgLeaf
+	} else {
+		b[0] = pgInternal
+	}
+	le.PutUint16(b[1:], uint16(len(n.keys)))
+	off := nodeHeader
+	if n.leaf {
+		le.PutUint64(b[off:], uint64(n.next))
+		off += 8
+		for i, k := range n.keys {
+			le.PutUint16(b[off:], uint16(len(k)))
+			le.PutUint16(b[off+2:], uint16(len(n.vals[i])))
+			off += 4
+			copy(b[off:], k)
+			off += len(k)
+			copy(b[off:], n.vals[i])
+			off += len(n.vals[i])
+		}
+	} else {
+		le.PutUint64(b[off:], uint64(n.children[0]))
+		off += 8
+		for i, k := range n.keys {
+			le.PutUint16(b[off:], uint16(len(k)))
+			off += 2
+			copy(b[off:], k)
+			off += len(k)
+			le.PutUint64(b[off:], uint64(n.children[i+1]))
+			off += 8
+		}
+	}
+	if off > t.pageSize {
+		return ErrTooLarge
+	}
+	return t.st.WritePage(n.pageNo, b)
+}
+
+func (t *Tree) readNode(pageNo int64) (*node, error) {
+	b := make([]byte, t.pageSize)
+	if err := t.st.ReadPage(pageNo, b); err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	n := &node{pageNo: pageNo}
+	switch b[0] {
+	case pgLeaf:
+		n.leaf = true
+	case pgInternal:
+	default:
+		return nil, fmt.Errorf("%w: page %d kind %d", ErrCorrupt, pageNo, b[0])
+	}
+	nkeys := int(le.Uint16(b[1:]))
+	off := nodeHeader
+	if n.leaf {
+		n.next = int64(le.Uint64(b[off:]))
+		off += 8
+		for i := 0; i < nkeys; i++ {
+			klen := int(le.Uint16(b[off:]))
+			vlen := int(le.Uint16(b[off+2:]))
+			off += 4
+			n.keys = append(n.keys, append([]byte(nil), b[off:off+klen]...))
+			off += klen
+			n.vals = append(n.vals, append([]byte(nil), b[off:off+vlen]...))
+			off += vlen
+		}
+	} else {
+		n.children = append(n.children, int64(le.Uint64(b[off:])))
+		off += 8
+		for i := 0; i < nkeys; i++ {
+			klen := int(le.Uint16(b[off:]))
+			off += 2
+			n.keys = append(n.keys, append([]byte(nil), b[off:off+klen]...))
+			off += klen
+			n.children = append(n.children, int64(le.Uint64(b[off:])))
+			off += 8
+		}
+	}
+	return n, nil
+}
+
+// search returns the index of the first key ≥ key, and whether it is equal.
+func search(keys [][]byte, key []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	eq := lo < len(keys) && bytes.Equal(keys[lo], key)
+	return lo, eq
+}
+
+// childIndex returns which child of an internal node covers key.
+func childIndex(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(key, keys[mid]) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for !n.leaf {
+		n, err = t.readNode(n.children[childIndex(n.keys, key)])
+		if err != nil {
+			return nil, err
+		}
+	}
+	i, eq := search(n.keys, key)
+	if !eq {
+		return nil, ErrNotFound
+	}
+	return n.vals[i], nil
+}
+
+// split describes a node split propagating upward.
+type split struct {
+	key   []byte // separator promoted to the parent
+	right int64  // new right sibling
+}
+
+// Put inserts or replaces key's value. The meta page is rewritten only when
+// something in it changed (replacing an existing key's value leaves it
+// untouched — important for update-heavy workloads like TPC-B, where the
+// meta page would otherwise become a per-transaction hot spot).
+func (t *Tree) Put(key, value []byte) error {
+	if nodeHeader+8+4+len(key)+len(value) > t.pageSize/2 {
+		return ErrTooLarge
+	}
+	sp, inserted, err := t.insert(t.root, key, value)
+	if err != nil {
+		return err
+	}
+	metaDirty := false
+	if sp != nil {
+		newRootNo, err := t.st.AllocPage()
+		if err != nil {
+			return err
+		}
+		root := &node{
+			pageNo:   newRootNo,
+			keys:     [][]byte{sp.key},
+			children: []int64{t.root, sp.right},
+		}
+		if err := t.writeNode(root); err != nil {
+			return err
+		}
+		t.root = newRootNo
+		t.height++
+		metaDirty = true
+	}
+	if inserted {
+		t.count++
+		metaDirty = true
+	}
+	if !metaDirty {
+		return nil
+	}
+	return t.writeMeta()
+}
+
+func (t *Tree) insert(pageNo int64, key, value []byte) (*split, bool, error) {
+	n, err := t.readNode(pageNo)
+	if err != nil {
+		return nil, false, err
+	}
+	if n.leaf {
+		i, eq := search(n.keys, key)
+		inserted := !eq
+		if eq {
+			n.vals[i] = append([]byte(nil), value...)
+		} else {
+			n.keys = append(n.keys, nil)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = append([]byte(nil), key...)
+			n.vals = append(n.vals, nil)
+			copy(n.vals[i+1:], n.vals[i:])
+			n.vals[i] = append([]byte(nil), value...)
+		}
+		sp, err := t.maybeSplit(n)
+		return sp, inserted, err
+	}
+	ci := childIndex(n.keys, key)
+	sp, inserted, err := t.insert(n.children[ci], key, value)
+	if err != nil {
+		return nil, false, err
+	}
+	if sp == nil {
+		return nil, inserted, nil
+	}
+	// Insert the promoted separator into this node.
+	n.keys = append(n.keys, nil)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = sp.key
+	n.children = append(n.children, 0)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = sp.right
+	up, err := t.maybeSplit(n)
+	return up, inserted, err
+}
+
+// maybeSplit writes n back, splitting it first if it overflows the page.
+func (t *Tree) maybeSplit(n *node) (*split, error) {
+	if t.nodeSize(n) <= t.pageSize {
+		return nil, t.writeNode(n)
+	}
+	mid := len(n.keys) / 2
+	rightNo, err := t.st.AllocPage()
+	if err != nil {
+		return nil, err
+	}
+	var sep []byte
+	right := &node{pageNo: rightNo, leaf: n.leaf}
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		right.next = n.next
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = rightNo
+		sep = append([]byte(nil), right.keys[0]...)
+	} else {
+		// The middle key moves up; it does not stay in either half.
+		sep = append([]byte(nil), n.keys[mid]...)
+		right.keys = append(right.keys, n.keys[mid+1:]...)
+		right.children = append(right.children, n.children[mid+1:]...)
+		n.keys = n.keys[:mid]
+		n.children = n.children[:mid+1]
+	}
+	if err := t.writeNode(n); err != nil {
+		return nil, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return nil, err
+	}
+	return &split{key: sep, right: rightNo}, nil
+}
+
+// Delete removes key. Empty leaves are unlinked from their parent (lazy
+// rebalancing: pages may run underfull, as in many production B-trees, but
+// structure and ordering invariants are preserved).
+func (t *Tree) Delete(key []byte) error {
+	removed, _, err := t.remove(t.root, key)
+	if err != nil {
+		return err
+	}
+	if !removed {
+		return ErrNotFound
+	}
+	t.count--
+	// Collapse a root with a single child.
+	for {
+		root, err := t.readNode(t.root)
+		if err != nil {
+			return err
+		}
+		if root.leaf || len(root.keys) > 0 {
+			break
+		}
+		t.root = root.children[0]
+		t.height--
+	}
+	return t.writeMeta()
+}
+
+// remove deletes key under pageNo; reports (removed, nowEmpty).
+func (t *Tree) remove(pageNo int64, key []byte) (bool, bool, error) {
+	n, err := t.readNode(pageNo)
+	if err != nil {
+		return false, false, err
+	}
+	if n.leaf {
+		i, eq := search(n.keys, key)
+		if !eq {
+			return false, false, nil
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		if err := t.writeNode(n); err != nil {
+			return false, false, err
+		}
+		return true, len(n.keys) == 0, nil
+	}
+	ci := childIndex(n.keys, key)
+	removed, empty, err := t.remove(n.children[ci], key)
+	if err != nil || !removed {
+		return removed, false, err
+	}
+	if !empty {
+		return true, false, nil
+	}
+	// Unlink the empty child. Fix the leaf chain if it was a leaf.
+	child := n.children[ci]
+	if err := t.unlinkLeaf(child); err != nil {
+		return false, false, err
+	}
+	if ci == 0 {
+		if len(n.keys) == 0 {
+			// Node had a single (now empty) child: it becomes empty itself.
+			return true, true, nil
+		}
+		n.keys = n.keys[1:]
+		n.children = n.children[1:]
+	} else {
+		n.keys = append(n.keys[:ci-1], n.keys[ci:]...)
+		n.children = append(n.children[:ci], n.children[ci+1:]...)
+	}
+	if err := t.writeNode(n); err != nil {
+		return false, false, err
+	}
+	return true, len(n.children) == 0, nil
+}
+
+// unlinkLeaf removes an empty leaf from the sibling chain by scanning the
+// chain from the leftmost leaf (leaves are few per parent; acceptable).
+func (t *Tree) unlinkLeaf(pageNo int64) error {
+	dead, err := t.readNode(pageNo)
+	if err != nil {
+		return err
+	}
+	if !dead.leaf {
+		return nil
+	}
+	// Find the predecessor in the chain.
+	cur, err := t.leftmostLeaf()
+	if err != nil {
+		return err
+	}
+	if cur.pageNo == pageNo {
+		return nil // head of the chain; nothing points at it
+	}
+	for cur.next != 0 && cur.next != pageNo {
+		cur, err = t.readNode(cur.next)
+		if err != nil {
+			return err
+		}
+	}
+	if cur.next == pageNo {
+		cur.next = dead.next
+		return t.writeNode(cur)
+	}
+	return nil
+}
+
+func (t *Tree) leftmostLeaf() (*node, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for !n.leaf {
+		n, err = t.readNode(n.children[0])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Cursor iterates leaf entries in key order.
+type Cursor struct {
+	t   *Tree
+	n   *node
+	idx int
+	err error
+}
+
+// Seek positions a cursor at the first key ≥ key.
+func (t *Tree) Seek(key []byte) (*Cursor, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for !n.leaf {
+		n, err = t.readNode(n.children[childIndex(n.keys, key)])
+		if err != nil {
+			return nil, err
+		}
+	}
+	i, _ := search(n.keys, key)
+	c := &Cursor{t: t, n: n, idx: i - 1}
+	return c, nil
+}
+
+// First positions a cursor before the smallest key.
+func (t *Tree) First() (*Cursor, error) {
+	n, err := t.leftmostLeaf()
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{t: t, n: n, idx: -1}, nil
+}
+
+// Next advances to the next entry, returning false at the end.
+func (c *Cursor) Next() bool {
+	if c.err != nil {
+		return false
+	}
+	c.idx++
+	for c.idx >= len(c.n.keys) {
+		if c.n.next == 0 {
+			return false
+		}
+		n, err := c.t.readNode(c.n.next)
+		if err != nil {
+			c.err = err
+			return false
+		}
+		c.n = n
+		c.idx = 0
+	}
+	return true
+}
+
+// Key returns the current entry's key.
+func (c *Cursor) Key() []byte { return c.n.keys[c.idx] }
+
+// Value returns the current entry's value.
+func (c *Cursor) Value() []byte { return c.n.vals[c.idx] }
+
+// Err reports an iteration error, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Check validates tree invariants (ordering, separator bounds, leaf chain
+// completeness) and returns the number of reachable records. Tests use it.
+func (t *Tree) Check() (int64, error) {
+	var leafCount int64
+	var walk func(pageNo int64, lo, hi []byte) error
+	var leaves []int64
+	walk = func(pageNo int64, lo, hi []byte) error {
+		n, err := t.readNode(pageNo)
+		if err != nil {
+			return err
+		}
+		for i := 1; i < len(n.keys); i++ {
+			if bytes.Compare(n.keys[i-1], n.keys[i]) >= 0 {
+				return fmt.Errorf("btree: keys out of order in page %d", pageNo)
+			}
+		}
+		for _, k := range n.keys {
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				return fmt.Errorf("btree: key below separator in page %d", pageNo)
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				return fmt.Errorf("btree: key above separator in page %d", pageNo)
+			}
+		}
+		if n.leaf {
+			leafCount += int64(len(n.keys))
+			leaves = append(leaves, pageNo)
+			return nil
+		}
+		for i, ch := range n.children {
+			var clo, chi []byte
+			if i > 0 {
+				clo = n.keys[i-1]
+			} else {
+				clo = lo
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			} else {
+				chi = hi
+			}
+			if err := walk(ch, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, nil, nil); err != nil {
+		return 0, err
+	}
+	// The leaf chain must visit exactly the reachable leaves, in order.
+	n, err := t.leftmostLeaf()
+	if err != nil {
+		return 0, err
+	}
+	var chain []int64
+	for {
+		chain = append(chain, n.pageNo)
+		if n.next == 0 {
+			break
+		}
+		n, err = t.readNode(n.next)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if len(chain) != len(leaves) {
+		return 0, fmt.Errorf("btree: leaf chain has %d leaves, tree has %d", len(chain), len(leaves))
+	}
+	return leafCount, nil
+}

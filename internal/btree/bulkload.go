@@ -1,0 +1,155 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/pagestore"
+)
+
+// bulkFill is the target page utilization for bulk-built nodes: full pages
+// split immediately on the first insert, so a classic bulk load leaves some
+// slack for future updates.
+const bulkFill = 0.85
+
+// BulkLoad builds a tree bottom-up from a sorted stream of key/value pairs —
+// the standard way to create a large index (like the TPC-B account load)
+// without paying a split cascade: leaves are written left to right at the
+// fill factor, then each interior level is built over the one below.
+//
+// next returns the pairs in strictly ascending key order and ok=false at the
+// end. The store must be empty.
+func BulkLoad(st pagestore.Store, next func() (key, value []byte, ok bool)) (*Tree, error) {
+	if n, err := st.NumPages(); err != nil {
+		return nil, err
+	} else if n != 0 {
+		return nil, fmt.Errorf("btree: store not empty (%d pages)", n)
+	}
+	t := &Tree{st: st, pageSize: st.PageSize()}
+	if _, err := st.AllocPage(); err != nil { // page 0: meta
+		return nil, err
+	}
+	budget := int(float64(t.pageSize) * bulkFill)
+
+	// 1. Build the leaf level.
+	type levelEntry struct {
+		firstKey []byte
+		pageNo   int64
+	}
+	var leaves []levelEntry
+	var prevLeaf *node
+	cur := &node{leaf: true}
+	var count int64
+	var lastKey []byte
+
+	flushLeaf := func() error {
+		if len(cur.keys) == 0 {
+			return nil
+		}
+		pageNo, err := st.AllocPage()
+		if err != nil {
+			return err
+		}
+		cur.pageNo = pageNo
+		if prevLeaf != nil {
+			prevLeaf.next = pageNo
+			if err := t.writeNode(prevLeaf); err != nil {
+				return err
+			}
+		}
+		leaves = append(leaves, levelEntry{firstKey: cur.keys[0], pageNo: pageNo})
+		prevLeaf = cur
+		cur = &node{leaf: true}
+		return nil
+	}
+
+	for {
+		k, v, ok := next()
+		if !ok {
+			break
+		}
+		if lastKey != nil && bytes.Compare(k, lastKey) <= 0 {
+			return nil, fmt.Errorf("btree: bulk load input not strictly ascending at key %q", k)
+		}
+		if nodeHeader+8+4+len(k)+len(v) > t.pageSize/2 {
+			return nil, ErrTooLarge
+		}
+		lastKey = append(lastKey[:0], k...)
+		kc := append([]byte(nil), k...)
+		vc := append([]byte(nil), v...)
+		cur.keys = append(cur.keys, kc)
+		cur.vals = append(cur.vals, vc)
+		count++
+		if t.nodeSize(cur) > budget {
+			// Move the overflowing entry to the next leaf.
+			n := len(cur.keys)
+			spill := &node{leaf: true, keys: [][]byte{cur.keys[n-1]}, vals: [][]byte{cur.vals[n-1]}}
+			cur.keys = cur.keys[:n-1]
+			cur.vals = cur.vals[:n-1]
+			if err := flushLeaf(); err != nil {
+				return nil, err
+			}
+			cur = spill
+		}
+	}
+	if err := flushLeaf(); err != nil {
+		return nil, err
+	}
+	if prevLeaf != nil {
+		prevLeaf.next = 0
+		if err := t.writeNode(prevLeaf); err != nil {
+			return nil, err
+		}
+	}
+	if len(leaves) == 0 {
+		// Empty input: a single empty leaf as root.
+		rootNo, err := st.AllocPage()
+		if err != nil {
+			return nil, err
+		}
+		if err := t.writeNode(&node{pageNo: rootNo, leaf: true}); err != nil {
+			return nil, err
+		}
+		t.root, t.height, t.count = rootNo, 1, 0
+		return t, t.writeMeta()
+	}
+
+	// 2. Build interior levels until one node remains.
+	level := leaves
+	height := 1
+	for len(level) > 1 {
+		var parent []levelEntry
+		i := 0
+		for i < len(level) {
+			in := &node{children: []int64{level[i].pageNo}}
+			first := level[i].firstKey
+			i++
+			for i < len(level) {
+				in.keys = append(in.keys, level[i].firstKey)
+				in.children = append(in.children, level[i].pageNo)
+				if t.nodeSize(in) > budget && len(in.children) > 2 {
+					// Undo the tentative addition; it starts the next node.
+					in.keys = in.keys[:len(in.keys)-1]
+					in.children = in.children[:len(in.children)-1]
+					break
+				}
+				i++
+			}
+			pageNo, err := st.AllocPage()
+			if err != nil {
+				return nil, err
+			}
+			in.pageNo = pageNo
+			if err := t.writeNode(in); err != nil {
+				return nil, err
+			}
+			parent = append(parent, levelEntry{firstKey: first, pageNo: pageNo})
+		}
+		level = parent
+		height++
+	}
+	t.root = level[0].pageNo
+	t.height = height
+	t.count = count
+	return t, t.writeMeta()
+}

@@ -1,0 +1,329 @@
+// Package buffer implements an LRU buffer cache of fixed-size blocks keyed by
+// (file, logical block number). It is used three ways in this reproduction:
+//
+//   - as the operating system's buffer cache under the log-structured file
+//     system and the read-optimized file system;
+//   - as the user-level database page cache inside the LIBTP-style
+//     transaction library (Figure 2 of the paper);
+//   - as the holding area for transaction-protected dirty pages in the
+//     embedded transaction manager (Figure 3): such buffers are placed on
+//     "hold" so they cannot be written back or evicted before commit, which
+//     is exactly the paper's implementation restriction (1) — "all dirty
+//     buffers must be held in memory until commit".
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// FileID identifies a file within a file system.
+type FileID uint64
+
+// BlockID identifies one cached block.
+type BlockID struct {
+	File  FileID
+	Block int64
+}
+
+func (id BlockID) String() string { return fmt.Sprintf("(%d,%d)", id.File, id.Block) }
+
+// Fetch loads the contents of a block into dst on a cache miss.
+type Fetch func(id BlockID, dst []byte) error
+
+// WriteBack persists a dirty block when it is evicted or flushed.
+type WriteBack func(id BlockID, data []byte) error
+
+// Errors returned by the pool.
+var (
+	ErrNoBuffers = errors.New("buffer: all buffers pinned or held")
+	ErrPinned    = errors.New("buffer: operation invalid on pinned buffer")
+)
+
+// Buf is a cached block. Data is valid while the buffer is pinned; callers
+// must not retain Data after Release.
+type Buf struct {
+	ID    BlockID
+	Data  []byte
+	dirty bool
+	held  bool
+	pins  int
+	elem  *list.Element
+}
+
+// Dirty reports whether the buffer has unwritten modifications.
+func (b *Buf) Dirty() bool { return b.dirty }
+
+// Held reports whether the buffer is on transaction hold.
+func (b *Buf) Held() bool { return b.held }
+
+// Stats counts pool activity.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	WriteBacks int64
+}
+
+// Pool is an LRU pool of at most capacity blocks.
+type Pool struct {
+	mu        sync.Mutex
+	capacity  int
+	blockSize int
+	writeback WriteBack
+	table     map[BlockID]*Buf
+	lru       *list.List // front = most recently used
+	stats     Stats
+}
+
+// New creates a pool of capacity blocks of blockSize bytes. writeback is
+// invoked (without the pool lock held... it is invoked with the lock held;
+// see flushLocked) whenever a dirty block must be persisted. It may be nil
+// for pools that are flushed only explicitly via Dirty/MarkClean.
+func New(capacity, blockSize int, writeback WriteBack) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		capacity:  capacity,
+		blockSize: blockSize,
+		writeback: writeback,
+		table:     make(map[BlockID]*Buf, capacity),
+		lru:       list.New(),
+	}
+}
+
+// Capacity returns the pool's block capacity.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// BlockSize returns the size of each cached block.
+func (p *Pool) BlockSize() int { return p.blockSize }
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Len returns the number of resident blocks.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}
+
+// Get returns the buffer for id, pinned. On a miss the block is loaded with
+// fetch (which may be nil to get a zeroed buffer, used when a brand-new block
+// is about to be fully overwritten). The caller must Release the buffer.
+func (p *Pool) Get(id BlockID, fetch Fetch) (*Buf, error) {
+	p.mu.Lock()
+	if b, ok := p.table[id]; ok {
+		p.stats.Hits++
+		b.pins++
+		p.lru.MoveToFront(b.elem)
+		p.mu.Unlock()
+		return b, nil
+	}
+	p.stats.Misses++
+	if err := p.makeRoomLocked(); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	b := &Buf{ID: id, Data: make([]byte, p.blockSize), pins: 1}
+	b.elem = p.lru.PushFront(b)
+	p.table[id] = b
+	p.mu.Unlock()
+
+	if fetch != nil {
+		if err := fetch(id, b.Data); err != nil {
+			p.mu.Lock()
+			b.pins = 0
+			p.removeLocked(b)
+			p.mu.Unlock()
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// makeRoomLocked evicts the least recently used unpinned, unheld buffer if
+// the pool is full. Caller holds p.mu.
+func (p *Pool) makeRoomLocked() error {
+	if p.lru.Len() < p.capacity {
+		return nil
+	}
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		b := e.Value.(*Buf)
+		if b.pins > 0 || b.held {
+			continue
+		}
+		if b.dirty {
+			if p.writeback == nil {
+				return fmt.Errorf("buffer: dirty eviction of %v with no writeback", b.ID)
+			}
+			if err := p.writeback(b.ID, b.Data); err != nil {
+				return err
+			}
+			p.stats.WriteBacks++
+			b.dirty = false
+		}
+		p.stats.Evictions++
+		p.removeLocked(b)
+		return nil
+	}
+	return ErrNoBuffers
+}
+
+func (p *Pool) removeLocked(b *Buf) {
+	p.lru.Remove(b.elem)
+	delete(p.table, b.ID)
+	b.elem = nil
+}
+
+// Release unpins a buffer previously returned by Get.
+func (p *Pool) Release(b *Buf) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b.pins <= 0 {
+		panic(fmt.Sprintf("buffer: Release of unpinned buffer %v", b.ID))
+	}
+	b.pins--
+}
+
+// MarkDirty flags a pinned buffer as modified.
+func (p *Pool) MarkDirty(b *Buf) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b.dirty = true
+}
+
+// MarkClean clears the dirty flag (after the owner persisted the block
+// itself, e.g. as part of an LFS segment write).
+func (p *Pool) MarkClean(b *Buf) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b.dirty = false
+}
+
+// SetHold places a buffer on (or removes it from) transaction hold. Held
+// buffers are never evicted or flushed; they represent uncommitted data.
+func (p *Pool) SetHold(b *Buf, hold bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b.held = hold
+}
+
+// Dirty returns the dirty, unheld buffers, most-recently-used first. The
+// returned buffers are NOT pinned; the caller must be the pool's owner and
+// synchronize access itself (file systems call this while quiescent).
+func (p *Pool) Dirty() []*Buf {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*Buf
+	for e := p.lru.Front(); e != nil; e = e.Next() {
+		b := e.Value.(*Buf)
+		if b.dirty && !b.held {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// DirtyFile returns the dirty, unheld buffers belonging to one file.
+func (p *Pool) DirtyFile(f FileID) []*Buf {
+	var out []*Buf
+	for _, b := range p.Dirty() {
+		if b.ID.File == f {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// HeldFile returns the held buffers belonging to one file — the per-inode
+// transaction buffer list of §4.1.
+func (p *Pool) HeldFile(f FileID) []*Buf {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*Buf
+	for e := p.lru.Front(); e != nil; e = e.Next() {
+		b := e.Value.(*Buf)
+		if b.held && b.ID.File == f {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// FlushAll writes back every dirty, unheld buffer through the writeback
+// callback and marks them clean.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		b := e.Value.(*Buf)
+		if !b.dirty || b.held {
+			continue
+		}
+		if p.writeback == nil {
+			return fmt.Errorf("buffer: FlushAll with no writeback (%v dirty)", b.ID)
+		}
+		if err := p.writeback(b.ID, b.Data); err != nil {
+			return err
+		}
+		p.stats.WriteBacks++
+		b.dirty = false
+	}
+	return nil
+}
+
+// Invalidate drops a block from the cache, discarding modifications. It is
+// how transaction abort throws away uncommitted pages. Pinned buffers cannot
+// be invalidated.
+func (p *Pool) Invalidate(id BlockID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.table[id]
+	if !ok {
+		return nil
+	}
+	if b.pins > 0 {
+		return ErrPinned
+	}
+	b.dirty = false
+	b.held = false
+	p.removeLocked(b)
+	return nil
+}
+
+// InvalidateFile drops every unpinned block of a file.
+func (p *Pool) InvalidateFile(f FileID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var next *list.Element
+	for e := p.lru.Front(); e != nil; e = next {
+		next = e.Next()
+		b := e.Value.(*Buf)
+		if b.ID.File != f {
+			continue
+		}
+		if b.pins > 0 {
+			return ErrPinned
+		}
+		b.dirty = false
+		b.held = false
+		p.removeLocked(b)
+	}
+	return nil
+}
+
+// Lookup returns the resident buffer for id without pinning it, or nil. For
+// tests and introspection only.
+func (p *Pool) Lookup(id BlockID) *Buf {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.table[id]
+}

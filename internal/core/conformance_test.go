@@ -1,0 +1,27 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/fstest"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// TestConformance runs the file-system conformance suite through the
+// embedded transaction manager's adapter: a transaction-enabled kernel must
+// be indistinguishable from a plain one for non-transaction use.
+func TestConformance(t *testing.T) {
+	fstest.Run(t, "lfs+txn", func(t *testing.T) vfs.FileSystem {
+		clk := sim.NewClock()
+		dev := disk.New(sim.SmallModel(), clk)
+		fsys, err := lfs.Format(dev, clk, lfs.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.New(fsys, clk, core.Options{}).AsFileSystem()
+	})
+}

@@ -1,0 +1,327 @@
+// Package core implements the paper's primary contribution: a transaction
+// manager embedded in the log-structured file system (Figure 3).
+//
+// Transaction-protection is an attribute of a file; the interface to
+// protected files is identical to unprotected ones (open, close, read,
+// write) plus three new "system calls" — TxnBegin, TxnCommit, TxnAbort —
+// which have no effect on unprotected files. The kernel's buffer cache
+// replaces the user-level buffer pool, the kernel scheduler replaces
+// user-level process management, and no explicit logging is performed:
+//
+//   - LFS's no-overwrite policy guarantees before-images (the old versions
+//     of updated pages remain in the log until cleaned), and
+//   - flushing all dirty pages at commit guarantees after-images.
+//
+// Therefore the only machinery added to the "kernel" is lock management and
+// transaction management (§4): a lock table keyed by (file, block), a
+// per-transaction state with its lock chain, per-inode lists of
+// transaction-protected buffers (modelled by buffer holds), and group
+// commit.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/lfs"
+	"repro/internal/lock"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Errors.
+var (
+	ErrNoTxn     = errors.New("core: no transaction active for this process")
+	ErrTxnActive = errors.New("core: process already has an active transaction")
+	ErrDeadlock  = lock.ErrDeadlock
+)
+
+// checkCost is the per-access cost non-transaction applications pay on a
+// transaction-enabled kernel: "a few instructions in accessing buffers to
+// determine that transaction locks are unnecessary" (§5.2).
+const checkCost = 500 * time.Nanosecond
+
+// Options configures the embedded transaction manager.
+type Options struct {
+	// Costs is the CPU cost model (default sim.SpriteCosts()).
+	Costs sim.CostModel
+	// GroupCommit batches the commit-time flush across this many
+	// transactions (default 1 = flush at every commit). Locks are held
+	// until the batch flushes (strict two-phase commit), exactly the
+	// paper's "the process sleeps ... until sufficiently more
+	// transactions have committed to justify the write" (§4.4).
+	GroupCommit int
+	// Granularity selects page or sub-page locking (default Page, the
+	// paper's measured configuration; see Granularity).
+	Granularity Granularity
+}
+
+// Stats counts transaction-manager activity.
+type Stats struct {
+	Begun        int64
+	Committed    int64
+	Aborted      int64
+	CommitFlush  int64 // commit-time flush operations (group commits count once)
+	PagesFlushed int64 // pages written by commit flushes
+	BytesFlushed int64 // whole pages × block size (§4.3's commit cost)
+	Deadlocks    int64
+}
+
+// Manager is the embedded transaction manager: the paper's additions to the
+// file system state (lock table pointer) and the transaction subsystem.
+type Manager struct {
+	mu    sync.Mutex
+	fs    *lfs.FS
+	clock *sim.Clock
+	costs sim.CostModel
+	locks *lock.Manager
+	opts  Options
+
+	nextTxn uint64
+	// heldBy refcounts buffer holds across active and pending-commit
+	// transactions.
+	heldBy map[buffer.BlockID]int
+	// pending are committed transactions awaiting the group-commit flush.
+	pending []*Txn
+	stats   Stats
+}
+
+// New attaches a transaction manager to a mounted log-structured file
+// system.
+func New(fsys *lfs.FS, clock *sim.Clock, opts Options) *Manager {
+	if opts.Costs == (sim.CostModel{}) {
+		opts.Costs = sim.SpriteCosts()
+	}
+	if opts.GroupCommit < 1 {
+		opts.GroupCommit = 1
+	}
+	return &Manager{
+		fs:     fsys,
+		clock:  clock,
+		costs:  opts.Costs,
+		locks:  lock.NewManager(),
+		opts:   opts,
+		heldBy: make(map[buffer.BlockID]int),
+	}
+}
+
+// FS returns the underlying file system.
+func (m *Manager) FS() *lfs.FS { return m.fs }
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// LockStats exposes the lock table counters.
+func (m *Manager) LockStats() lock.Stats { return m.locks.Stats() }
+
+// Protect turns transaction-protection on for a file — the paper's
+// "provided utility".
+func (m *Manager) Protect(path string) error {
+	return m.fs.SetTxnProtected(path, true)
+}
+
+// Unprotect turns transaction-protection off.
+func (m *Manager) Unprotect(path string) error {
+	return m.fs.SetTxnProtected(path, false)
+}
+
+// Process models the per-process state the paper extends with a pointer to
+// the transaction state: each process has at most one active transaction
+// (implementation restriction 4), and transactions may not span processes
+// (restriction 3).
+type Process struct {
+	m   *Manager
+	txn *Txn
+}
+
+// NewProcess creates a process context.
+func (m *Manager) NewProcess() *Process { return &Process{m: m} }
+
+// Txn is the per-transaction state: status, the lock chain (kept in the
+// lock manager, traversable by transaction), the transaction identifier,
+// and the pages the transaction dirtied (the per-inode transaction buffer
+// lists, §4.1).
+type Txn struct {
+	id     uint64
+	proc   *Process
+	pages  map[buffer.BlockID]bool
+	files  map[vfs.FileID]bool
+	status txnStatus
+	// undo holds byte-range before-images, used only under SubPage
+	// locking (a shared page cannot simply be invalidated on abort).
+	undo []undoRange
+}
+
+type txnStatus uint8
+
+const (
+	txnRunning txnStatus = iota
+	txnCommitting
+	txnDone
+)
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// TxnBegin starts a transaction for the process (the txn_begin system
+// call): allocate/initialize the transaction state, assign the next
+// transaction identifier, initialize the lock list.
+func (p *Process) TxnBegin() error {
+	if p.txn != nil && p.txn.status == txnRunning {
+		return ErrTxnActive
+	}
+	m := p.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock.Advance(m.costs.Syscall + m.costs.TxnOp)
+	m.nextTxn++
+	p.txn = &Txn{
+		id:    m.nextTxn,
+		proc:  p,
+		pages: make(map[buffer.BlockID]bool),
+		files: make(map[vfs.FileID]bool),
+	}
+	m.stats.Begun++
+	return nil
+}
+
+// TxnCommit commits the process's transaction (txn_commit): move the dirty
+// buffers from the inode's transaction list to its dirty list, flush them
+// to disk, and release locks when the writes have completed. Under group
+// commit the flush (and the lock release) waits until enough transactions
+// have committed.
+func (p *Process) TxnCommit() error {
+	if p.txn == nil || p.txn.status != txnRunning {
+		return ErrNoTxn
+	}
+	m := p.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock.Advance(m.costs.Syscall + m.costs.TxnOp)
+	t := p.txn
+	t.status = txnCommitting
+	m.pending = append(m.pending, t)
+	if len(m.pending) >= m.opts.GroupCommit {
+		if err := m.flushPendingLocked(); err != nil {
+			return err
+		}
+	}
+	p.txn = nil
+	return nil
+}
+
+// flushPendingLocked performs the (group) commit flush: unhold every pending
+// transaction's buffers, force them to the log in one partial-segment
+// stream, then release all pending locks.
+func (m *Manager) flushPendingLocked() error {
+	if len(m.pending) == 0 {
+		return nil
+	}
+	pool := m.fs.Pool()
+	fileSet := make(map[vfs.FileID]bool)
+	pages := 0
+	for _, t := range m.pending {
+		for id := range t.pages {
+			m.heldBy[id]--
+			if m.heldBy[id] == 0 {
+				delete(m.heldBy, id)
+				if b := pool.Lookup(id); b != nil {
+					pool.SetHold(b, false)
+				}
+			}
+			pages++
+		}
+		for f := range t.files {
+			fileSet[f] = true
+		}
+	}
+	files := make([]vfs.FileID, 0, len(fileSet))
+	for f := range fileSet {
+		files = append(files, f)
+	}
+	if err := m.fs.FlushFiles(files); err != nil {
+		return err
+	}
+	for _, t := range m.pending {
+		m.locks.ReleaseAll(lock.TxnID(t.id))
+		m.clock.Advance(m.costs.KernelSync())
+		t.status = txnDone
+		m.stats.Committed++
+	}
+	m.stats.CommitFlush++
+	m.stats.PagesFlushed += int64(pages)
+	m.stats.BytesFlushed += int64(pages) * int64(m.fs.BlockSize())
+	m.pending = m.pending[:0]
+	return nil
+}
+
+// Flush forces any pending group commit immediately (the timeout arm of
+// §4.4's group commit).
+func (m *Manager) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.flushPendingLocked()
+}
+
+// TxnAbort aborts the process's transaction (txn_abort): locate the lock
+// chain, release locks, and invalidate any dirty buffers associated with
+// them. The on-disk before-images — preserved by the no-overwrite policy —
+// become current again automatically, because the inode never learned about
+// the aborted pages.
+func (p *Process) TxnAbort() error {
+	if p.txn == nil || p.txn.status != txnRunning {
+		return ErrNoTxn
+	}
+	m := p.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock.Advance(m.costs.Syscall + m.costs.TxnOp)
+	t := p.txn
+	pool := m.fs.Pool()
+	if m.opts.Granularity == SubPage {
+		// Restore the written byte ranges in place; pages may carry other
+		// transactions' not-yet-flushed committed bytes and must survive.
+		if err := m.applyUndoLocked(t); err != nil {
+			return err
+		}
+	}
+	for id := range t.pages {
+		m.heldBy[id]--
+		if m.heldBy[id] == 0 {
+			delete(m.heldBy, id)
+			if b := pool.Lookup(id); b != nil {
+				pool.SetHold(b, false)
+			}
+			if m.opts.Granularity == Page {
+				if err := pool.Invalidate(id); err != nil {
+					return fmt.Errorf("core: abort invalidate %v: %w", id, err)
+				}
+			}
+		}
+	}
+	m.locks.ReleaseAll(lock.TxnID(t.id))
+	m.clock.Advance(m.costs.KernelSync())
+	t.status = txnDone
+	p.txn = nil
+	m.stats.Aborted++
+	return nil
+}
+
+// abortOnDeadlock is invoked when a lock request deadlocks: the transaction
+// is aborted and the error surfaced to the caller.
+func (p *Process) abortOnDeadlock() {
+	p.m.mu.Lock()
+	p.m.stats.Deadlocks++
+	p.m.mu.Unlock()
+	_ = p.TxnAbort()
+}
+
+// InTxn reports whether the process has an active transaction.
+func (p *Process) InTxn() bool { return p.txn != nil && p.txn.status == txnRunning }

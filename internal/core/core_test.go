@@ -1,0 +1,580 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/disk"
+	"repro/internal/lfs"
+	"repro/internal/lock"
+	"repro/internal/sim"
+)
+
+type rig struct {
+	clk *sim.Clock
+	dev *disk.Device
+	fs  *lfs.FS
+	m   *Manager
+}
+
+func newRig(t *testing.T, opts Options) *rig {
+	t.Helper()
+	clk := sim.NewClock()
+	dev := disk.New(sim.SmallModel(), clk)
+	fsys, err := lfs.Format(dev, clk, lfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{clk: clk, dev: dev, fs: fsys, m: New(fsys, clk, opts)}
+}
+
+// mkProtected creates a transaction-protected file with initial contents.
+func (r *rig) mkProtected(t *testing.T, path string, data []byte) *File {
+	t.Helper()
+	f, err := r.m.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.m.NewProcess()
+	if len(data) > 0 {
+		if _, err := p.Write(f, data, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.m.Protect(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.fs.Sync(); err != nil { // durable setup
+		t.Fatal(err)
+	}
+	return f
+}
+
+func pat(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*3 + seed
+	}
+	return b
+}
+
+func TestCommitMakesDataVisible(t *testing.T) {
+	r := newRig(t, Options{})
+	f := r.mkProtected(t, "/db", pat(8192, 1))
+	p := r.m.NewProcess()
+	if err := p.TxnBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(f, pat(4096, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TxnCommit(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	if _, err := p.Read(f, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pat(4096, 2)) {
+		t.Fatal("committed data not visible")
+	}
+}
+
+func TestAbortRestoresBeforeImage(t *testing.T) {
+	r := newRig(t, Options{})
+	f := r.mkProtected(t, "/db", pat(8192, 1))
+	p := r.m.NewProcess()
+	p.TxnBegin()
+	if _, err := p.Write(f, pat(4096, 9), 4096); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-transaction, the process sees its own write.
+	got := make([]byte, 4096)
+	p.Read(f, got, 4096)
+	if !bytes.Equal(got, pat(4096, 9)) {
+		t.Fatal("transaction should see its own writes")
+	}
+	if err := p.TxnAbort(); err != nil {
+		t.Fatal(err)
+	}
+	// After abort the no-overwrite before-image is current again.
+	if _, err := p.Read(f, got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	want := pat(8192, 1)[4096:]
+	if !bytes.Equal(got, want) {
+		t.Fatal("abort did not restore the before-image")
+	}
+}
+
+func TestAbortPartialPageWrite(t *testing.T) {
+	r := newRig(t, Options{})
+	f := r.mkProtected(t, "/db", pat(4096, 1))
+	p := r.m.NewProcess()
+	p.TxnBegin()
+	if _, err := p.Write(f, []byte("XXXX"), 100); err != nil {
+		t.Fatal(err)
+	}
+	p.TxnAbort()
+	got := make([]byte, 4096)
+	p.Read(f, got, 0)
+	if !bytes.Equal(got, pat(4096, 1)) {
+		t.Fatal("partial-page abort failed")
+	}
+}
+
+func TestCommitDurableAcrossCrash(t *testing.T) {
+	r := newRig(t, Options{})
+	f := r.mkProtected(t, "/db", pat(8192, 1))
+	p := r.m.NewProcess()
+	p.TxnBegin()
+	p.Write(f, pat(4096, 5), 0)
+	if err := p.TxnCommit(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash WITHOUT any file-system sync: the commit flush alone must have
+	// made the data recoverable (single recovery paradigm — LFS
+	// roll-forward).
+	fs2, err := lfs.Mount(r.dev, r.clk, lfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs2.Open("/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	if _, err := g.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pat(4096, 5)) {
+		t.Fatal("committed data lost in crash")
+	}
+}
+
+func TestUncommittedLostAtCrash(t *testing.T) {
+	r := newRig(t, Options{})
+	f := r.mkProtected(t, "/db", pat(8192, 1))
+	p := r.m.NewProcess()
+	p.TxnBegin()
+	p.Write(f, pat(4096, 7), 0)
+	// Force everything the file system is willing to write: held buffers
+	// must stay behind.
+	if err := r.fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash with the transaction still active.
+	fs2, err := lfs.Mount(r.dev, r.clk, lfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := fs2.Open("/db")
+	got := make([]byte, 4096)
+	g.ReadAt(got, 0)
+	if !bytes.Equal(got, pat(8192, 1)[:4096]) {
+		t.Fatal("uncommitted data leaked to disk")
+	}
+}
+
+func TestOneTxnPerProcess(t *testing.T) {
+	r := newRig(t, Options{})
+	p := r.m.NewProcess()
+	if err := p.TxnBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TxnBegin(); !errors.Is(err, ErrTxnActive) {
+		t.Fatalf("got %v, want ErrTxnActive (restriction 4)", err)
+	}
+	if err := p.TxnCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TxnCommit(); !errors.Is(err, ErrNoTxn) {
+		t.Fatalf("got %v, want ErrNoTxn", err)
+	}
+}
+
+func TestTxnSyscallsNoEffectOnUnprotected(t *testing.T) {
+	r := newRig(t, Options{})
+	f, err := r.m.Create("/plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.m.NewProcess()
+	p.TxnBegin()
+	p.Write(f, pat(4096, 3), 0)
+	p.TxnAbort()
+	// The abort must NOT roll back writes to unprotected files.
+	got := make([]byte, 4096)
+	p.Read(f, got, 0)
+	if !bytes.Equal(got, pat(4096, 3)) {
+		t.Fatal("abort affected an unprotected file")
+	}
+	if r.m.LockStats().Acquired != 0 {
+		t.Fatal("unprotected access should acquire no locks")
+	}
+}
+
+func TestIsolationBetweenProcesses(t *testing.T) {
+	r := newRig(t, Options{})
+	f := r.mkProtected(t, "/db", pat(8192, 1))
+	p1 := r.m.NewProcess()
+	p1.TxnBegin()
+	if _, err := p1.Write(f, pat(4096, 9), 0); err != nil {
+		t.Fatal(err)
+	}
+	// A second process trying to read the locked page blocks until p1
+	// finishes ("the process is descheduled and left sleeping").
+	p2 := r.m.NewProcess()
+	p2.TxnBegin()
+	readDone := make(chan []byte)
+	go func() {
+		buf := make([]byte, 4096)
+		if _, err := p2.Read(f, buf, 0); err != nil {
+			t.Error(err)
+		}
+		readDone <- buf
+	}()
+	select {
+	case <-readDone:
+		t.Fatal("read should block on p1's write lock")
+	default:
+	}
+	if err := p1.TxnCommit(); err != nil {
+		t.Fatal(err)
+	}
+	got := <-readDone
+	if !bytes.Equal(got, pat(4096, 9)) {
+		t.Fatal("p2 should see committed data after unblock")
+	}
+	p2.TxnCommit()
+}
+
+func TestDeadlockAbortsTransaction(t *testing.T) {
+	r := newRig(t, Options{})
+	f := r.mkProtected(t, "/db", pat(12288, 1))
+	p1 := r.m.NewProcess()
+	p2 := r.m.NewProcess()
+	p1.TxnBegin()
+	p2.TxnBegin()
+	if _, err := p1.Write(f, []byte("a"), 0); err != nil { // page 0
+		t.Fatal(err)
+	}
+	if _, err := p2.Write(f, []byte("b"), 4096); err != nil { // page 1
+		t.Fatal(err)
+	}
+	errs := make(chan error, 1)
+	go func() {
+		_, err := p1.Write(f, []byte("c"), 4096) // blocks on p2
+		errs <- err
+	}()
+	_, err2 := p2.Write(f, []byte("d"), 0) // closes the cycle
+	err1 := <-errs
+	if (err1 == nil) == (err2 == nil) {
+		t.Fatalf("exactly one transaction should deadlock: %v / %v", err1, err2)
+	}
+	if r.m.Stats().Deadlocks != 1 {
+		t.Fatalf("Deadlocks = %d", r.m.Stats().Deadlocks)
+	}
+	// The victim was auto-aborted; the survivor can finish.
+	if err1 == nil {
+		if err := p1.TxnCommit(); err != nil {
+			t.Fatal(err)
+		}
+		if p2.InTxn() {
+			t.Fatal("victim should have been aborted")
+		}
+	} else {
+		if err := p2.TxnCommit(); err != nil {
+			t.Fatal(err)
+		}
+		if p1.InTxn() {
+			t.Fatal("victim should have been aborted")
+		}
+	}
+}
+
+func TestGroupCommitBatchesFlushes(t *testing.T) {
+	r := newRig(t, Options{GroupCommit: 4})
+	f := r.mkProtected(t, "/db", pat(64*4096, 1))
+	for i := 0; i < 8; i++ {
+		p := r.m.NewProcess()
+		p.TxnBegin()
+		if _, err := p.Write(f, pat(100, byte(i)), int64(i)*4096); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.TxnCommit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.m.Stats()
+	if st.CommitFlush != 2 {
+		t.Fatalf("CommitFlush = %d, want 2 (8 commits / batch 4)", st.CommitFlush)
+	}
+	if st.Committed != 8 {
+		t.Fatalf("Committed = %d", st.Committed)
+	}
+}
+
+func TestGroupCommitConflictFlushesEarly(t *testing.T) {
+	r := newRig(t, Options{GroupCommit: 10})
+	f := r.mkProtected(t, "/db", pat(8192, 1))
+	p1 := r.m.NewProcess()
+	p1.TxnBegin()
+	p1.Write(f, pat(100, 2), 0)
+	if err := p1.TxnCommit(); err != nil {
+		t.Fatal(err)
+	}
+	// p1 is pending (locks still held). p2 touching the same page must
+	// trigger the pending flush rather than sleeping forever.
+	p2 := r.m.NewProcess()
+	p2.TxnBegin()
+	if _, err := p2.Write(f, pat(100, 3), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.TxnCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.m.Stats().Committed; got != 2 {
+		t.Fatalf("Committed = %d", got)
+	}
+}
+
+func TestFlushDrainsPending(t *testing.T) {
+	r := newRig(t, Options{GroupCommit: 100})
+	f := r.mkProtected(t, "/db", pat(4096, 1))
+	p := r.m.NewProcess()
+	p.TxnBegin()
+	p.Write(f, pat(100, 2), 0)
+	if err := p.TxnCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if r.m.Stats().Committed != 0 {
+		t.Fatal("commit should be pending, not complete")
+	}
+	if err := r.m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.m.Stats().Committed != 1 {
+		t.Fatal("Flush should complete the pending commit")
+	}
+}
+
+func TestWholePageCommitBytes(t *testing.T) {
+	// §4.3: "in the case where only part of a page is modified, the entire
+	// page still gets written to disk at commit."
+	r := newRig(t, Options{})
+	f := r.mkProtected(t, "/db", pat(4096, 1))
+	p := r.m.NewProcess()
+	p.TxnBegin()
+	p.Write(f, []byte("xy"), 10) // 2 bytes
+	p.TxnCommit()
+	st := r.m.Stats()
+	if st.BytesFlushed != 4096 {
+		t.Fatalf("BytesFlushed = %d, want one whole page (4096)", st.BytesFlushed)
+	}
+}
+
+func TestBtreeOnEmbeddedStore(t *testing.T) {
+	r := newRig(t, Options{})
+	f, err := r.m.Create("/tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.Protect("/tree"); err != nil {
+		t.Fatal(err)
+	}
+	p := r.m.NewProcess()
+	p.TxnBegin()
+	tr, err := btree.Create(NewStore(p, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("key%03d", i)), []byte(fmt.Sprintf("val%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.TxnCommit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Abort a batch of updates: the tree reverts.
+	p.TxnBegin()
+	tr2, err := btree.Open(NewStore(p, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		tr2.Put([]byte(fmt.Sprintf("key%03d", i)), []byte("CLOBBERED"))
+	}
+	p.TxnAbort()
+
+	p.TxnBegin()
+	tr3, err := btree.Open(NewStore(p, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		v, err := tr3.Get([]byte(fmt.Sprintf("key%03d", i)))
+		if err != nil || string(v) != fmt.Sprintf("val%03d", i) {
+			t.Fatalf("key%03d = %q, %v after abort", i, v, err)
+		}
+	}
+	p.TxnCommit()
+}
+
+func TestSimulatedTimeCharged(t *testing.T) {
+	r := newRig(t, Options{})
+	f := r.mkProtected(t, "/db", pat(4096, 1))
+	before := r.clk.Now()
+	p := r.m.NewProcess()
+	p.TxnBegin()
+	p.Write(f, pat(100, 2), 0)
+	p.TxnCommit()
+	if r.clk.Now() <= before {
+		t.Fatal("transaction must consume simulated time")
+	}
+}
+
+func TestDegreeOneAccessOutsideTxn(t *testing.T) {
+	r := newRig(t, Options{})
+	f := r.mkProtected(t, "/db", pat(4096, 1))
+	p := r.m.NewProcess()
+	// No TxnBegin: access still works, with per-call locking.
+	if _, err := p.Write(f, []byte("solo"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := p.Read(f, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "solo" {
+		t.Fatal("degree-1 write lost")
+	}
+	// Nothing is left locked.
+	if r.m.locks.HeldCount(lock.TxnID(1)) != 0 {
+		t.Fatal("degree-1 access leaked locks")
+	}
+}
+
+// TestCommitDurableInIndirectRange crashes right after committing writes in
+// the file's indirect-pointer range. Commit forces defer the pointer blocks
+// (they stay dirty in memory), so recovery must rebuild the pointers from
+// the partial segments' summary entries — the roll-forward pointer replay.
+func TestCommitDurableInIndirectRange(t *testing.T) {
+	r := newRig(t, Options{})
+	// 80 pages: well past the 12 direct pointers.
+	f := r.mkProtected(t, "/big", pat(80*4096, 1))
+	p := r.m.NewProcess()
+	p.TxnBegin()
+	// Touch direct, single-indirect ranges in one transaction.
+	if _, err := p.Write(f, []byte("DIRECT--"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(f, []byte("INDIRECT"), 50*4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TxnCommit(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash without ever flushing the pointer blocks.
+	fs2, err := lfs.Mount(r.dev, r.clk, lfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs2.Open("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := g.ReadAt(buf, 0); err != nil || string(buf) != "DIRECT--" {
+		t.Fatalf("direct-range data lost: %q %v", buf, err)
+	}
+	if _, err := g.ReadAt(buf, 50*4096); err != nil || string(buf) != "INDIRECT" {
+		t.Fatalf("indirect-range data lost (pointer replay broken): %q %v", buf, err)
+	}
+	// The rest of the file is untouched.
+	if _, err := g.ReadAt(buf, 70*4096); err != nil {
+		t.Fatal(err)
+	}
+	want := pat(80*4096, 1)[70*4096 : 70*4096+8]
+	if !bytes.Equal(buf, want) {
+		t.Fatal("unrelated data corrupted by recovery")
+	}
+}
+
+// TestConcurrentProcessesStress drives several goroutine "processes" through
+// conflicting transactions with deadlock-retry, then checks that the final
+// balance matches the successful transfer count (run with -race to exercise
+// the locking paths).
+func TestConcurrentProcessesStress(t *testing.T) {
+	r := newRig(t, Options{})
+	f := r.mkProtected(t, "/counter", pat(4096, 0))
+	// Balance starts at 0 in the first 8 bytes.
+	p0 := r.m.NewProcess()
+	zero := make([]byte, 8)
+	p0.TxnBegin()
+	p0.Write(f, zero, 0)
+	p0.TxnCommit()
+
+	const workers = 6
+	const perWorker = 15
+	var wg sync.WaitGroup
+	var succeeded int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			p := r.m.NewProcess()
+			for i := 0; i < perWorker; i++ {
+				for attempt := 0; attempt < 20; attempt++ {
+					if err := p.TxnBegin(); err != nil {
+						t.Error(err)
+						return
+					}
+					buf := make([]byte, 8)
+					if _, err := p.Read(f, buf, 0); err != nil {
+						p.TxnAbort()
+						continue // deadlock victim: retry
+					}
+					v := int64(binary.LittleEndian.Uint64(buf))
+					binary.LittleEndian.PutUint64(buf, uint64(v+1))
+					if _, err := p.Write(f, buf, 0); err != nil {
+						if p.InTxn() {
+							p.TxnAbort()
+						}
+						continue
+					}
+					if err := p.TxnCommit(); err != nil {
+						t.Error(err)
+						return
+					}
+					atomic.AddInt64(&succeeded, 1)
+					break
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	check := r.m.NewProcess()
+	buf := make([]byte, 8)
+	if _, err := check.Read(f, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	final := int64(binary.LittleEndian.Uint64(buf))
+	if final != atomic.LoadInt64(&succeeded) {
+		t.Fatalf("counter = %d, want %d (lost updates!)", final, succeeded)
+	}
+	if final == 0 {
+		t.Fatal("no transaction succeeded")
+	}
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/buffer"
+	"repro/internal/lfs"
+	"repro/internal/lock"
+	"repro/internal/vfs"
+)
+
+// File is an open file under the embedded transaction manager. The
+// interface matches ordinary files; if the file carries the
+// transaction-protection attribute, reads and writes acquire page locks
+// automatically (§4.2: "a read lock is requested for each page before the
+// page request is satisfied ... writes are implemented similarly").
+type File struct {
+	m  *Manager
+	lf *lfs.File
+	id vfs.FileID
+}
+
+// Open opens an existing file.
+func (m *Manager) Open(path string) (*File, error) {
+	f, err := m.fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	lf := f.(*lfs.File)
+	return &File{m: m, lf: lf, id: f.ID()}, nil
+}
+
+// Create creates a new (unprotected) file; call Protect to enable
+// transactions on it.
+func (m *Manager) Create(path string) (*File, error) {
+	f, err := m.fs.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	lf := f.(*lfs.File)
+	return &File{m: m, lf: lf, id: f.ID()}, nil
+}
+
+// ID returns the file's identity.
+func (f *File) ID() vfs.FileID { return f.id }
+
+// Close releases the handle.
+func (f *File) Close() error { return f.lf.Close() }
+
+// Size returns the file size.
+func (f *File) Size() (int64, error) { return f.lf.Size() }
+
+// Truncate resizes the file (non-transactional administrative operation).
+func (f *File) Truncate(size int64) error { return f.lf.Truncate(size) }
+
+// Sync forces the file's dirty blocks to the log.
+func (f *File) Sync() error { return f.lf.Sync() }
+
+// pageRange returns the logical blocks covered by [off, off+n).
+func (f *File) pageRange(off int64, n int) (first, last int64) {
+	bs := int64(f.m.fs.BlockSize())
+	first = off / bs
+	last = (off + int64(n) - 1) / bs
+	if n <= 0 {
+		last = first
+	}
+	return first, last
+}
+
+// lockObject acquires one lock object for the transaction, resolving
+// conflicts with pending group commits by flushing them first, and aborting
+// the transaction on deadlock.
+func (p *Process) lockObject(obj lock.Object, mode lock.Mode) error {
+	m := p.m
+	// A lock held by a committing (pending group-commit) transaction will
+	// be released as soon as the batch flushes; do that now rather than
+	// sleeping on it.
+	m.mu.Lock()
+	for _, holder := range m.locks.Holders(obj) {
+		if m.isPendingLocked(uint64(holder)) {
+			if err := m.flushPendingLocked(); err != nil {
+				m.mu.Unlock()
+				return err
+			}
+			break
+		}
+	}
+	m.mu.Unlock()
+	m.clock.Advance(m.costs.KernelSync())
+	if err := m.locks.Lock(lock.TxnID(p.txn.id), obj, mode); err != nil {
+		if errors.Is(err, lock.ErrDeadlock) {
+			p.abortOnDeadlock()
+		}
+		return err
+	}
+	return nil
+}
+
+func (m *Manager) isPendingLocked(txnID uint64) bool {
+	for _, t := range m.pending {
+		if t.id == txnID {
+			return true
+		}
+	}
+	return false
+}
+
+// Read reads from the file on behalf of the process. For
+// transaction-protected files within a transaction, each covered page is
+// read-locked before the request is satisfied; the process sleeps if a lock
+// cannot be granted. For unprotected files the only cost over a plain read
+// is the lock-necessity check.
+func (p *Process) Read(f *File, buf []byte, off int64) (int, error) {
+	m := p.m
+	m.clock.Advance(m.costs.Syscall)
+	if !f.lf.TxnProtected() {
+		m.clock.Advance(checkCost)
+		return f.lf.ReadAt(buf, off)
+	}
+	if p.InTxn() {
+		if err := p.lockSpan(f, off, len(buf), lock.Read); err != nil {
+			return 0, err
+		}
+		return f.lf.ReadAt(buf, off)
+	}
+	// Degree-1 access outside a transaction: per-call locking.
+	tmp := &Process{m: m, txn: &Txn{id: m.degreeOneID(), pages: map[buffer.BlockID]bool{}, files: map[vfs.FileID]bool{}}}
+	if err := tmp.lockSpan(f, off, len(buf), lock.Read); err != nil {
+		return 0, err
+	}
+	n, err := f.lf.ReadAt(buf, off)
+	m.locks.ReleaseAll(lock.TxnID(tmp.txn.id))
+	return n, err
+}
+
+// Write writes to the file on behalf of the process. For protected files in
+// a transaction, each covered page is write-locked, the write lands in the
+// buffer cache, and the dirtied buffers move onto the inode's transaction
+// list (a buffer hold): they stay in memory until commit (§4, restriction
+// 1) and are invisible to the segment writer until then.
+func (p *Process) Write(f *File, data []byte, off int64) (int, error) {
+	m := p.m
+	m.clock.Advance(m.costs.Syscall)
+	if !f.lf.TxnProtected() {
+		m.clock.Advance(checkCost)
+		return f.lf.WriteAt(data, off)
+	}
+	first, last := f.pageRange(off, len(data))
+	if p.InTxn() {
+		t := p.txn
+		bs := int64(m.fs.BlockSize())
+		n := 0
+		// Write and hold page by page: each dirtied buffer joins the
+		// inode's transaction list before the next page is touched, so
+		// cache pressure can never push an uncommitted page to the log.
+		// A transaction whose write set exceeds the cache surfaces
+		// buffer.ErrNoBuffers — the paper's restriction (1) made
+		// explicit.
+		for pg := first; pg <= last; pg++ {
+			lo := pg * bs
+			if lo < off {
+				lo = off
+			}
+			hi := (pg + 1) * bs
+			if end := off + int64(len(data)); hi > end {
+				hi = end
+			}
+			if err := p.lockSpan(f, lo, int(hi-lo), lock.Write); err != nil {
+				return n, err
+			}
+			if err := p.captureUndo(f, pg, int(lo-pg*bs), int(hi-lo)); err != nil {
+				return n, err
+			}
+			w, err := f.lf.WriteAt(data[lo-off:hi-off], lo)
+			n += w
+			if err != nil {
+				return n, err
+			}
+			m.mu.Lock()
+			id := buffer.BlockID{File: f.id, Block: pg}
+			if !t.pages[id] {
+				t.pages[id] = true
+				m.heldBy[id]++
+				if m.heldBy[id] == 1 {
+					if b := m.fs.Pool().Lookup(id); b != nil {
+						m.fs.Pool().SetHold(b, true)
+					}
+				}
+			}
+			t.files[f.id] = true
+			m.mu.Unlock()
+		}
+		return n, nil
+	}
+	// Degree-1 write outside a transaction: lock, write through, unlock.
+	tmp := &Process{m: m, txn: &Txn{id: m.degreeOneID(), pages: map[buffer.BlockID]bool{}, files: map[vfs.FileID]bool{}}}
+	if err := tmp.lockSpan(f, off, len(data), lock.Write); err != nil {
+		return 0, err
+	}
+	n, err := f.lf.WriteAt(data, off)
+	m.locks.ReleaseAll(lock.TxnID(tmp.txn.id))
+	return n, err
+}
+
+// degreeOneID allocates a transaction identifier for a single-call
+// degree-1 access.
+func (m *Manager) degreeOneID() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextTxn++
+	return m.nextTxn
+}
+
+// Store adapts a protected file to the pagestore interface so the access
+// methods (btree, recno, hashidx) run unchanged on the embedded system —
+// the paper's point that applications keep their existing record interfaces
+// and gain transactions from the file system.
+type Store struct {
+	p *Process
+	f *File
+}
+
+// NewStore binds a process and file into a page store.
+func NewStore(p *Process, f *File) *Store { return &Store{p: p, f: f} }
+
+// PageSize implements pagestore.Store.
+func (s *Store) PageSize() int { return s.f.m.fs.BlockSize() }
+
+// NumPages implements pagestore.Store.
+func (s *Store) NumPages() (int64, error) {
+	sz, err := s.f.lf.Size()
+	if err != nil {
+		return 0, err
+	}
+	ps := int64(s.PageSize())
+	return (sz + ps - 1) / ps, nil
+}
+
+// ReadPage implements pagestore.Store.
+func (s *Store) ReadPage(n int64, p []byte) error {
+	_, err := s.p.Read(s.f, p, n*int64(s.PageSize()))
+	return err
+}
+
+// WritePage implements pagestore.Store.
+func (s *Store) WritePage(n int64, p []byte) error {
+	_, err := s.p.Write(s.f, p, n*int64(s.PageSize()))
+	return err
+}
+
+// AllocPage implements pagestore.Store: extend the file by one page. The
+// extension itself is transactional to the extent that the new page's data
+// is held until commit; an abort leaves a zero-filled tail that the access
+// methods never reference (their meta page rolls back).
+func (s *Store) AllocPage() (int64, error) {
+	np, err := s.NumPages()
+	if err != nil {
+		return 0, err
+	}
+	zero := make([]byte, s.PageSize())
+	if _, err := s.p.Write(s.f, zero, np*int64(s.PageSize())); err != nil {
+		return 0, err
+	}
+	return np, nil
+}
+
+// Sync implements pagestore.Store. Under the embedded manager durability
+// comes from TxnCommit's flush; Sync forces the file for non-transactional
+// setup phases.
+func (s *Store) Sync() error { return s.f.Sync() }

@@ -1,0 +1,466 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newTestDevice() (*Device, *sim.Clock) {
+	clk := sim.NewClock()
+	return New(sim.SmallModel(), clk), clk
+}
+
+func block(dev *Device, fill byte) []byte {
+	b := make([]byte, dev.BlockSize())
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestReadUnwrittenBlockIsZero(t *testing.T) {
+	dev, _ := newTestDevice()
+	buf := block(dev, 0xff)
+	if err := dev.Read(10, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unwritten block should read as zeros")
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dev, _ := newTestDevice()
+	w := block(dev, 0xab)
+	if err := dev.Write(42, w); err != nil {
+		t.Fatal(err)
+	}
+	r := block(dev, 0)
+	if err := dev.Read(42, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w, r) {
+		t.Fatal("read back different data")
+	}
+}
+
+func TestWriteCopiesData(t *testing.T) {
+	dev, _ := newTestDevice()
+	w := block(dev, 1)
+	if err := dev.Write(5, w); err != nil {
+		t.Fatal(err)
+	}
+	w[0] = 99 // mutate caller's buffer after the write
+	r := block(dev, 0)
+	if err := dev.Read(5, r); err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 1 {
+		t.Fatal("device must store a copy, not alias the caller's buffer")
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	dev, _ := newTestDevice()
+	buf := block(dev, 0)
+	if err := dev.Read(-1, buf); err == nil {
+		t.Fatal("negative block should fail")
+	}
+	if err := dev.Write(dev.NumBlocks(), buf); err == nil {
+		t.Fatal("past-end block should fail")
+	}
+	if err := dev.WriteRun(dev.NumBlocks()-1, [][]byte{buf, buf}); err == nil {
+		t.Fatal("run extending past end should fail")
+	}
+}
+
+func TestBadBufferSizeRejected(t *testing.T) {
+	dev, _ := newTestDevice()
+	if err := dev.Read(0, make([]byte, 100)); err != ErrBadSize {
+		t.Fatalf("got %v, want ErrBadSize", err)
+	}
+	if err := dev.Write(0, make([]byte, dev.BlockSize()+1)); err != ErrBadSize {
+		t.Fatalf("got %v, want ErrBadSize", err)
+	}
+}
+
+func TestWriteRunRoundTrip(t *testing.T) {
+	dev, _ := newTestDevice()
+	bufs := [][]byte{block(dev, 1), block(dev, 2), block(dev, 3)}
+	if err := dev.WriteRun(100, bufs); err != nil {
+		t.Fatal(err)
+	}
+	got := [][]byte{block(dev, 0), block(dev, 0), block(dev, 0)}
+	if err := dev.ReadRun(100, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range bufs {
+		if !bytes.Equal(bufs[i], got[i]) {
+			t.Fatalf("block %d mismatch", i)
+		}
+	}
+}
+
+func TestTimeAccounting(t *testing.T) {
+	dev, clk := newTestDevice()
+	before := clk.Now()
+	buf := block(dev, 7)
+	if err := dev.Write(1000, buf); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() <= before {
+		t.Fatal("a write must advance the simulated clock")
+	}
+	st := dev.Stats()
+	if st.Writes != 1 || st.BlocksWrit != 1 || st.BusyTime <= 0 {
+		t.Fatalf("stats = %+v, want one write with busy time", st)
+	}
+}
+
+func TestSequentialCheaperThanRandom(t *testing.T) {
+	devA, clkA := newTestDevice()
+	buf := block(devA, 1)
+	// Sequential: 64 consecutive blocks.
+	for i := int64(0); i < 64; i++ {
+		if err := devA.Write(1000+i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq := clkA.Now()
+
+	devB, clkB := newTestDevice()
+	for i := int64(0); i < 64; i++ {
+		if err := devB.Write(i*97%devB.NumBlocks(), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rnd := clkB.Now()
+	if rnd < 3*seq {
+		t.Fatalf("random (%v) should be much slower than sequential (%v)", rnd, seq)
+	}
+}
+
+func TestWriteRunCheaperThanBlockWrites(t *testing.T) {
+	devA, clkA := newTestDevice()
+	bufs := make([][]byte, 64)
+	for i := range bufs {
+		bufs[i] = block(devA, byte(i))
+	}
+	// Position both arms identically first.
+	if err := devA.Write(0, bufs[0]); err != nil {
+		t.Fatal(err)
+	}
+	t0 := clkA.Now()
+	if err := devA.WriteRun(4000, bufs); err != nil {
+		t.Fatal(err)
+	}
+	runTime := clkA.Now() - t0
+
+	devB, clkB := newTestDevice()
+	if err := devB.Write(0, bufs[0]); err != nil {
+		t.Fatal(err)
+	}
+	t1 := clkB.Now()
+	for i := range bufs {
+		// Same blocks but interleave with a distant access so each write seeks.
+		if err := devB.Write(4000+int64(i)*2, bufs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := devB.Read(100, bufs[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scattered := clkB.Now() - t1
+	if scattered < 5*runTime {
+		t.Fatalf("scattered writes (%v) should dwarf one run write (%v)", scattered, runTime)
+	}
+}
+
+func TestArmTracking(t *testing.T) {
+	dev, _ := newTestDevice()
+	if dev.ArmPosition() != -1 {
+		t.Fatal("fresh device arm position should be unknown")
+	}
+	buf := block(dev, 0)
+	if err := dev.Write(10, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.ArmPosition(); got != 11 {
+		t.Fatalf("arm = %d, want 11", got)
+	}
+	if err := dev.WriteRun(20, [][]byte{buf, buf, buf}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.ArmPosition(); got != 23 {
+		t.Fatalf("arm = %d, want 23", got)
+	}
+}
+
+func TestPeekDoesNotAdvanceClock(t *testing.T) {
+	dev, clk := newTestDevice()
+	buf := block(dev, 9)
+	if err := dev.Write(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	before := clk.Now()
+	got, err := dev.Peek(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() != before {
+		t.Fatal("Peek must not advance the clock")
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("Peek returned wrong data")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	dev, _ := newTestDevice()
+	buf := block(dev, 0)
+	_ = dev.Write(0, buf)
+	dev.ResetStats()
+	if st := dev.Stats(); st.Writes != 0 || st.BusyTime != 0 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}
+
+// Property: any sequence of single-block writes followed by reads of the same
+// addresses returns the last value written.
+func TestWriteReadProperty(t *testing.T) {
+	dev, _ := newTestDevice()
+	last := map[int64]byte{}
+	f := func(addrs []uint16, fills []byte) bool {
+		n := len(addrs)
+		if len(fills) < n {
+			n = len(fills)
+		}
+		for i := 0; i < n; i++ {
+			addr := int64(addrs[i]) % dev.NumBlocks()
+			if err := dev.Write(addr, block(dev, fills[i])); err != nil {
+				return false
+			}
+			last[addr] = fills[i]
+		}
+		for addr, fill := range last {
+			buf := block(dev, 0)
+			if err := dev.Read(addr, buf); err != nil {
+				return false
+			}
+			if buf[0] != fill || buf[len(buf)-1] != fill {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueFlushEmpty(t *testing.T) {
+	dev, clk := newTestDevice()
+	q := NewQueue(dev)
+	before := clk.Now()
+	if err := q.FlushSorted(); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() != before {
+		t.Fatal("flushing an empty queue should be free")
+	}
+}
+
+func TestQueueWritesLand(t *testing.T) {
+	dev, _ := newTestDevice()
+	q := NewQueue(dev)
+	q.EnqueueWrite(50, block(dev, 5))
+	q.EnqueueWrite(10, block(dev, 1))
+	q.EnqueueWrite(30, block(dev, 3))
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	if err := q.FlushSorted(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue should be empty after flush")
+	}
+	for _, tc := range []struct {
+		addr int64
+		fill byte
+	}{{50, 5}, {10, 1}, {30, 3}} {
+		buf := block(dev, 0)
+		if err := dev.Read(tc.addr, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != tc.fill {
+			t.Fatalf("block %d = %d, want %d", tc.addr, buf[0], tc.fill)
+		}
+	}
+}
+
+func TestQueueEnqueueCopies(t *testing.T) {
+	dev, _ := newTestDevice()
+	q := NewQueue(dev)
+	buf := block(dev, 8)
+	q.EnqueueWrite(7, buf)
+	buf[0] = 99
+	if err := q.FlushSorted(); err != nil {
+		t.Fatal(err)
+	}
+	got := block(dev, 0)
+	if err := dev.Read(7, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 8 {
+		t.Fatal("queue must copy enqueued data")
+	}
+}
+
+func TestQueueSortedCheaperThanFIFO(t *testing.T) {
+	// Write the same scattered set of blocks via the sorted queue and via
+	// direct FIFO writes; the sorted queue should pay less positioning time.
+	addrs := []int64{7000, 12, 5600, 900, 3000, 44, 8100, 2000, 6500, 150}
+
+	devA, clkA := newTestDevice()
+	q := NewQueue(devA)
+	for _, a := range addrs {
+		q.EnqueueWrite(a, block(devA, 1))
+	}
+	if err := q.FlushSorted(); err != nil {
+		t.Fatal(err)
+	}
+	sorted := clkA.Now()
+
+	devB, clkB := newTestDevice()
+	for _, a := range addrs {
+		if err := devB.Write(a, block(devB, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fifo := clkB.Now()
+	if sorted >= fifo {
+		t.Fatalf("sorted flush (%v) should beat FIFO (%v)", sorted, fifo)
+	}
+}
+
+func TestQueueCoalescesContiguousRuns(t *testing.T) {
+	dev, _ := newTestDevice()
+	q := NewQueue(dev)
+	for i := int64(0); i < 8; i++ {
+		q.EnqueueWrite(100+i, block(dev, byte(i)))
+	}
+	if err := q.FlushSorted(); err != nil {
+		t.Fatal(err)
+	}
+	st := dev.Stats()
+	if st.Writes != 1 {
+		t.Fatalf("contiguous queue should coalesce to 1 write op, got %d", st.Writes)
+	}
+	if st.BlocksWrit != 8 {
+		t.Fatalf("BlocksWrit = %d, want 8", st.BlocksWrit)
+	}
+}
+
+func TestQueueReads(t *testing.T) {
+	dev, _ := newTestDevice()
+	if err := dev.Write(77, block(dev, 7)); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQueue(dev)
+	buf := block(dev, 0)
+	q.EnqueueRead(77, buf)
+	if err := q.FlushSorted(); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 {
+		t.Fatal("queued read did not fill buffer")
+	}
+}
+
+func TestImageSaveLoadRoundTrip(t *testing.T) {
+	dev, _ := newTestDevice()
+	for i := int64(0); i < 20; i += 3 {
+		if err := dev.Write(i*100, block(dev, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := dev.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clk2 := sim.NewClock()
+	dev2, err := LoadImage(sim.SmallModel(), clk2, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i += 3 {
+		got := block(dev2, 0)
+		if err := dev2.Read(i*100, got); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("block %d content wrong after reload", i*100)
+		}
+	}
+	// Unwritten blocks stay zero.
+	got := block(dev2, 0xff)
+	dev2.Read(1, got)
+	if got[0] != 0 {
+		t.Fatal("unwritten block should be zero after reload")
+	}
+}
+
+func TestImageRejectsGeometryMismatch(t *testing.T) {
+	dev, _ := newTestDevice()
+	var buf bytes.Buffer
+	if err := dev.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	model := sim.RZ55Model() // different block count
+	if _, err := LoadImage(model, sim.NewClock(), &buf); err == nil {
+		t.Fatal("geometry mismatch should fail")
+	}
+}
+
+func TestImageRejectsGarbage(t *testing.T) {
+	if _, err := LoadImage(sim.SmallModel(), sim.NewClock(), bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	dev, _ := newTestDevice()
+	boom := errors.New("media error")
+	dev.SetFault(func(op string, block int64) error {
+		if op == "read" && block == 7 {
+			return boom
+		}
+		return nil
+	})
+	buf := block(dev, 0)
+	if err := dev.Write(7, block(dev, 1)); err != nil {
+		t.Fatalf("write should pass: %v", err)
+	}
+	if err := dev.Read(7, buf); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want injected fault", err)
+	}
+	if err := dev.Read(8, buf); err != nil {
+		t.Fatalf("other blocks unaffected: %v", err)
+	}
+	st := dev.Stats()
+	dev.SetFault(nil)
+	if err := dev.Read(7, buf); err != nil {
+		t.Fatalf("fault cleared: %v", err)
+	}
+	// A faulted access must not be counted or charged.
+	if dev.Stats().Reads != st.Reads+1 {
+		t.Fatal("faulted reads must not count as completed reads")
+	}
+}

@@ -1,0 +1,23 @@
+package ffs_test
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ffs"
+	"repro/internal/fstest"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+func TestConformance(t *testing.T) {
+	fstest.Run(t, "ffs", func(t *testing.T) vfs.FileSystem {
+		clk := sim.NewClock()
+		dev := disk.New(sim.SmallModel(), clk)
+		fsys, err := ffs.Format(dev, clk, ffs.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fsys
+	})
+}

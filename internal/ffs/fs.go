@@ -1,0 +1,491 @@
+package ffs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Options configures the file system.
+type Options struct {
+	// MaxInodes sizes the fixed inode table (default 4096).
+	MaxInodes int64
+	// CacheBlocks is the buffer cache capacity (default 1024).
+	CacheBlocks int
+	// SyncInterval is the delayed-write age limit (default 30 s, the
+	// classic UNIX syncer interval the paper cites).
+	SyncInterval time.Duration
+}
+
+func (o *Options) fill() {
+	if o.MaxInodes == 0 {
+		o.MaxInodes = defaultMaxInodes
+	}
+	if o.CacheBlocks == 0 {
+		o.CacheBlocks = 1024
+	}
+	if o.SyncInterval == 0 {
+		o.SyncInterval = 30 * time.Second
+	}
+}
+
+// Stats reports file system activity.
+type Stats struct {
+	SyncerRuns    int64 // periodic delayed-write flushes
+	BlocksFlushed int64 // blocks pushed out by the syncer
+}
+
+// FS is a mounted read-optimized file system.
+type FS struct {
+	mu        sync.Mutex
+	dev       *disk.Device
+	clock     *sim.Clock
+	pool      *buffer.Pool
+	queue     *disk.Queue
+	blockSize int
+	sb        superblock
+	opts      Options
+
+	bitmap     []uint64
+	inodes     map[Ino]*inode // loaded inodes
+	usedSlots  map[Ino]bool   // allocated inode numbers
+	nextIno    Ino
+	cursor     int64 // rotating allocation cursor
+	lastSyncer time.Duration
+	// tableCache holds inode-table blocks (write-through), as the real
+	// FFS caches inode blocks in the buffer cache: commit-time fsyncs
+	// rewrite an inode without re-reading its table block from disk.
+	tableCache map[int64][]byte
+	stats      Stats
+}
+
+// readTableBlock returns a cached inode-table block, reading it once.
+func (fs *FS) readTableBlock(blk int64) ([]byte, error) {
+	if b, ok := fs.tableCache[blk]; ok {
+		return b, nil
+	}
+	b := make([]byte, fs.blockSize)
+	if err := fs.dev.Read(blk, b); err != nil {
+		return nil, err
+	}
+	fs.tableCache[blk] = b
+	return b, nil
+}
+
+// writeTableBlock persists a table block write-through.
+func (fs *FS) writeTableBlock(blk int64, b []byte) error {
+	fs.tableCache[blk] = b
+	return fs.dev.Write(blk, b)
+}
+
+var _ vfs.FileSystem = (*FS)(nil)
+
+// Format initializes a fresh file system on dev and returns it mounted.
+func Format(dev *disk.Device, clock *sim.Clock, opts Options) (*FS, error) {
+	opts.fill()
+	bs := dev.BlockSize()
+	total := dev.NumBlocks()
+	bitmapLen := (total + int64(bs)*8 - 1) / (int64(bs) * 8)
+	slotsPerBlock := int64(bs / inodeSlotSize)
+	inodeLen := (opts.MaxInodes + slotsPerBlock - 1) / slotsPerBlock
+	sb := superblock{
+		Magic:       superMagic,
+		BlockSize:   uint32(bs),
+		TotalBlocks: total,
+		BitmapStart: 1,
+		BitmapLen:   bitmapLen,
+		InodeStart:  1 + bitmapLen,
+		InodeLen:    inodeLen,
+		DataStart:   1 + bitmapLen + inodeLen,
+		MaxInodes:   opts.MaxInodes,
+		NextIno:     int64(RootIno) + 1,
+	}
+	if sb.DataStart >= total {
+		return nil, fmt.Errorf("ffs: device too small")
+	}
+	fs := &FS{
+		dev:        dev,
+		clock:      clock,
+		blockSize:  bs,
+		sb:         sb,
+		opts:       opts,
+		bitmap:     make([]uint64, (total+63)/64),
+		inodes:     make(map[Ino]*inode),
+		usedSlots:  map[Ino]bool{},
+		nextIno:    RootIno + 1,
+		cursor:     sb.DataStart,
+		tableCache: map[int64][]byte{},
+	}
+	// Mark the metadata area allocated.
+	for b := int64(0); b < sb.DataStart; b++ {
+		fs.setBit(b)
+	}
+	fs.pool = buffer.New(opts.CacheBlocks, bs, fs.writeback)
+	fs.queue = disk.NewQueue(dev)
+
+	root := &inode{ino: RootIno, mode: modeDir, nlink: 2, dirty: true}
+	fs.inodes[RootIno] = root
+	fs.usedSlots[RootIno] = true
+	if err := fs.writeDirLocked(root, nil); err != nil {
+		return nil, err
+	}
+	if err := fs.syncLocked(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Mount loads an existing file system.
+func Mount(dev *disk.Device, clock *sim.Clock, opts Options) (*FS, error) {
+	opts.fill()
+	bs := dev.BlockSize()
+	buf := make([]byte, bs)
+	if err := dev.Read(0, buf); err != nil {
+		return nil, err
+	}
+	sb, err := decodeSuperblock(buf)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{
+		dev:        dev,
+		clock:      clock,
+		blockSize:  bs,
+		sb:         sb,
+		opts:       opts,
+		bitmap:     make([]uint64, (sb.TotalBlocks+63)/64),
+		inodes:     make(map[Ino]*inode),
+		usedSlots:  map[Ino]bool{},
+		nextIno:    Ino(sb.NextIno),
+		cursor:     sb.DataStart,
+		tableCache: map[int64][]byte{},
+	}
+	// Load the bitmap.
+	for i := int64(0); i < sb.BitmapLen; i++ {
+		if err := dev.Read(sb.BitmapStart+i, buf); err != nil {
+			return nil, err
+		}
+		base := i * int64(bs) / 8
+		for w := 0; w < bs/8 && base+int64(w) < int64(len(fs.bitmap)); w++ {
+			var v uint64
+			for b := 0; b < 8; b++ {
+				v |= uint64(buf[w*8+b]) << (8 * b)
+			}
+			fs.bitmap[base+int64(w)] = v
+		}
+	}
+	// Scan the inode table for used slots (inodes load lazily).
+	slotsPerBlock := bs / inodeSlotSize
+	for i := int64(0); i < sb.InodeLen; i++ {
+		if err := dev.Read(sb.InodeStart+i, buf); err != nil {
+			return nil, err
+		}
+		for s := 0; s < slotsPerBlock; s++ {
+			ino := Ino(i*int64(slotsPerBlock)+int64(s)) + 1
+			if ino > Ino(sb.MaxInodes) {
+				break
+			}
+			if buf[s*inodeSlotSize] == 1 {
+				fs.usedSlots[ino] = true
+			}
+		}
+	}
+	fs.pool = buffer.New(opts.CacheBlocks, bs, fs.writeback)
+	fs.queue = disk.NewQueue(dev)
+	return fs, nil
+}
+
+// Name implements vfs.FileSystem.
+func (fs *FS) Name() string { return "ffs" }
+
+// BlockSize implements vfs.FileSystem.
+func (fs *FS) BlockSize() int { return fs.blockSize }
+
+// Pool exposes the buffer cache (for tests and the transaction layers).
+func (fs *FS) Pool() *buffer.Pool { return fs.pool }
+
+// Device returns the underlying block device.
+func (fs *FS) Device() *disk.Device { return fs.dev }
+
+// Stats returns a snapshot of the counters.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// --- bitmap allocator ---
+
+func (fs *FS) setBit(b int64)   { fs.bitmap[b/64] |= 1 << (uint(b) % 64) }
+func (fs *FS) clearBit(b int64) { fs.bitmap[b/64] &^= 1 << (uint(b) % 64) }
+func (fs *FS) bit(b int64) bool { return fs.bitmap[b/64]&(1<<(uint(b)%64)) != 0 }
+
+// allocBlock allocates one block, preferring `prefer` (for contiguity) and
+// otherwise scanning from the rotating cursor.
+func (fs *FS) allocBlock(prefer int64) (int64, error) {
+	if prefer >= fs.sb.DataStart && prefer < fs.sb.TotalBlocks && !fs.bit(prefer) {
+		fs.setBit(prefer)
+		return prefer, nil
+	}
+	n := fs.sb.TotalBlocks
+	for i := int64(0); i < n; i++ {
+		b := fs.cursor + i
+		if b >= n {
+			b = fs.sb.DataStart + (b - n)
+		}
+		if b < fs.sb.DataStart {
+			continue
+		}
+		if !fs.bit(b) {
+			fs.setBit(b)
+			fs.cursor = b + 1
+			return b, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+func (fs *FS) freeBlock(b int64) {
+	if b >= fs.sb.DataStart && b < fs.sb.TotalBlocks {
+		fs.clearBit(b)
+	}
+}
+
+// --- buffer cache plumbing ---
+
+// writeback persists an evicted dirty block in place.
+func (fs *FS) writeback(id buffer.BlockID, data []byte) error {
+	in, err := fs.loadInodeLocked(Ino(id.File))
+	if err != nil {
+		return err
+	}
+	addr := in.mapBlock(id.Block)
+	if addr == 0 {
+		return fmt.Errorf("ffs: writeback of unmapped block %v", id)
+	}
+	return fs.dev.Write(addr, data)
+}
+
+// fetchBlock loads a block on cache miss.
+func (fs *FS) fetchBlock(id buffer.BlockID, dst []byte) error {
+	in, err := fs.loadInodeLocked(Ino(id.File))
+	if err != nil {
+		return err
+	}
+	addr := in.mapBlock(id.Block)
+	if addr == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
+	}
+	return fs.dev.Read(addr, dst)
+}
+
+// maybeSyncerLocked models the 30-second update daemon: when the interval
+// has elapsed, push all dirty buffers out through the C-SCAN-sorted queue.
+func (fs *FS) maybeSyncerLocked() error {
+	now := fs.clock.Now()
+	if now-fs.lastSyncer < fs.opts.SyncInterval {
+		return nil
+	}
+	fs.lastSyncer = now
+	return fs.flushDirtyLocked(nil)
+}
+
+// flushDirtyLocked pushes dirty (unheld) buffers — all of them, or just one
+// file's — through the sorted disk queue.
+func (fs *FS) flushDirtyLocked(only *Ino) error {
+	dirty := fs.pool.Dirty()
+	if len(dirty) == 0 {
+		return nil
+	}
+	n := 0
+	for _, b := range dirty {
+		if only != nil && Ino(b.ID.File) != *only {
+			continue
+		}
+		in, err := fs.loadInodeLocked(Ino(b.ID.File))
+		if err != nil {
+			return err
+		}
+		addr := in.mapBlock(b.ID.Block)
+		if addr == 0 {
+			return fmt.Errorf("ffs: dirty unmapped block %v", b.ID)
+		}
+		fs.queue.EnqueueWrite(addr, b.Data)
+		fs.pool.MarkClean(b)
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	fs.stats.SyncerRuns++
+	fs.stats.BlocksFlushed += int64(n)
+	return fs.queue.FlushSorted()
+}
+
+// --- inode table persistence ---
+
+func (fs *FS) inodeTableBlock(ino Ino) (blk int64, slot int) {
+	idx := int64(ino - 1)
+	spb := int64(fs.blockSize / inodeSlotSize)
+	return fs.sb.InodeStart + idx/spb, int(idx % spb)
+}
+
+// loadInodeLocked reads an inode (and its overflow extent chain) from disk.
+func (fs *FS) loadInodeLocked(ino Ino) (*inode, error) {
+	if in, ok := fs.inodes[ino]; ok {
+		return in, nil
+	}
+	if ino < 1 || int64(ino) > fs.sb.MaxInodes {
+		return nil, vfs.ErrNotExist
+	}
+	blk, slot := fs.inodeTableBlock(ino)
+	buf, err := fs.readTableBlock(blk)
+	if err != nil {
+		return nil, err
+	}
+	in, ok := decodeSlot(buf[slot*inodeSlotSize:(slot+1)*inodeSlotSize], ino)
+	if !ok {
+		return nil, vfs.ErrNotExist
+	}
+	// Follow the overflow chain.
+	if len(in.overflow) > 0 {
+		next := in.overflow[0]
+		in.overflow = in.overflow[:0]
+		for next != 0 {
+			in.overflow = append(in.overflow, next)
+			if err := fs.dev.Read(next, buf); err != nil {
+				return nil, err
+			}
+			var exts []extent
+			next, exts = decodeOverflow(buf)
+			in.extents = append(in.extents, exts...)
+		}
+	}
+	fs.inodes[ino] = in
+	return in, nil
+}
+
+// storeInodeLocked writes an inode slot (and overflow chain) to disk.
+func (fs *FS) storeInodeLocked(in *inode) error {
+	// Lay out overflow chain for extents beyond the inline dozen.
+	rest := []extent(nil)
+	if len(in.extents) > inlineExtents {
+		rest = in.extents[inlineExtents:]
+	}
+	capPer := overflowCapacity(fs.blockSize)
+	needed := (len(rest) + capPer - 1) / capPer
+	for len(in.overflow) < needed {
+		b, err := fs.allocBlock(0)
+		if err != nil {
+			return err
+		}
+		in.overflow = append(in.overflow, b)
+	}
+	for len(in.overflow) > needed {
+		last := in.overflow[len(in.overflow)-1]
+		fs.freeBlock(last)
+		in.overflow = in.overflow[:len(in.overflow)-1]
+	}
+	for i := 0; i < needed; i++ {
+		lo := i * capPer
+		hi := lo + capPer
+		if hi > len(rest) {
+			hi = len(rest)
+		}
+		next := int64(0)
+		if i+1 < needed {
+			next = in.overflow[i+1]
+		}
+		if err := fs.dev.Write(in.overflow[i], encodeOverflow(fs.blockSize, next, rest[lo:hi])); err != nil {
+			return err
+		}
+	}
+	blk, slot := fs.inodeTableBlock(in.ino)
+	buf, err := fs.readTableBlock(blk)
+	if err != nil {
+		return err
+	}
+	copy(buf[slot*inodeSlotSize:], in.encodeSlot())
+	if err := fs.writeTableBlock(blk, buf); err != nil {
+		return err
+	}
+	in.dirty = false
+	return nil
+}
+
+// clearInodeSlotLocked marks an inode slot free on disk.
+func (fs *FS) clearInodeSlotLocked(ino Ino) error {
+	blk, slot := fs.inodeTableBlock(ino)
+	buf, err := fs.readTableBlock(blk)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < inodeSlotSize; i++ {
+		buf[slot*inodeSlotSize+i] = 0
+	}
+	return fs.writeTableBlock(blk, buf)
+}
+
+// --- Sync ---
+
+// Sync implements vfs.FileSystem: flush data, inodes, bitmap, superblock.
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.syncLocked()
+}
+
+func (fs *FS) syncLocked() error {
+	if err := fs.flushDirtyLocked(nil); err != nil {
+		return err
+	}
+	for _, in := range fs.inodes {
+		if in.dirty {
+			if err := fs.storeInodeLocked(in); err != nil {
+				return err
+			}
+		}
+	}
+	// Bitmap.
+	bs := fs.blockSize
+	for i := int64(0); i < fs.sb.BitmapLen; i++ {
+		buf := make([]byte, bs)
+		base := i * int64(bs) / 8
+		for w := 0; w < bs/8 && base+int64(w) < int64(len(fs.bitmap)); w++ {
+			v := fs.bitmap[base+int64(w)]
+			for b := 0; b < 8; b++ {
+				buf[w*8+b] = byte(v >> (8 * b))
+			}
+		}
+		fs.queue.EnqueueWrite(fs.sb.BitmapStart+i, buf)
+	}
+	if err := fs.queue.FlushSorted(); err != nil {
+		return err
+	}
+	fs.sb.NextIno = int64(fs.nextIno)
+	return fs.dev.Write(0, fs.sb.encode(bs))
+}
+
+// allocIno finds a free inode number.
+func (fs *FS) allocIno() (Ino, error) {
+	for i := int64(0); i < fs.sb.MaxInodes; i++ {
+		ino := fs.nextIno
+		fs.nextIno++
+		if int64(fs.nextIno) > fs.sb.MaxInodes {
+			fs.nextIno = RootIno + 1
+		}
+		if ino >= 1 && int64(ino) <= fs.sb.MaxInodes && !fs.usedSlots[ino] {
+			fs.usedSlots[ino] = true
+			return ino, nil
+		}
+	}
+	return 0, ErrNoInodes
+}

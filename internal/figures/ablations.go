@@ -1,0 +1,272 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/lfs"
+	"repro/internal/sim"
+	"repro/internal/tpcb"
+)
+
+// ------------------------------------------------------------ Ablation: sync
+
+// SyncAblationReport quantifies §5.1's synchronization analysis: without
+// hardware test-and-set, user-level locking costs two system calls per
+// operation; with fast user-level mutual exclusion [1] the user/kernel gap
+// closes.
+type SyncAblationReport struct {
+	Opts Options
+	// TPS for (user, kernel) under each cost model.
+	SlowUser, SlowKernel float64 // no test-and-set (Sprite)
+	FastUser, FastKernel float64 // fast user-level sync
+}
+
+// AblationSync runs user-lfs and kernel-lfs under both cost models.
+func AblationSync(opts Options) (*SyncAblationReport, error) {
+	opts.fill()
+	cfg := tpcb.ScaledConfig(opts.Scale)
+	rep := &SyncAblationReport{Opts: opts}
+	run := func(kind string, costs sim.CostModel) (float64, error) {
+		rig, err := tpcb.BuildRig(tpcb.RigOptions{Kind: kind, Config: cfg, Costs: costs, ExpectedTxns: opts.Txns})
+		if err != nil {
+			return 0, err
+		}
+		res, err := tpcb.RunBenchmark(rig.Sys, rig.Clock, cfg, opts.Txns)
+		if err != nil {
+			return 0, err
+		}
+		return res.TPS, nil
+	}
+	var err error
+	if rep.SlowUser, err = run("user-lfs", sim.SpriteCosts()); err != nil {
+		return nil, err
+	}
+	if rep.SlowKernel, err = run("kernel-lfs", sim.SpriteCosts()); err != nil {
+		return nil, err
+	}
+	if rep.FastUser, err = run("user-lfs", sim.FastSyncCosts()); err != nil {
+		return nil, err
+	}
+	if rep.FastKernel, err = run("kernel-lfs", sim.FastSyncCosts()); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// String formats the ablation.
+func (r *SyncAblationReport) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — synchronization cost (§5.1: no hardware test-and-set doubles user-level sync)\n")
+	fmt.Fprintf(&b, "  %-26s %10s %10s %12s\n", "cost model", "user TPS", "kernel TPS", "user gain")
+	fmt.Fprintf(&b, "  %-26s %10.2f %10.2f %+11.2f%%\n", "Sprite (2 syscalls/sync)", r.SlowUser, r.SlowKernel, 0.0)
+	fmt.Fprintf(&b, "  %-26s %10.2f %10.2f %+11.2f%%\n", "fast user sync [1]", r.FastUser, r.FastKernel,
+		(r.FastUser/r.SlowUser-1)*100)
+	b.WriteString("  (the user-level system gains from fast sync; the kernel system is unaffected)\n")
+	return b.String()
+}
+
+// -------------------------------------------------------- Ablation: cleaner
+
+// CleanerAblationReport quantifies §5.4: the in-kernel cleaner stalls the
+// workload (its I/O sits on the critical path); a user-space cleaner
+// running in idle periods approaches the no-stall bound.
+type CleanerAblationReport struct {
+	Opts Options
+	// Elapsed with the synchronous in-kernel cleaner.
+	KernelCleaner time.Duration
+	// CleanerBusy is the device time the cleaner consumed.
+	CleanerBusy time.Duration
+	// UserCleanerBound is the elapsed time with cleaning fully overlapped
+	// into idle periods (the §5.4 design's upper bound).
+	UserCleanerBound time.Duration
+	TPSKernel        float64
+	TPSUserBound     float64
+}
+
+// AblationCleaner measures the kernel-cleaner run and derives the
+// user-space-cleaner bound.
+func AblationCleaner(opts Options) (*CleanerAblationReport, error) {
+	opts.fill()
+	cfg := tpcb.ScaledConfig(opts.Scale)
+	rig, err := tpcb.BuildRig(tpcb.RigOptions{Kind: "kernel-lfs", Config: cfg, Costs: opts.Costs, ExpectedTxns: opts.Txns})
+	if err != nil {
+		return nil, err
+	}
+	res, err := tpcb.RunBenchmark(rig.Sys, rig.Clock, cfg, opts.Txns)
+	if err != nil {
+		return nil, err
+	}
+	busy := rig.LFS.Stats().Cleaner.BusyTime
+	bound := res.Elapsed - busy
+	rep := &CleanerAblationReport{
+		Opts:             opts,
+		KernelCleaner:    res.Elapsed,
+		CleanerBusy:      busy,
+		UserCleanerBound: bound,
+		TPSKernel:        res.TPS,
+		TPSUserBound:     float64(opts.Txns) / bound.Seconds(),
+	}
+	return rep, nil
+}
+
+// String formats the ablation.
+func (r *CleanerAblationReport) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — cleaner placement (§5.4: move the cleaner to user space)\n")
+	fmt.Fprintf(&b, "  in-kernel cleaner (measured): %12s  %.2f TPS\n", r.KernelCleaner.Truncate(time.Millisecond), r.TPSKernel)
+	fmt.Fprintf(&b, "  cleaner device time:          %12s  (%.1f%% of elapsed)\n", r.CleanerBusy.Truncate(time.Millisecond),
+		float64(r.CleanerBusy)/float64(r.KernelCleaner)*100)
+	fmt.Fprintf(&b, "  user-space cleaner bound:     %12s  %.2f TPS (cleaning fully overlapped with idle)\n",
+		r.UserCleanerBound.Truncate(time.Millisecond), r.TPSUserBound)
+	return b.String()
+}
+
+// --------------------------------------------------- Ablation: group commit
+
+// GroupCommitReport shows the log-force amortization of group commit (§4.4).
+type GroupCommitReport struct {
+	Opts    Options
+	Batches []int
+	UserTPS []float64
+	Forces  []int64
+}
+
+// AblationGroupCommit sweeps the user-level system's commit batch size.
+// (At MPL=1 the kernel system's strict group commit degenerates on TPC-B's
+// hot pages — every transaction conflicts with the pending batch — so the
+// user-level WAL, which has no page conflicts on the log, is where the
+// effect shows.)
+func AblationGroupCommit(opts Options) (*GroupCommitReport, error) {
+	opts.fill()
+	cfg := tpcb.ScaledConfig(opts.Scale)
+	rep := &GroupCommitReport{Opts: opts, Batches: []int{1, 4, 16}}
+	for _, batch := range rep.Batches {
+		rig, err := tpcb.BuildRig(tpcb.RigOptions{Kind: "user-lfs", Config: cfg, Costs: opts.Costs,
+			GroupCommit: batch, ExpectedTxns: opts.Txns})
+		if err != nil {
+			return nil, err
+		}
+		res, err := tpcb.RunBenchmark(rig.Sys, rig.Clock, cfg, opts.Txns)
+		if err != nil {
+			return nil, err
+		}
+		rep.UserTPS = append(rep.UserTPS, res.TPS)
+		rep.Forces = append(rep.Forces, rig.Env.LogStats().Forces)
+	}
+	return rep, nil
+}
+
+// String formats the ablation.
+func (r *GroupCommitReport) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — group commit (§4.4: amortize the commit force)\n")
+	fmt.Fprintf(&b, "  %-8s %10s %12s\n", "batch", "user TPS", "log forces")
+	for i, batch := range r.Batches {
+		fmt.Fprintf(&b, "  %-8d %10.2f %12d\n", batch, r.UserTPS[i], r.Forces[i])
+	}
+	return b.String()
+}
+
+// -------------------------------------------------- Ablation: commit volume
+
+// CommitBytesReport contrasts §4.3's whole-page commit flush with WAL's
+// delta logging.
+type CommitBytesReport struct {
+	Opts Options
+	// KernelBytesPerTxn: whole pages forced at commit by the embedded TM.
+	KernelBytesPerTxn float64
+	// UserLogBytesPerTxn: bytes of before/after images in the WAL.
+	UserLogBytesPerTxn float64
+	// TPS of both systems, showing the paper's claim that the extra
+	// sequential commit bytes barely matter next to the random reads.
+	KernelTPS, UserTPS float64
+}
+
+// AblationCommitBytes measures the write volume difference.
+func AblationCommitBytes(opts Options) (*CommitBytesReport, error) {
+	opts.fill()
+	cfg := tpcb.ScaledConfig(opts.Scale)
+	rep := &CommitBytesReport{Opts: opts}
+
+	rigK, err := tpcb.BuildRig(tpcb.RigOptions{Kind: "kernel-lfs", Config: cfg, Costs: opts.Costs, ExpectedTxns: opts.Txns})
+	if err != nil {
+		return nil, err
+	}
+	resK, err := tpcb.RunBenchmark(rigK.Sys, rigK.Clock, cfg, opts.Txns)
+	if err != nil {
+		return nil, err
+	}
+	rep.KernelBytesPerTxn = float64(rigK.Core.Stats().BytesFlushed) / float64(opts.Txns)
+	rep.KernelTPS = resK.TPS
+
+	rigU, err := tpcb.BuildRig(tpcb.RigOptions{Kind: "user-lfs", Config: cfg, Costs: opts.Costs, ExpectedTxns: opts.Txns})
+	if err != nil {
+		return nil, err
+	}
+	resU, err := tpcb.RunBenchmark(rigU.Sys, rigU.Clock, cfg, opts.Txns)
+	if err != nil {
+		return nil, err
+	}
+	rep.UserLogBytesPerTxn = float64(rigU.Env.LogStats().BytesLogged) / float64(opts.Txns)
+	rep.UserTPS = resU.TPS
+	return rep, nil
+}
+
+// String formats the ablation.
+func (r *CommitBytesReport) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — commit volume (§4.3: whole pages at commit vs logging only the updated bytes)\n")
+	fmt.Fprintf(&b, "  embedded (whole pages): %10.0f bytes/txn   %.2f TPS\n", r.KernelBytesPerTxn, r.KernelTPS)
+	fmt.Fprintf(&b, "  WAL (byte deltas):      %10.0f bytes/txn   %.2f TPS\n", r.UserLogBytesPerTxn, r.UserTPS)
+	fmt.Fprintf(&b, "  ratio: %.0f× more bytes forced at commit by the embedded system\n",
+		r.KernelBytesPerTxn/r.UserLogBytesPerTxn)
+	return b.String()
+}
+
+// ----------------------------------------------- Ablation: cleaner policies
+
+// CleanerPolicyReport compares greedy vs cost-benefit victim selection.
+type CleanerPolicyReport struct {
+	Opts     Options
+	Policies []string
+	TPS      []float64
+	Copied   []int64 // live blocks copied (write amplification)
+	Cleaned  []int64 // segments reclaimed
+}
+
+// AblationCleanerPolicy runs kernel-lfs TPC-B under both policies.
+func AblationCleanerPolicy(opts Options) (*CleanerPolicyReport, error) {
+	opts.fill()
+	cfg := tpcb.ScaledConfig(opts.Scale)
+	rep := &CleanerPolicyReport{Opts: opts}
+	for _, pol := range []lfs.CleanerPolicy{lfs.Greedy, lfs.CostBenefit} {
+		rig, err := tpcb.BuildRig(tpcb.RigOptions{Kind: "kernel-lfs", Config: cfg, Costs: opts.Costs,
+			Policy: pol, ExpectedTxns: opts.Txns})
+		if err != nil {
+			return nil, err
+		}
+		res, err := tpcb.RunBenchmark(rig.Sys, rig.Clock, cfg, opts.Txns)
+		if err != nil {
+			return nil, err
+		}
+		st := rig.LFS.Stats().Cleaner
+		rep.Policies = append(rep.Policies, pol.String())
+		rep.TPS = append(rep.TPS, res.TPS)
+		rep.Copied = append(rep.Copied, st.BlocksCopied)
+		rep.Cleaned = append(rep.Cleaned, st.SegmentsCleaned)
+	}
+	return rep, nil
+}
+
+// String formats the ablation.
+func (r *CleanerPolicyReport) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — cleaner victim selection policy\n")
+	fmt.Fprintf(&b, "  %-14s %8s %14s %12s\n", "policy", "TPS", "blocks copied", "segs cleaned")
+	for i := range r.Policies {
+		fmt.Fprintf(&b, "  %-14s %8.2f %14d %12d\n", r.Policies[i], r.TPS[i], r.Copied[i], r.Cleaned[i])
+	}
+	return b.String()
+}

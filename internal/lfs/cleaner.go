@@ -1,0 +1,405 @@
+package lfs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/buffer"
+)
+
+// CleanerPolicy selects how the cleaner picks victim segments.
+type CleanerPolicy int
+
+const (
+	// CostBenefit picks the segment maximizing (1-u)·age/(1+u), the
+	// Sprite-LFS policy: cold, mostly-dead segments first.
+	CostBenefit CleanerPolicy = iota
+	// Greedy picks the segment with the fewest live blocks.
+	Greedy
+)
+
+func (p CleanerPolicy) String() string {
+	if p == Greedy {
+		return "greedy"
+	}
+	return "cost-benefit"
+}
+
+// CleanerStats reports garbage collection activity.
+type CleanerStats struct {
+	Runs            int64         // cleaning passes
+	SegmentsCleaned int64         // victims reclaimed
+	BlocksCopied    int64         // live blocks copied forward
+	BlocksDead      int64         // dead blocks simply discarded
+	BusyTime        time.Duration // device time attributable to cleaning
+}
+
+// CleanOnce runs a single cleaning pass regardless of the free-segment
+// threshold (used by tests and by the user-space cleaner's idle-period
+// policy). It reports whether a segment was reclaimed.
+func (fs *FS) CleanOnce() (bool, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.cleaning {
+		return false, nil
+	}
+	fs.cleaning = true
+	defer func() { fs.cleaning = false }()
+	busy0 := fs.dev.Stats().BusyTime
+	defer func() { fs.stats.Cleaner.BusyTime += fs.dev.Stats().BusyTime - busy0 }()
+	victim := fs.pickVictimLocked()
+	if victim < 0 && fs.victimsBlockedByCheckpointLocked() {
+		if err := fs.writeCheckpointLocked(); err != nil {
+			return false, err
+		}
+		victim = fs.pickVictimLocked()
+	}
+	if victim < 0 {
+		return false, nil
+	}
+	fs.stats.Cleaner.Runs++
+	if err := fs.cleanSegmentLocked(victim); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// cleanLocked brings the free-segment count back to the target. It is
+// invoked from the flush path when free segments fall below the threshold —
+// the paper's in-kernel cleaner, whose activity stalls the transaction
+// workload ("periods of very high transaction throughput are interrupted by
+// periods of no transaction throughput", §5.1). Caller holds fs.mu.
+func (fs *FS) cleanLocked() error {
+	fs.cleaning = true
+	defer func() { fs.cleaning = false }()
+	busy0 := fs.dev.Stats().BusyTime
+	defer func() { fs.stats.Cleaner.BusyTime += fs.dev.Stats().BusyTime - busy0 }()
+	fs.stats.Cleaner.Runs++
+	for fs.free < int64(fs.opts.CleanTarget) {
+		victim := fs.pickVictimLocked()
+		if victim < 0 {
+			// Candidates may exist that are only blocked by the
+			// checkpoint boundary (segments written since the last
+			// checkpoint are part of the roll-forward chain). Write a
+			// checkpoint (no flush needed — the imap always describes
+			// flushed state) to advance the boundary and retry. This is
+			// the checkpoint-before-reuse discipline of real LFS.
+			if fs.victimsBlockedByCheckpointLocked() {
+				if err := fs.writeCheckpointLocked(); err != nil {
+					return err
+				}
+				victim = fs.pickVictimLocked()
+			}
+		}
+		if victim < 0 {
+			if fs.free == 0 {
+				return ErrNoSpace
+			}
+			return nil
+		}
+		freeBefore := fs.free
+		if err := fs.cleanSegmentLocked(victim); err != nil {
+			return err
+		}
+		if fs.free <= freeBefore {
+			// Cleaning made no net progress (copying the live blocks
+			// consumed as much as it freed): the disk is effectively
+			// full of live data.
+			if fs.free == 0 {
+				return ErrNoSpace
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// minCleanGain is the minimum number of dead blocks a segment must contain
+// to be worth cleaning: copying nearly-full segments costs as much space as
+// it frees.
+const minCleanGain = 4
+
+// victimsBlockedByCheckpointLocked reports whether cleanable segments exist
+// that are excluded only because they were written since the last
+// checkpoint.
+func (fs *FS) victimsBlockedByCheckpointLocked() bool {
+	for s := int64(0); s < fs.sb.NumSegments; s++ {
+		info := fs.segs[s]
+		if info.State == segInLog && info.SeqStamp >= fs.cpBound && info.Live <= fs.sb.SegmentBlocks-minCleanGain {
+			return true
+		}
+	}
+	return false
+}
+
+// pickVictimLocked chooses a victim segment, or -1 when none is eligible.
+// Only checkpointed log segments qualify: segments written since the last
+// checkpoint are part of the roll-forward chain and must not be recycled.
+func (fs *FS) pickVictimLocked() int64 {
+	best := int64(-1)
+	var bestScore float64
+	for s := int64(0); s < fs.sb.NumSegments; s++ {
+		info := fs.segs[s]
+		if info.State != segInLog || info.SeqStamp >= fs.cpBound {
+			continue
+		}
+		if info.Live > fs.sb.SegmentBlocks-minCleanGain {
+			continue // not enough dead blocks to be worth copying
+		}
+		var score float64
+		u := float64(info.Live) / float64(fs.sb.SegmentBlocks)
+		switch fs.opts.Policy {
+		case Greedy:
+			score = 1 - u
+		default: // CostBenefit
+			age := float64(fs.seq - info.SeqStamp)
+			score = (1 - u) * age / (1 + u)
+		}
+		if best < 0 || score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}
+
+// cleanSegmentLocked reclaims one segment: read it, copy its live blocks to
+// the head of the log, and mark it clean.
+func (fs *FS) cleanSegmentLocked(victim int64) error {
+	base := fs.segBase(victim)
+	segBlocks := int(fs.sb.SegmentBlocks)
+	raw := make([]byte, segBlocks*fs.blockSize)
+	bufs := make([][]byte, segBlocks)
+	for i := range bufs {
+		bufs[i] = raw[i*fs.blockSize : (i+1)*fs.blockSize]
+	}
+	if err := fs.dev.ReadRun(base, bufs); err != nil {
+		return err
+	}
+
+	// Walk the partial segments recorded in the victim.
+	relocIDs := make(map[buffer.BlockID]bool)
+	relocInos := make(map[Ino]bool)
+	off := int64(0)
+	for off < int64(segBlocks) {
+		sum, ok := decodeSummary(bufs[off], base+off)
+		if !ok {
+			break
+		}
+		blockIdx := int64(0)
+		for _, e := range sum.Entries {
+			if e.Kind == kindDelete {
+				continue
+			}
+			addr := base + off + 1 + blockIdx
+			data := bufs[off+1+blockIdx]
+			blockIdx++
+			live, err := fs.entryLiveLocked(e, addr)
+			if err != nil {
+				return err
+			}
+			if !live {
+				fs.stats.Cleaner.BlocksDead++
+				continue
+			}
+			fs.stats.Cleaner.BlocksCopied++
+			inos, err := fs.relocateLocked(e, addr, data)
+			if err != nil {
+				return err
+			}
+			for _, ino := range inos {
+				relocInos[ino] = true
+			}
+			if e.Kind == kindData {
+				relocIDs[blockIDOf(e.Ino, e.Index)] = true
+			}
+		}
+		off += 1 + int64(sum.NBlocks)
+	}
+
+	// Write the relocated blocks and affected meta-data to the log. The
+	// flush is scoped to exactly this work so cleaning never amplifies
+	// into a full flush of the dirty pool while segments are scarce.
+	if err := fs.flushRelocLocked(relocIDs, relocInos); err != nil {
+		return err
+	}
+	if fs.segs[victim].Live != 0 {
+		// Diagnose which entries remain live (invariant violation).
+		var kinds [6]int
+		off = 0
+		for off < int64(segBlocks) {
+			sum, ok := decodeSummary(bufs[off], base+off)
+			if !ok {
+				break
+			}
+			blockIdx := int64(0)
+			for _, e := range sum.Entries {
+				if e.Kind == kindDelete {
+					continue
+				}
+				addr := base + off + 1 + blockIdx
+				blockIdx++
+				if live, _ := fs.entryLiveLocked(e, addr); live {
+					kinds[e.Kind]++
+				}
+			}
+			off += 1 + int64(sum.NBlocks)
+		}
+		// Cross-walk: which addresses in the victim does the imap still
+		// reference, and did the summary walk cover them?
+		covered := off
+		type ref struct {
+			Ino  Ino
+			Kind blockKind
+			Idx  int64
+			Addr int64
+		}
+		var refs []ref
+		for ino := range fs.imap {
+			if fs.segOf(fs.imap[ino]) == victim {
+				refs = append(refs, ref{ino, kindInodePack, 0, fs.imap[ino]})
+			}
+			in, e := fs.loadInode(ino)
+			if e != nil {
+				continue
+			}
+			fs.forEachBlock(in, func(kind blockKind, index, a int64) error {
+				if fs.segOf(a) == victim {
+					refs = append(refs, ref{ino, kind, index, a})
+				}
+				return nil
+			})
+		}
+		if len(refs) > 8 {
+			refs = refs[:8]
+		}
+		return fmt.Errorf("lfs: segment %d still has %d live blocks after cleaning (walk covered %d/%d blocks; live kinds data=%d pack=%d ind=%d dind=%d dchild=%d; refs=%+v)",
+			victim, fs.segs[victim].Live, covered, segBlocks, kinds[kindData], kinds[kindInodePack], kinds[kindInd], kinds[kindDInd], kinds[kindDChild], refs)
+	}
+	fs.segs[victim].State = segFree
+	fs.free++
+	fs.stats.Cleaner.SegmentsCleaned++
+	if fs.debugAudit {
+		if _, _, diff, err := fs.auditLocked(); err != nil || len(diff) > 0 {
+			panic(fmt.Sprintf("audit after cleaning seg %d: diff=%v err=%v", victim, diff, err))
+		}
+	}
+	return nil
+}
+
+// entryLiveLocked reports whether a summary entry's block at addr is still
+// the current version.
+func (fs *FS) entryLiveLocked(e summaryEntry, addr int64) (bool, error) {
+	if e.Kind == kindInodePack {
+		// A pack block is live while any imap entry still points at it.
+		return fs.packRefs[addr] > 0, nil
+	}
+	cur, ok := fs.imap[e.Ino]
+	if !ok {
+		return false, nil // file deleted
+	}
+	_ = cur
+	in, err := fs.loadInode(e.Ino)
+	if err != nil {
+		return false, err
+	}
+	switch e.Kind {
+	case kindData:
+		a, err := fs.blockAddr(in, e.Index)
+		if err != nil {
+			return false, err
+		}
+		return a == addr, nil
+	case kindInd:
+		return in.indAddr == addr, nil
+	case kindDInd:
+		return in.dindAddr == addr, nil
+	case kindDChild:
+		if in.dindAddr == 0 && in.dind == nil {
+			return false, nil
+		}
+		dind, err := fs.loadDInd(in)
+		if err != nil {
+			return false, err
+		}
+		if e.Index < 0 || e.Index >= int64(len(dind.ptrs)) {
+			return false, nil
+		}
+		return dind.ptrs[e.Index] == addr, nil
+	default:
+		return false, nil
+	}
+}
+
+// relocateLocked stages a live block for rewriting at the log head.
+//
+// Data blocks are parked in the orphan table (their bytes must move); the
+// next flush assigns them new addresses and updates the inode. If a
+// transaction currently holds a newer uncommitted version of the page in the
+// cache, the on-disk before-image is what gets relocated — preserving the
+// no-overwrite guarantee that abort depends on. Meta-data blocks are merely
+// marked dirty: their in-memory contents are current (everything unheld was
+// flushed before cleaning), so rewriting them relocates them.
+func (fs *FS) relocateLocked(e summaryEntry, addr int64, data []byte) ([]Ino, error) {
+	if e.Kind == kindInodePack {
+		// Re-dirty every inode in the pack that still lives here; the
+		// scoped flush writes them into a fresh pack at the log head.
+		pack, err := decodeInodePack(data)
+		if err != nil {
+			return nil, err
+		}
+		var inos []Ino
+		for _, packedIn := range pack {
+			if fs.imap[packedIn.ino] != addr {
+				continue
+			}
+			in, err := fs.loadInode(packedIn.ino)
+			if err != nil {
+				return nil, err
+			}
+			in.dirty = true
+			inos = append(inos, packedIn.ino)
+		}
+		return inos, nil
+	}
+	in, err := fs.loadInode(e.Ino)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Kind {
+	case kindData:
+		id := blockIDOf(e.Ino, e.Index)
+		if _, exists := fs.orphans[id]; exists {
+			// A newer, not-yet-flushed version of this block is already
+			// parked in the orphan table; flushing it supersedes the
+			// victim's copy. Never clobber it with the older image.
+			break
+		}
+		if b := fs.pool.Lookup(id); b != nil && b.Dirty() && !b.Held() {
+			// Same: a dirty resident buffer supersedes the on-disk copy
+			// and will be written by the scoped flush.
+			break
+		}
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		fs.orphans[id] = cp
+	case kindInd:
+		p, err := fs.loadInd(in)
+		if err != nil {
+			return nil, err
+		}
+		p.dirty = true
+	case kindDInd:
+		p, err := fs.loadDInd(in)
+		if err != nil {
+			return nil, err
+		}
+		p.dirty = true
+	case kindDChild:
+		p, err := fs.loadDChild(in, e.Index)
+		if err != nil {
+			return nil, err
+		}
+		p.dirty = true
+	}
+	return []Ino{e.Ino}, nil
+}

@@ -1,0 +1,23 @@
+package lfs_test
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/fstest"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+func TestConformance(t *testing.T) {
+	fstest.Run(t, "lfs", func(t *testing.T) vfs.FileSystem {
+		clk := sim.NewClock()
+		dev := disk.New(sim.SmallModel(), clk)
+		fsys, err := lfs.Format(dev, clk, lfs.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fsys
+	})
+}

@@ -1,0 +1,61 @@
+package lfs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Dump writes a human-readable description of the file system's on-disk and
+// in-memory structure: superblock geometry, log position, segment usage
+// table, inode map, and cleaner statistics. Used by the lfsdump inspector.
+func (fs *FS) Dump(w io.Writer) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	fmt.Fprintf(w, "superblock: %d blocks × %d B, %d segments × %d blocks, segments start at %d\n",
+		fs.sb.TotalBlocks, fs.sb.BlockSize, fs.sb.NumSegments, fs.sb.SegmentBlocks, fs.sb.SegStart)
+	fmt.Fprintf(w, "log head: segment %d offset %d (next %d), seq %d, checkpoint seq %d (boundary %d)\n",
+		fs.curSeg, fs.curOff, fs.nextSeg, fs.seq, fs.cpSeq, fs.cpBound)
+	fmt.Fprintf(w, "free segments: %d/%d\n", fs.free, fs.sb.NumSegments)
+
+	fmt.Fprintf(w, "\nsegment usage (state live/cap @seq):\n")
+	stateNames := map[segState]string{segFree: "free", segInLog: "log ", segCurrent: "cur ", segReserved: "rsvd"}
+	for s := int64(0); s < fs.sb.NumSegments; s++ {
+		info := fs.segs[s]
+		if info.State == segFree && info.Live == 0 && info.SeqStamp == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  seg %4d: %s %4d/%4d @%d\n", s, stateNames[info.State], info.Live, fs.sb.SegmentBlocks, info.SeqStamp)
+	}
+
+	fmt.Fprintf(w, "\ninode map (%d files):\n", len(fs.imap))
+	inos := make([]Ino, 0, len(fs.imap))
+	for ino := range fs.imap {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	for _, ino := range inos {
+		in, err := fs.loadInode(ino)
+		if err != nil {
+			fmt.Fprintf(w, "  ino %4d @%d: <%v>\n", ino, fs.imap[ino], err)
+			continue
+		}
+		kind := "file"
+		if in.isDir() {
+			kind = "dir "
+		}
+		txn := ""
+		if in.txnProtected() {
+			txn = " txn-protected"
+		}
+		fmt.Fprintf(w, "  ino %4d @%-8d %s %8d B%s\n", ino, fs.imap[ino], kind, in.size, txn)
+	}
+
+	st := fs.stats
+	fmt.Fprintf(w, "\nactivity: %d partial segments, %d blocks logged, %d checkpoints\n",
+		st.PartialSegments, st.BlocksLogged, st.Checkpoints)
+	fmt.Fprintf(w, "cleaner: %d runs, %d segments cleaned, %d copied, %d dead, busy %v\n",
+		st.Cleaner.Runs, st.Cleaner.SegmentsCleaned, st.Cleaner.BlocksCopied, st.Cleaner.BlocksDead, st.Cleaner.BusyTime)
+	return nil
+}

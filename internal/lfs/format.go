@@ -1,0 +1,247 @@
+// Package lfs implements a log-structured file system in the style of
+// Rosenblum & Ousterhout's Sprite LFS [11,12], the substrate of the paper.
+//
+// All data — file blocks, indirect blocks, inodes — is written in large
+// sequential units called segments. Each flush produces a "partial segment":
+// a summary block followed by the blocks it describes, appended at the
+// current position of the log. Nothing is ever overwritten in place; the
+// inode map (imap) records where the newest version of each inode lives, and
+// a cleaner reclaims segments whose blocks have mostly died. Two alternating
+// checkpoint regions record the imap, the segment usage table, and the log
+// position; mounting loads the newest checkpoint and rolls the log forward
+// through the summary-block chain.
+//
+// The no-overwrite policy is what the embedded transaction manager
+// (internal/core) exploits: before-images of updated pages remain in the log
+// until the cleaner reclaims them, so transaction abort needs no undo log —
+// it simply discards the not-yet-written buffers (§2 of the paper).
+package lfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Ino is an inode number.
+type Ino uint64
+
+// RootIno is the inode number of the root directory.
+const RootIno Ino = 1
+
+// Layout and format constants.
+const (
+	superMagic   = 0x4c465331 // "LFS1"
+	cpMagic      = 0x4c465343 // "LFSC"
+	summaryMagic = 0x4c465353 // "LFSS"
+	inodeMagic   = 0x4c465349 // "LFSI"
+
+	// NDirect is the number of direct block pointers in an inode.
+	NDirect = 12
+
+	// superBlockAddr is the disk address of the superblock.
+	superBlockAddr = 0
+
+	// defaultSegmentBlocks is the default segment size in blocks
+	// (128 × 4 KB = 512 KB, within the 256 KB–1 MB range Sprite LFS used).
+	defaultSegmentBlocks = 128
+
+	// defaultCheckpointBlocks is the size of each checkpoint region.
+	defaultCheckpointBlocks = 64
+
+	// minSegmentTail: when fewer blocks than this remain in the current
+	// segment, the writer advances to the next segment rather than writing
+	// a tiny partial segment.
+	minSegmentTail = 4
+
+	// maxDataPerPartial bounds the data blocks in one partial segment.
+	maxDataPerPartial = 64
+	// maxFilesPerPartial bounds the distinct files in one partial segment
+	// so the conservative metadata estimate stays within a segment.
+	maxFilesPerPartial = 8
+)
+
+// Errors.
+var (
+	ErrNoSpace      = errors.New("lfs: no clean segments (disk full)")
+	ErrCorrupt      = errors.New("lfs: corrupt on-disk structure")
+	ErrFileTooLarge = errors.New("lfs: file exceeds maximum mappable size")
+)
+
+// superblock is the static description of the file system, stored at block 0.
+type superblock struct {
+	Magic         uint32
+	BlockSize     uint32
+	TotalBlocks   int64
+	SegmentBlocks int64
+	CPBlocks      int64 // blocks per checkpoint region
+	SegStart      int64 // first block of segment 0
+	NumSegments   int64
+}
+
+func (sb *superblock) encode(blockSize int) []byte {
+	b := make([]byte, blockSize)
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], sb.Magic)
+	le.PutUint32(b[4:], sb.BlockSize)
+	le.PutUint64(b[8:], uint64(sb.TotalBlocks))
+	le.PutUint64(b[16:], uint64(sb.SegmentBlocks))
+	le.PutUint64(b[24:], uint64(sb.CPBlocks))
+	le.PutUint64(b[32:], uint64(sb.SegStart))
+	le.PutUint64(b[40:], uint64(sb.NumSegments))
+	le.PutUint32(b[48:], crc32.ChecksumIEEE(b[0:48]))
+	return b
+}
+
+func decodeSuperblock(b []byte) (superblock, error) {
+	var sb superblock
+	if len(b) < 52 {
+		return sb, fmt.Errorf("%w: short superblock", ErrCorrupt)
+	}
+	le := binary.LittleEndian
+	if le.Uint32(b[48:]) != crc32.ChecksumIEEE(b[0:48]) {
+		return sb, fmt.Errorf("%w: superblock checksum", ErrCorrupt)
+	}
+	sb.Magic = le.Uint32(b[0:])
+	if sb.Magic != superMagic {
+		return sb, fmt.Errorf("%w: bad superblock magic %#x", ErrCorrupt, sb.Magic)
+	}
+	sb.BlockSize = le.Uint32(b[4:])
+	sb.TotalBlocks = int64(le.Uint64(b[8:]))
+	sb.SegmentBlocks = int64(le.Uint64(b[16:]))
+	sb.CPBlocks = int64(le.Uint64(b[24:]))
+	sb.SegStart = int64(le.Uint64(b[32:]))
+	sb.NumSegments = int64(le.Uint64(b[40:]))
+	return sb, nil
+}
+
+// segState describes a segment's lifecycle.
+type segState uint8
+
+const (
+	segFree     segState = iota // clean, available for writing
+	segInLog                    // written, part of the log
+	segCurrent                  // the segment being filled
+	segReserved                 // pre-allocated as the next segment (log chaining)
+)
+
+// segInfo is one entry of the in-memory segment usage table.
+type segInfo struct {
+	State    segState
+	Live     int64  // live blocks that would need copying to clean this segment
+	SeqStamp uint64 // summary sequence of the most recent write into the segment
+}
+
+// blockKind tags an entry in a segment summary.
+type blockKind uint8
+
+const (
+	kindData      blockKind = iota // file data block; Index = logical block number
+	kindInodePack                  // packed inode block; Index = number of inodes inside
+	kindInd                        // single indirect pointer block
+	kindDInd                       // double indirect pointer block
+	kindDChild                     // child of the double indirect block; Index = child slot
+	kindDelete                     // deletion record (no block follows); logged for roll-forward
+)
+
+// summaryEntry describes one block of a partial segment (or a deletion).
+type summaryEntry struct {
+	Ino   Ino
+	Kind  blockKind
+	Index int64
+}
+
+const summaryEntrySize = 8 + 1 + 8 // ino + kind + index
+
+// summaryHeader precedes the entries in a summary block.
+//
+//	magic    uint32
+//	crc      uint32   (over everything except itself)
+//	seq      uint64   (monotonic partial-segment sequence)
+//	selfAddr int64    (disk address of this summary block — defeats stale data)
+//	nextSeg  int64    (pre-allocated successor segment, for roll-forward chaining)
+//	nBlocks  uint32   (blocks following the summary)
+//	nEntries uint32   (summary entries, = nBlocks + deletion records)
+const summaryHeaderSize = 4 + 4 + 8 + 8 + 8 + 4 + 4
+
+// maxSummaryEntries is how many entries fit in one summary block.
+func maxSummaryEntries(blockSize int) int {
+	return (blockSize - summaryHeaderSize) / summaryEntrySize
+}
+
+type summary struct {
+	Seq      uint64
+	SelfAddr int64
+	NextSeg  int64
+	NBlocks  int
+	Entries  []summaryEntry
+}
+
+func (s *summary) encode(blockSize int) ([]byte, error) {
+	if len(s.Entries) > maxSummaryEntries(blockSize) {
+		return nil, fmt.Errorf("lfs: %d summary entries exceed capacity %d", len(s.Entries), maxSummaryEntries(blockSize))
+	}
+	b := make([]byte, blockSize)
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], summaryMagic)
+	le.PutUint64(b[8:], s.Seq)
+	le.PutUint64(b[16:], uint64(s.SelfAddr))
+	le.PutUint64(b[24:], uint64(s.NextSeg))
+	le.PutUint32(b[32:], uint32(s.NBlocks))
+	le.PutUint32(b[36:], uint32(len(s.Entries)))
+	off := summaryHeaderSize
+	for _, e := range s.Entries {
+		le.PutUint64(b[off:], uint64(e.Ino))
+		b[off+8] = byte(e.Kind)
+		le.PutUint64(b[off+9:], uint64(e.Index))
+		off += summaryEntrySize
+	}
+	le.PutUint32(b[4:], summaryChecksum(b))
+	return b, nil
+}
+
+// summaryChecksum covers the whole block except the CRC field itself.
+func summaryChecksum(b []byte) uint32 {
+	crc := crc32.NewIEEE()
+	crc.Write(b[0:4])
+	crc.Write(b[8:])
+	return crc.Sum32()
+}
+
+// decodeSummary parses a block as a summary. It returns ok=false (not an
+// error) if the block is not a valid summary written at addr — used by
+// roll-forward, where encountering a non-summary block means end of log.
+func decodeSummary(b []byte, addr int64) (summary, bool) {
+	var s summary
+	if len(b) < summaryHeaderSize {
+		return s, false
+	}
+	le := binary.LittleEndian
+	if le.Uint32(b[0:]) != summaryMagic {
+		return s, false
+	}
+	if le.Uint32(b[4:]) != summaryChecksum(b) {
+		return s, false
+	}
+	s.Seq = le.Uint64(b[8:])
+	s.SelfAddr = int64(le.Uint64(b[16:]))
+	if s.SelfAddr != addr {
+		return s, false // a relocated copy of an old summary (e.g. cleaner artifact)
+	}
+	s.NextSeg = int64(le.Uint64(b[24:]))
+	s.NBlocks = int(le.Uint32(b[32:]))
+	n := int(le.Uint32(b[36:]))
+	if n < 0 || n > maxSummaryEntries(len(b)) {
+		return s, false
+	}
+	off := summaryHeaderSize
+	s.Entries = make([]summaryEntry, n)
+	for i := 0; i < n; i++ {
+		s.Entries[i].Ino = Ino(le.Uint64(b[off:]))
+		s.Entries[i].Kind = blockKind(b[off+8])
+		s.Entries[i].Index = int64(le.Uint64(b[off+9:]))
+		off += summaryEntrySize
+	}
+	return s, true
+}

@@ -1,0 +1,348 @@
+package lfs
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Options configures the file system.
+type Options struct {
+	// SegmentBlocks is the segment size in blocks (default 128 = 512 KB).
+	SegmentBlocks int64
+	// CheckpointBlocks is the size of each checkpoint region (default 64).
+	CheckpointBlocks int64
+	// CacheBlocks is the buffer cache capacity (default 1024 = 4 MB).
+	CacheBlocks int
+	// CleanThreshold: cleaning starts when free segments drop below this
+	// (default 4).
+	CleanThreshold int
+	// CleanTarget: cleaning stops when free segments reach this (default 8).
+	CleanTarget int
+	// Policy selects the cleaner's victim-selection policy (default
+	// CostBenefit).
+	Policy CleanerPolicy
+	// CheckpointEvery writes a checkpoint after this many partial
+	// segments (default 512), bounding the roll-forward work a crash can
+	// require. Sprite LFS checkpointed on a timer for the same reason.
+	CheckpointEvery int
+}
+
+func (o *Options) fill() {
+	if o.SegmentBlocks == 0 {
+		o.SegmentBlocks = defaultSegmentBlocks
+	}
+	if o.CheckpointBlocks == 0 {
+		o.CheckpointBlocks = defaultCheckpointBlocks
+	}
+	if o.CacheBlocks == 0 {
+		o.CacheBlocks = 1024
+	}
+	if o.CleanThreshold == 0 {
+		o.CleanThreshold = 4
+	}
+	if o.CleanTarget == 0 {
+		o.CleanTarget = 8
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 512
+	}
+}
+
+// Stats reports file system activity.
+type Stats struct {
+	PartialSegments int64 // partial segments written
+	BlocksLogged    int64 // blocks written to the log (incl. summaries)
+	SummaryBlocks   int64
+	Checkpoints     int64
+	Cleaner         CleanerStats
+}
+
+// FS is a mounted log-structured file system.
+type FS struct {
+	mu        sync.Mutex
+	dev       *disk.Device
+	clock     *sim.Clock
+	pool      *buffer.Pool
+	blockSize int
+	sb        superblock
+	opts      Options
+
+	imap    map[Ino]int64 // inode number → disk address of inode block
+	segs    []segInfo
+	free    int64 // count of segFree segments
+	curSeg  int64
+	curOff  int64
+	nextSeg int64
+	seq     uint64 // next partial-segment sequence number
+	cpSeq   uint64 // checkpoint sequence (even/odd selects the region)
+	cpBound uint64 // seq at last checkpoint: segments stamped ≥ this are
+	// part of the uncheckpointed log tail and must not be reused
+	nextIno Ino
+
+	inodes     map[Ino]*inode // loaded inodes
+	orphans    map[buffer.BlockID][]byte
+	pendingDel []Ino
+	cleaning   bool
+	// packRefs counts how many imap entries point into each inode pack
+	// block; a pack block is dead (its segment's live count drops) only
+	// when the last inode in it has been superseded.
+	packRefs       map[int64]int
+	orphanPressure bool
+	debugAudit     bool
+	stats          Stats
+}
+
+var _ vfs.FileSystem = (*FS)(nil)
+
+// Format initializes a fresh file system on dev and returns it mounted.
+func Format(dev *disk.Device, clock *sim.Clock, opts Options) (*FS, error) {
+	opts.fill()
+	bs := dev.BlockSize()
+	segStart := 1 + 2*opts.CheckpointBlocks
+	nseg := (dev.NumBlocks() - segStart) / opts.SegmentBlocks
+	if nseg < int64(opts.CleanTarget)+2 {
+		return nil, fmt.Errorf("lfs: device too small: %d segments", nseg)
+	}
+	sb := superblock{
+		Magic:         superMagic,
+		BlockSize:     uint32(bs),
+		TotalBlocks:   dev.NumBlocks(),
+		SegmentBlocks: opts.SegmentBlocks,
+		CPBlocks:      opts.CheckpointBlocks,
+		SegStart:      segStart,
+		NumSegments:   nseg,
+	}
+	if err := dev.Write(superBlockAddr, sb.encode(bs)); err != nil {
+		return nil, err
+	}
+	fs := &FS{
+		dev:       dev,
+		clock:     clock,
+		blockSize: bs,
+		sb:        sb,
+		opts:      opts,
+		imap:      make(map[Ino]int64),
+		segs:      make([]segInfo, nseg),
+		free:      nseg,
+		curSeg:    0,
+		curOff:    0,
+		nextSeg:   1,
+		seq:       1,
+		cpSeq:     0,
+		cpBound:   1,
+		nextIno:   RootIno + 1,
+		inodes:    make(map[Ino]*inode),
+		orphans:   make(map[buffer.BlockID][]byte),
+		packRefs:  make(map[int64]int),
+	}
+	fs.segs[0].State = segCurrent
+	fs.segs[1].State = segReserved
+	fs.free -= 2
+	fs.pool = buffer.New(opts.CacheBlocks, bs, fs.writeback)
+
+	// Create the root directory.
+	root := &inode{ino: RootIno, mode: modeDir, nlink: 2, dirty: true}
+	fs.inodes[RootIno] = root
+	if err := fs.writeDirLocked(root, nil); err != nil {
+		return nil, err
+	}
+	if err := fs.checkpointLocked(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Name implements vfs.FileSystem.
+func (fs *FS) Name() string { return "lfs" }
+
+// BlockSize implements vfs.FileSystem.
+func (fs *FS) BlockSize() int { return fs.blockSize }
+
+// Pool exposes the buffer cache. The embedded transaction manager
+// (internal/core) uses it to hold and invalidate transaction-protected
+// buffers, mirroring the kernel data-structure extensions of §4.1.
+func (fs *FS) Pool() *buffer.Pool { return fs.pool }
+
+// Device returns the underlying block device (for stats and inspection).
+func (fs *FS) Device() *disk.Device { return fs.dev }
+
+// Stats returns a snapshot of the file system counters.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// FreeSegments reports the number of clean segments.
+func (fs *FS) FreeSegments() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.free
+}
+
+// blockIDOf forms the buffer-cache key of a file's logical block.
+func blockIDOf(ino Ino, lbn int64) buffer.BlockID {
+	return buffer.BlockID{File: vfs.FileID(ino), Block: lbn}
+}
+
+// segBase returns the disk address of the first block of segment s.
+func (fs *FS) segBase(s int64) int64 {
+	return fs.sb.SegStart + s*fs.sb.SegmentBlocks
+}
+
+// segOf returns the segment containing disk address addr, or -1 for
+// addresses outside the segment area (superblock, checkpoint regions).
+func (fs *FS) segOf(addr int64) int64 {
+	if addr < fs.sb.SegStart {
+		return -1
+	}
+	return (addr - fs.sb.SegStart) / fs.sb.SegmentBlocks
+}
+
+// accountOld decrements the live count of the segment that held addr.
+func (fs *FS) accountOld(addr int64) {
+	if addr == 0 {
+		return
+	}
+	if s := fs.segOf(addr); s >= 0 && fs.segs[s].Live > 0 {
+		fs.segs[s].Live--
+	}
+}
+
+// accountNew increments the live count of the segment receiving addr.
+func (fs *FS) accountNew(addr int64) {
+	if s := fs.segOf(addr); s >= 0 {
+		fs.segs[s].Live++
+	}
+}
+
+// writeback is the buffer pool's dirty-eviction callback. The block cannot
+// be written in place (LFS never overwrites); instead its bytes are parked in
+// the orphan table and written with the next partial segment. Reads consult
+// the orphan table before disk.
+func (fs *FS) writeback(id buffer.BlockID, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	fs.orphans[id] = cp
+	// The orphan table models the segment staging buffer, which holds at
+	// most about one segment of blocks in a real LFS; when it fills, the
+	// next file system operation writes a segment out. (The flush cannot
+	// run here: this callback executes inside the buffer pool's lock.)
+	if int64(len(fs.orphans)) >= fs.sb.SegmentBlocks {
+		fs.orphanPressure = true
+	}
+	return nil
+}
+
+// maybeFlushOrphansLocked drains the staging buffer when eviction pressure
+// filled it.
+func (fs *FS) maybeFlushOrphansLocked() error {
+	if !fs.orphanPressure {
+		return nil
+	}
+	fs.orphanPressure = false
+	return fs.flushLocked(nil, false)
+}
+
+// decPackRef drops one reference to the inode pack block at addr, marking
+// the block dead in its segment when the last reference goes.
+func (fs *FS) decPackRef(addr int64) {
+	if addr == 0 {
+		return
+	}
+	fs.packRefs[addr]--
+	if fs.packRefs[addr] <= 0 {
+		delete(fs.packRefs, addr)
+		fs.accountOld(addr)
+	}
+}
+
+// loadInode returns the in-memory inode for ino, reading its pack block
+// from the log if necessary.
+func (fs *FS) loadInode(ino Ino) (*inode, error) {
+	if in, ok := fs.inodes[ino]; ok {
+		return in, nil
+	}
+	addr, ok := fs.imap[ino]
+	if !ok {
+		return nil, vfs.ErrNotExist
+	}
+	buf := make([]byte, fs.blockSize)
+	if err := fs.dev.Read(addr, buf); err != nil {
+		return nil, err
+	}
+	pack, err := decodeInodePack(buf)
+	if err != nil {
+		return nil, fmt.Errorf("inode %d at %d: %w", ino, addr, err)
+	}
+	for _, in := range pack {
+		if in.ino == ino {
+			fs.inodes[ino] = in
+			return in, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: imap points %d at a pack without it", ErrCorrupt, ino)
+}
+
+// fetchBlock is the buffer-pool fetch path for file data blocks.
+func (fs *FS) fetchBlock(id buffer.BlockID, dst []byte) error {
+	if data, ok := fs.orphans[id]; ok {
+		copy(dst, data)
+		return nil
+	}
+	in, err := fs.loadInode(Ino(id.File))
+	if err != nil {
+		return err
+	}
+	addr, err := fs.blockAddr(in, id.Block)
+	if err != nil {
+		return err
+	}
+	if addr == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
+	}
+	return fs.dev.Read(addr, dst)
+}
+
+// Sync implements vfs.FileSystem: flush everything and checkpoint.
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.checkpointLocked()
+}
+
+// Flush writes all dirty (unheld) buffers to the log without checkpointing.
+func (fs *FS) Flush() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.flushLocked(nil, false)
+}
+
+// FlushFile forces one file's dirty (unheld) blocks and meta-data to the
+// log — the embedded transaction manager's commit force (§4.3: "the kernel
+// flushes them to disk and releases locks when the writes have completed").
+func (fs *FS) FlushFile(ino vfs.FileID) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.flushLocked(map[Ino]bool{Ino(ino): true}, true)
+}
+
+// FlushFiles forces several files in a single partial-segment stream (one
+// group-committed unit).
+func (fs *FS) FlushFiles(inos []vfs.FileID) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	set := make(map[Ino]bool, len(inos))
+	for _, i := range inos {
+		set[Ino(i)] = true
+	}
+	return fs.flushLocked(set, true)
+}

@@ -1,0 +1,417 @@
+package lfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// checkpoint is the volatile state persisted to a checkpoint region: the
+// imap, the segment usage table, and the log position. Two regions alternate
+// so a crash during a checkpoint write leaves the previous one intact.
+type checkpoint struct {
+	CpSeq   uint64
+	Seq     uint64
+	NextIno Ino
+	CurSeg  int64
+	CurOff  int64
+	NextSeg int64
+	Imap    map[Ino]int64
+	Segs    []segInfo
+}
+
+func (cp *checkpoint) encode() []byte {
+	size := 4 + 4 + 4 + 8*6 + 8 + len(cp.Imap)*16 + 8 + len(cp.Segs)*17
+	b := make([]byte, size)
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], cpMagic)
+	// b[4:8] = crc, filled last
+	le.PutUint32(b[8:], uint32(size))
+	off := 12
+	for _, v := range []uint64{cp.CpSeq, cp.Seq, uint64(cp.NextIno), uint64(cp.CurSeg), uint64(cp.CurOff), uint64(cp.NextSeg)} {
+		le.PutUint64(b[off:], v)
+		off += 8
+	}
+	le.PutUint64(b[off:], uint64(len(cp.Imap)))
+	off += 8
+	inos := make([]Ino, 0, len(cp.Imap))
+	for ino := range cp.Imap {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	for _, ino := range inos {
+		le.PutUint64(b[off:], uint64(ino))
+		le.PutUint64(b[off+8:], uint64(cp.Imap[ino]))
+		off += 16
+	}
+	le.PutUint64(b[off:], uint64(len(cp.Segs)))
+	off += 8
+	for _, s := range cp.Segs {
+		b[off] = byte(s.State)
+		le.PutUint64(b[off+1:], uint64(s.Live))
+		le.PutUint64(b[off+9:], s.SeqStamp)
+		off += 17
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(b[0:4])
+	crc.Write(b[8:])
+	le.PutUint32(b[4:], crc.Sum32())
+	return b
+}
+
+func decodeCheckpoint(b []byte) (*checkpoint, error) {
+	if len(b) < 12 {
+		return nil, fmt.Errorf("%w: short checkpoint", ErrCorrupt)
+	}
+	le := binary.LittleEndian
+	if le.Uint32(b[0:]) != cpMagic {
+		return nil, fmt.Errorf("%w: checkpoint magic", ErrCorrupt)
+	}
+	size := int(le.Uint32(b[8:]))
+	if size < 12 || size > len(b) {
+		return nil, fmt.Errorf("%w: checkpoint size %d", ErrCorrupt, size)
+	}
+	b = b[:size]
+	crc := crc32.NewIEEE()
+	crc.Write(b[0:4])
+	crc.Write(b[8:])
+	if le.Uint32(b[4:]) != crc.Sum32() {
+		return nil, fmt.Errorf("%w: checkpoint checksum", ErrCorrupt)
+	}
+	cp := &checkpoint{Imap: make(map[Ino]int64)}
+	off := 12
+	cp.CpSeq = le.Uint64(b[off:])
+	cp.Seq = le.Uint64(b[off+8:])
+	cp.NextIno = Ino(le.Uint64(b[off+16:]))
+	cp.CurSeg = int64(le.Uint64(b[off+24:]))
+	cp.CurOff = int64(le.Uint64(b[off+32:]))
+	cp.NextSeg = int64(le.Uint64(b[off+40:]))
+	off += 48
+	nImap := int(le.Uint64(b[off:]))
+	off += 8
+	for i := 0; i < nImap; i++ {
+		ino := Ino(le.Uint64(b[off:]))
+		addr := int64(le.Uint64(b[off+8:]))
+		cp.Imap[ino] = addr
+		off += 16
+	}
+	nSegs := int(le.Uint64(b[off:]))
+	off += 8
+	cp.Segs = make([]segInfo, nSegs)
+	for i := 0; i < nSegs; i++ {
+		cp.Segs[i].State = segState(b[off])
+		cp.Segs[i].Live = int64(le.Uint64(b[off+1:]))
+		cp.Segs[i].SeqStamp = le.Uint64(b[off+9:])
+		off += 17
+	}
+	return cp, nil
+}
+
+// checkpointLocked flushes all dirty state and writes a checkpoint to the
+// alternate region. Caller holds fs.mu.
+func (fs *FS) checkpointLocked() error {
+	if err := fs.flushLocked(nil, false); err != nil {
+		return err
+	}
+	return fs.writeCheckpointLocked()
+}
+
+// writeCheckpointLocked persists the current imap, segment usage table, and
+// log position WITHOUT flushing dirty buffers first. This is always
+// consistent — the imap only ever describes flushed state — it just does
+// not make unflushed writes durable. The cleaner uses it to advance the
+// checkpoint boundary (and thereby unlock victim segments) without
+// triggering a full flush while segments are scarce.
+func (fs *FS) writeCheckpointLocked() error {
+	cp := checkpoint{
+		CpSeq:   fs.cpSeq + 1,
+		Seq:     fs.seq,
+		NextIno: fs.nextIno,
+		CurSeg:  fs.curSeg,
+		CurOff:  fs.curOff,
+		NextSeg: fs.nextSeg,
+		Imap:    fs.imap,
+		Segs:    fs.segs,
+	}
+	enc := cp.encode()
+	regionBytes := int(fs.sb.CPBlocks) * fs.blockSize
+	if len(enc) > regionBytes {
+		return fmt.Errorf("lfs: checkpoint (%d bytes) exceeds region (%d bytes)", len(enc), regionBytes)
+	}
+	region := int64(cp.CpSeq % 2)
+	base := 1 + region*fs.sb.CPBlocks
+	nblocks := (len(enc) + fs.blockSize - 1) / fs.blockSize
+	blocks := make([][]byte, nblocks)
+	for i := range blocks {
+		blocks[i] = make([]byte, fs.blockSize)
+		lo := i * fs.blockSize
+		hi := lo + fs.blockSize
+		if hi > len(enc) {
+			hi = len(enc)
+		}
+		copy(blocks[i], enc[lo:hi])
+	}
+	if err := fs.dev.WriteRun(base, blocks); err != nil {
+		return err
+	}
+	fs.cpSeq = cp.CpSeq
+	fs.cpBound = fs.seq
+	fs.stats.Checkpoints++
+	return nil
+}
+
+// Mount loads an existing file system from dev: read the superblock, pick
+// the newer valid checkpoint, roll the log forward through the summary-block
+// chain, rebuild the segment usage table, and checkpoint the recovered
+// state.
+func Mount(dev *disk.Device, clock *sim.Clock, opts Options) (*FS, error) {
+	opts.fill()
+	bs := dev.BlockSize()
+	buf := make([]byte, bs)
+	if err := dev.Read(superBlockAddr, buf); err != nil {
+		return nil, err
+	}
+	sb, err := decodeSuperblock(buf)
+	if err != nil {
+		return nil, err
+	}
+	if int(sb.BlockSize) != bs {
+		return nil, fmt.Errorf("%w: block size mismatch", ErrCorrupt)
+	}
+
+	// Read both checkpoint regions; keep the newer valid one.
+	var best *checkpoint
+	for region := int64(0); region < 2; region++ {
+		base := 1 + region*sb.CPBlocks
+		raw := make([]byte, int(sb.CPBlocks)*bs)
+		bufs := make([][]byte, sb.CPBlocks)
+		for i := range bufs {
+			bufs[i] = raw[i*bs : (i+1)*bs]
+		}
+		if err := dev.ReadRun(base, bufs); err != nil {
+			return nil, err
+		}
+		cp, err := decodeCheckpoint(raw)
+		if err != nil {
+			continue
+		}
+		if best == nil || cp.CpSeq > best.CpSeq {
+			best = cp
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: no valid checkpoint", ErrCorrupt)
+	}
+
+	fs := &FS{
+		dev:       dev,
+		clock:     clock,
+		blockSize: bs,
+		sb:        sb,
+		opts:      opts,
+		imap:      best.Imap,
+		segs:      best.Segs,
+		curSeg:    best.CurSeg,
+		curOff:    best.CurOff,
+		nextSeg:   best.NextSeg,
+		seq:       best.Seq,
+		cpSeq:     best.CpSeq,
+		nextIno:   best.NextIno,
+		inodes:    make(map[Ino]*inode),
+		orphans:   make(map[buffer.BlockID][]byte),
+		packRefs:  make(map[int64]int),
+	}
+	if int64(len(fs.segs)) != sb.NumSegments {
+		return nil, fmt.Errorf("%w: checkpoint segment table size", ErrCorrupt)
+	}
+	fs.pool = buffer.New(opts.CacheBlocks, bs, fs.writeback)
+
+	if err := fs.rollForwardLocked(); err != nil {
+		return nil, err
+	}
+	if err := fs.rebuildUsageLocked(); err != nil {
+		return nil, err
+	}
+	fs.cpBound = fs.seq
+	// Persist the recovered state so the log tail can be reused safely.
+	if err := fs.checkpointLocked(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// rollForwardLocked follows the partial-segment chain from the checkpointed
+// log position, applying inode-map updates and deletions from each summary
+// whose sequence number matches the expected next value. The chain ends at
+// the first position that does not hold the expected summary.
+func (fs *FS) rollForwardLocked() error {
+	pos := fs.segBase(fs.curSeg) + fs.curOff
+	curSeg, curOff := fs.curSeg, fs.curOff
+	nextSeg := fs.nextSeg
+	buf := make([]byte, fs.blockSize)
+	// pendingPtr records each data block's newest logged address. Commit
+	// forces defer indirect-pointer blocks, so the summaries are the
+	// authoritative record of where data blocks went; the pointers are
+	// rebuilt after the walk (last write wins).
+	type ptrKey struct {
+		ino Ino
+		lbn int64
+	}
+	pendingPtr := make(map[ptrKey]int64)
+	for {
+		if curOff >= fs.sb.SegmentBlocks-minSegmentTail+1 || curOff >= fs.sb.SegmentBlocks {
+			// Current segment exhausted: the writer moved to nextSeg.
+			curSeg, curOff = nextSeg, 0
+			pos = fs.segBase(curSeg)
+		}
+		if err := fs.dev.Read(pos, buf); err != nil {
+			return err
+		}
+		sum, ok := decodeSummary(buf, pos)
+		if !ok || sum.Seq != fs.seq {
+			// Check whether the writer advanced early (e.g. the partial
+			// didn't fit the remaining space): try the next segment once.
+			if curOff != 0 {
+				tryPos := fs.segBase(nextSeg)
+				if err := fs.dev.Read(tryPos, buf); err != nil {
+					return err
+				}
+				if s2, ok2 := decodeSummary(buf, tryPos); ok2 && s2.Seq == fs.seq {
+					curSeg, curOff, pos = nextSeg, 0, tryPos
+					sum, ok = s2, true
+				}
+			}
+			if !ok || sum.Seq != fs.seq {
+				break
+			}
+		}
+		// Apply the summary: blocks map one-to-one onto the entries with
+		// block-consuming kinds, in order, at pos+1, pos+2, ... Inode
+		// pack blocks are read back to learn which inodes they carry;
+		// deletion records drop imap entries.
+		blockIdx := int64(0)
+		for _, e := range sum.Entries {
+			switch e.Kind {
+			case kindDelete:
+				delete(fs.imap, e.Ino)
+				if e.Ino >= fs.nextIno {
+					fs.nextIno = e.Ino + 1
+				}
+				for k := range pendingPtr {
+					if k.ino == e.Ino {
+						delete(pendingPtr, k)
+					}
+				}
+				continue
+			case kindData:
+				pendingPtr[ptrKey{e.Ino, e.Index}] = pos + 1 + blockIdx
+			case kindInodePack:
+				addr := pos + 1 + blockIdx
+				pb := make([]byte, fs.blockSize)
+				if err := fs.dev.Read(addr, pb); err != nil {
+					return err
+				}
+				pack, err := decodeInodePack(pb)
+				if err != nil {
+					return fmt.Errorf("lfs: roll-forward pack at %d: %w", addr, err)
+				}
+				for _, in := range pack {
+					fs.imap[in.ino] = addr
+					if in.ino >= fs.nextIno {
+						fs.nextIno = in.ino + 1
+					}
+				}
+			}
+			blockIdx++
+		}
+		fs.segs[curSeg].SeqStamp = sum.Seq
+		fs.seq++
+		nextSeg = sum.NextSeg
+		curOff += int64(1 + sum.NBlocks)
+		pos = fs.segBase(curSeg) + curOff
+	}
+	fs.curSeg, fs.curOff, fs.nextSeg = curSeg, curOff, nextSeg
+
+	// Rebuild deferred indirect pointers from the summaries' data entries.
+	// Direct-range entries are redundant with the inode pack contents
+	// (setting them again is idempotent); indirect-range entries restore
+	// pointer-block updates that were never written before the crash.
+	for k, addr := range pendingPtr {
+		if k.lbn < NDirect {
+			continue // direct pointers live in the inode pack, which is authoritative
+		}
+		if _, ok := fs.imap[k.ino]; !ok {
+			continue // deleted after the write
+		}
+		in, err := fs.loadInode(k.ino)
+		if err != nil {
+			return fmt.Errorf("lfs: pointer replay for inode %d: %w", k.ino, err)
+		}
+		if k.lbn >= (in.size+int64(fs.blockSize)-1)/int64(fs.blockSize) {
+			// Beyond the recovered size (e.g. a truncate intervened).
+			continue
+		}
+		if _, err := fs.setBlockAddr(in, k.lbn, addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuildUsageLocked recomputes the segment usage table from the recovered
+// imap: walk every inode and count its blocks live in their segments.
+func (fs *FS) rebuildUsageLocked() error {
+	for s := range fs.segs {
+		fs.segs[s].Live = 0
+		if fs.segs[s].State == segCurrent || fs.segs[s].State == segReserved {
+			fs.segs[s].State = segInLog
+		}
+	}
+	mark := func(addr int64) {
+		if s := fs.segOf(addr); s >= 0 {
+			fs.segs[s].Live++
+			if fs.segs[s].State == segFree {
+				fs.segs[s].State = segInLog
+			}
+		}
+	}
+	// Inode pack blocks are shared: count each pack block once and rebuild
+	// the reference counts from the imap.
+	fs.packRefs = make(map[int64]int)
+	for ino, addr := range fs.imap {
+		if fs.packRefs[addr] == 0 {
+			mark(addr)
+		}
+		fs.packRefs[addr]++
+		in, err := fs.loadInode(ino)
+		if err != nil {
+			return fmt.Errorf("lfs: usage rebuild of inode %d: %w", ino, err)
+		}
+		err = fs.forEachBlock(in, func(kind blockKind, index, a int64) error {
+			mark(a)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Segments with no live blocks become free, except the log head and
+	// its reserved successor.
+	fs.free = 0
+	for s := int64(0); s < fs.sb.NumSegments; s++ {
+		if fs.segs[s].Live == 0 && s != fs.curSeg && s != fs.nextSeg {
+			fs.segs[s].State = segFree
+			fs.free++
+		} else if fs.segs[s].Live > 0 && fs.segs[s].State == segFree {
+			fs.segs[s].State = segInLog
+		}
+	}
+	fs.segs[fs.curSeg].State = segCurrent
+	fs.segs[fs.nextSeg].State = segReserved
+	return nil
+}

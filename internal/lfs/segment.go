@@ -1,0 +1,594 @@
+package lfs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/buffer"
+)
+
+// dataItem is one dirty file block awaiting a log address.
+type dataItem struct {
+	id   buffer.BlockID
+	buf  *buffer.Buf // resident buffer, or nil if the bytes came from the orphan table
+	data []byte
+}
+
+// flushLocked writes dirty state to the log as one or more partial segments.
+// If only is non-nil, just the listed files (plus pending deletion records)
+// are written — the commit-force path. When deferPtr is set (commit forces),
+// dirty indirect-pointer blocks stay in memory: the partial segment's
+// summary records every data block's (inode, logical block) pair, so
+// roll-forward can reconstruct the pointers after a crash — the same trick
+// that lets real LFS implementations keep fsync cheap. Full flushes
+// (deferPtr false) write the pointer blocks out. Caller holds fs.mu.
+func (fs *FS) flushLocked(only map[Ino]bool, deferPtr bool) error {
+	if !fs.cleaning && fs.free < int64(fs.opts.CleanThreshold) {
+		if err := fs.cleanLocked(); err != nil {
+			return err
+		}
+	}
+
+	items, files, err := fs.gatherLocked(only, deferPtr)
+	if err != nil {
+		return err
+	}
+	if len(items) == 0 && len(files) == 0 && len(fs.pendingDel) == 0 {
+		return nil
+	}
+
+	// Partition work into partial segments: at most maxFilesPerPartial
+	// files and a data-block budget that, together with the worst-case
+	// meta-data estimate, fits a segment.
+	lastCleanFree := int64(-1)
+	for len(items) > 0 || len(files) > 0 {
+		// A long flush can consume segments faster than the entry check
+		// anticipated; re-invoke the cleaner mid-flush when the free pool
+		// runs low. Guard against a no-progress loop: only retry cleaning
+		// once the free count has changed since the last attempt.
+		if !fs.cleaning && fs.free < int64(fs.opts.CleanThreshold) && fs.free != lastCleanFree {
+			lastCleanFree = fs.free
+			if err := fs.cleanLocked(); err != nil {
+				return err
+			}
+			if fs.free != lastCleanFree {
+				lastCleanFree = -1 // progress: cleaning may be retried
+			}
+			items, files, err = fs.gatherLocked(only, deferPtr)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		chunk, chunkFiles, err := fs.takeChunk(&items, &files, deferPtr)
+		if err != nil {
+			return err
+		}
+		if err := fs.writePartialLocked(chunk, chunkFiles, deferPtr); err != nil {
+			return err
+		}
+	}
+	// Deletion records with no accompanying blocks still need logging.
+	if len(fs.pendingDel) > 0 {
+		if err := fs.writePartialLocked(nil, nil, deferPtr); err != nil {
+			return err
+		}
+	}
+	// Periodic checkpoint: bound the roll-forward chain a crash would
+	// have to replay. The checkpoint itself is flushless (the imap always
+	// describes flushed state).
+	if fs.seq-fs.cpBound >= uint64(fs.opts.CheckpointEvery) {
+		return fs.writeCheckpointLocked()
+	}
+	return nil
+}
+
+// gatherLocked collects the dirty data blocks (pool + orphans) and the set
+// of files whose meta-data needs rewriting.
+func (fs *FS) gatherLocked(only map[Ino]bool, deferPtr bool) ([]dataItem, []Ino, error) {
+	want := func(ino Ino) bool { return only == nil || only[ino] }
+
+	var items []dataItem
+	for _, b := range fs.pool.Dirty() {
+		if !want(Ino(b.ID.File)) {
+			continue
+		}
+		items = append(items, dataItem{id: b.ID, buf: b, data: b.Data})
+	}
+	for id, data := range fs.orphans {
+		if !want(Ino(id.File)) {
+			continue
+		}
+		if fs.pool.Lookup(id) != nil {
+			// A resident buffer shadows the orphan; if it is dirty it was
+			// collected above, if clean the contents are identical and the
+			// orphan copy is redundant — but the orphan may be a cleaner
+			// relocation whose bytes must reach a new address, so keep it
+			// unless a dirty buffer already carries the block.
+			if b := fs.pool.Lookup(id); b.Dirty() && !b.Held() {
+				delete(fs.orphans, id)
+				continue
+			}
+		}
+		items = append(items, dataItem{id: id, data: data})
+	}
+	// Deterministic order: by file, then logical block.
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].id.File != items[j].id.File {
+			return items[i].id.File < items[j].id.File
+		}
+		return items[i].id.Block < items[j].id.Block
+	})
+
+	fileSet := make(map[Ino]bool)
+	for _, it := range items {
+		fileSet[Ino(it.id.File)] = true
+	}
+	// Files with dirty meta-data but no dirty data blocks.
+	for ino, in := range fs.inodes {
+		if !want(ino) || fileSet[ino] {
+			continue
+		}
+		if deferPtr {
+			if in.dirty {
+				fileSet[ino] = true
+			}
+		} else if fs.inodeMetaDirty(in) {
+			fileSet[ino] = true
+		}
+	}
+	var metaOnly []Ino
+	for ino := range fileSet {
+		found := false
+		for _, it := range items {
+			if Ino(it.id.File) == ino {
+				found = true
+				break
+			}
+		}
+		if !found {
+			metaOnly = append(metaOnly, ino)
+		}
+	}
+	sort.Slice(metaOnly, func(i, j int) bool { return metaOnly[i] < metaOnly[j] })
+	return items, metaOnly, nil
+}
+
+// gatherRelocLocked builds a scoped work list for the cleaner: exactly the
+// relocated blocks (preferring a dirty, unheld pool version over the
+// relocated on-disk image, since it supersedes it) plus the meta-data of the
+// affected files. Scoping matters: the cleaner runs when segments are
+// scarce, so its flushes must not drag the entire dirty pool along.
+func (fs *FS) gatherRelocLocked(ids map[buffer.BlockID]bool, inos map[Ino]bool) ([]dataItem, []Ino) {
+	var items []dataItem
+	for id := range ids {
+		if b := fs.pool.Lookup(id); b != nil && b.Dirty() && !b.Held() {
+			delete(fs.orphans, id)
+			items = append(items, dataItem{id: id, buf: b, data: b.Data})
+			continue
+		}
+		if data, ok := fs.orphans[id]; ok {
+			items = append(items, dataItem{id: id, data: data})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].id.File != items[j].id.File {
+			return items[i].id.File < items[j].id.File
+		}
+		return items[i].id.Block < items[j].id.Block
+	})
+	fileSet := make(map[Ino]bool, len(inos))
+	for ino := range inos {
+		fileSet[ino] = true
+	}
+	for _, it := range items {
+		delete(fileSet, Ino(it.id.File))
+	}
+	var metaOnly []Ino
+	for ino := range fileSet {
+		metaOnly = append(metaOnly, ino)
+	}
+	sort.Slice(metaOnly, func(i, j int) bool { return metaOnly[i] < metaOnly[j] })
+	return items, metaOnly
+}
+
+// flushRelocLocked writes the cleaner's scoped work list. Cleaning is in
+// progress, so no further cleaning is triggered; segment advances may dig
+// into the reserve the CleanThreshold maintains.
+func (fs *FS) flushRelocLocked(ids map[buffer.BlockID]bool, inos map[Ino]bool) error {
+	items, files := fs.gatherRelocLocked(ids, inos)
+	for len(items) > 0 || len(files) > 0 {
+		chunk, chunkFiles, err := fs.takeChunk(&items, &files, false)
+		if err != nil {
+			return err
+		}
+		if err := fs.writePartialLocked(chunk, chunkFiles, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// inodeMetaDirty reports whether an inode or any of its cached pointer
+// blocks needs rewriting.
+func (fs *FS) inodeMetaDirty(in *inode) bool {
+	if in.dirty {
+		return true
+	}
+	if in.ind != nil && in.ind.dirty {
+		return true
+	}
+	if in.dind != nil && in.dind.dirty {
+		return true
+	}
+	for _, c := range in.dchild {
+		if c.dirty {
+			return true
+		}
+	}
+	return false
+}
+
+// metaCostLocked returns the exact number of indirect-pointer blocks that
+// flushing the given logical blocks of a file will write, including pointer
+// blocks that are already dirty from earlier operations. The shared inode
+// pack block is accounted separately by the caller.
+func (fs *FS) metaCostLocked(in *inode, lbns []int64) int {
+	np := nptr(fs.blockSize)
+	needInd := in.ind != nil && in.ind.dirty
+	needDind := in.dind != nil && in.dind.dirty
+	slots := map[int64]bool{}
+	for slot, c := range in.dchild {
+		if c.dirty {
+			slots[slot] = true
+		}
+	}
+	for _, lbn := range lbns {
+		switch {
+		case lbn < NDirect:
+		case lbn < NDirect+np:
+			needInd = true
+		default:
+			slots[(lbn-NDirect-np)/np] = true
+			needDind = true
+		}
+	}
+	cost := len(slots)
+	if needInd {
+		cost++
+	}
+	if needDind {
+		cost++
+	}
+	return cost
+}
+
+// partialCostLocked computes the exact block count of a partial segment
+// carrying the given data items and meta-only files: summary + data +
+// pointer blocks + inode pack blocks.
+func (fs *FS) partialCostLocked(perFile map[Ino][]int64, deferPtr bool) (int, error) {
+	total := 1 // summary
+	for ino, lbns := range perFile {
+		in, err := fs.loadInode(ino)
+		if err != nil {
+			return 0, err
+		}
+		total += len(lbns)
+		if !deferPtr {
+			total += fs.metaCostLocked(in, lbns)
+		}
+	}
+	packCap := maxInodesPerPack(fs.blockSize)
+	total += (len(perFile) + packCap - 1) / packCap
+	return total, nil
+}
+
+// takeChunk removes up to one partial segment's worth of work from items and
+// files, using exact cost accounting so the assembled partial can never
+// outgrow a segment.
+func (fs *FS) takeChunk(items *[]dataItem, files *[]Ino, deferPtr bool) ([]dataItem, []Ino, error) {
+	segBlocks := int(fs.sb.SegmentBlocks)
+	budget := segBlocks - minSegmentTail
+	if cap := maxSummaryEntries(fs.blockSize) - 16; budget > cap {
+		budget = cap
+	}
+
+	perFile := map[Ino][]int64{}
+	var chunk []dataItem
+	i := 0
+	for ; i < len(*items); i++ {
+		it := (*items)[i]
+		ino := Ino(it.id.File)
+		if len(chunk) >= maxDataPerPartial {
+			break
+		}
+		if _, ok := perFile[ino]; !ok && len(perFile) >= maxFilesPerPartial {
+			break
+		}
+		perFile[ino] = append(perFile[ino], it.id.Block)
+		cost, err := fs.partialCostLocked(perFile, deferPtr)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cost > budget && len(chunk) > 0 {
+			// Undo the tentative addition and stop.
+			perFile[ino] = perFile[ino][:len(perFile[ino])-1]
+			if len(perFile[ino]) == 0 {
+				delete(perFile, ino)
+			}
+			break
+		}
+		chunk = append(chunk, it)
+	}
+	*items = (*items)[i:]
+
+	var chunkFiles []Ino
+	for len(*files) > 0 {
+		ino := (*files)[0]
+		_, present := perFile[ino]
+		if !present && len(perFile) >= maxFilesPerPartial {
+			break
+		}
+		if !present {
+			perFile[ino] = []int64{}
+		}
+		cost, err := fs.partialCostLocked(perFile, deferPtr)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cost > budget && (len(chunk) > 0 || len(chunkFiles) > 0) {
+			if !present {
+				delete(perFile, ino)
+			}
+			break
+		}
+		*files = (*files)[1:]
+		chunkFiles = append(chunkFiles, ino)
+	}
+	return chunk, chunkFiles, nil
+}
+
+// writePartialLocked emits one partial segment: a summary block followed by
+// the chunk's data blocks, then the affected pointer blocks and inodes (in
+// dependency order), then logs pending deletions in the summary.
+func (fs *FS) writePartialLocked(chunk []dataItem, metaOnly []Ino, deferPtr bool) error {
+	fileSet := map[Ino]bool{}
+	perFile := map[Ino][]int64{}
+	for _, it := range chunk {
+		fileSet[Ino(it.id.File)] = true
+		perFile[Ino(it.id.File)] = append(perFile[Ino(it.id.File)], it.id.Block)
+	}
+	for _, ino := range metaOnly {
+		fileSet[ino] = true
+		if _, ok := perFile[ino]; !ok {
+			perFile[ino] = []int64{}
+		}
+	}
+	cost, err := fs.partialCostLocked(perFile, deferPtr)
+	if err != nil {
+		return err
+	}
+	required := int64(cost)
+	if required > fs.sb.SegmentBlocks {
+		return fmt.Errorf("lfs: partial segment of %d blocks exceeds segment size %d", required, fs.sb.SegmentBlocks)
+	}
+	if fs.sb.SegmentBlocks-fs.curOff < required {
+		if err := fs.advanceSegmentLocked(); err != nil {
+			return err
+		}
+	}
+
+	base := fs.segBase(fs.curSeg) + fs.curOff
+	blocks := make([][]byte, 1, required) // slot 0 = summary, filled last
+	var entries []summaryEntry
+	next := func() int64 { return base + int64(len(blocks)) }
+
+	// 1. Data blocks.
+	for _, it := range chunk {
+		in, err := fs.loadInode(Ino(it.id.File))
+		if err != nil {
+			return fmt.Errorf("lfs: flush of block %v: %w", it.id, err)
+		}
+		addr := next()
+		old, err := fs.setBlockAddr(in, it.id.Block, addr)
+		if err != nil {
+			return err
+		}
+		fs.accountOld(old)
+		fs.accountNew(addr)
+		blocks = append(blocks, it.data)
+		entries = append(entries, summaryEntry{Ino: in.ino, Kind: kindData, Index: it.id.Block})
+	}
+
+	// 2. Meta-data blocks per file, in dependency order: double-indirect
+	// children first (their addresses go into the double indirect block),
+	// then the single and double indirect blocks (addresses go into the
+	// inode), then the inode itself (address goes into the imap).
+	inos := make([]Ino, 0, len(fileSet))
+	for ino := range fileSet {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	var packed []*inode
+	for _, ino := range inos {
+		in, err := fs.loadInode(ino)
+		if err != nil {
+			return err
+		}
+		if deferPtr {
+			// Commit fast path: indirect-pointer blocks stay dirty in
+			// memory; the summary's data entries carry enough for
+			// roll-forward to rebuild them after a crash.
+			packed = append(packed, in)
+			continue
+		}
+		var slots []int64
+		for slot, c := range in.dchild {
+			if c.dirty {
+				slots = append(slots, slot)
+			}
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+		for _, slot := range slots {
+			c := in.dchild[slot]
+			dind, err := fs.loadDInd(in)
+			if err != nil {
+				return err
+			}
+			addr := next()
+			fs.accountOld(c.addr)
+			fs.accountNew(addr)
+			c.addr = addr
+			c.dirty = false
+			dind.ptrs[slot] = addr
+			dind.dirty = true
+			blocks = append(blocks, c.encode(fs.blockSize))
+			entries = append(entries, summaryEntry{Ino: ino, Kind: kindDChild, Index: slot})
+		}
+		if in.ind != nil && in.ind.dirty {
+			addr := next()
+			fs.accountOld(in.ind.addr)
+			fs.accountNew(addr)
+			in.ind.addr = addr
+			in.ind.dirty = false
+			in.indAddr = addr
+			in.dirty = true
+			blocks = append(blocks, in.ind.encode(fs.blockSize))
+			entries = append(entries, summaryEntry{Ino: ino, Kind: kindInd})
+		}
+		if in.dind != nil && in.dind.dirty {
+			addr := next()
+			fs.accountOld(in.dind.addr)
+			fs.accountNew(addr)
+			in.dind.addr = addr
+			in.dind.dirty = false
+			in.dindAddr = addr
+			in.dirty = true
+			blocks = append(blocks, in.dind.encode(fs.blockSize))
+			entries = append(entries, summaryEntry{Ino: ino, Kind: kindDInd})
+		}
+		// The inode is rewritten whenever anything about the file changed
+		// (LFS writes the inode in the same partial segment as its data,
+		// which is what makes roll-forward recovery possible). All inodes
+		// of this partial segment share pack blocks, emitted below.
+		packed = append(packed, in)
+	}
+
+	// Emit the inode pack block(s): one block per maxInodesPerPack inodes.
+	for lo := 0; lo < len(packed); lo += maxInodesPerPack(fs.blockSize) {
+		hi := lo + maxInodesPerPack(fs.blockSize)
+		if hi > len(packed) {
+			hi = len(packed)
+		}
+		group := packed[lo:hi]
+		addr := next()
+		for _, in := range group {
+			fs.decPackRef(fs.imap[in.ino])
+			fs.imap[in.ino] = addr
+			in.dirty = false
+		}
+		fs.packRefs[addr] = len(group)
+		fs.accountNew(addr)
+		blocks = append(blocks, encodeInodePack(fs.blockSize, group))
+		entries = append(entries, summaryEntry{Kind: kindInodePack, Index: int64(len(group))})
+	}
+
+	// 3. Deletion records (no blocks; capacity permitting).
+	for len(fs.pendingDel) > 0 && len(entries) < maxSummaryEntries(fs.blockSize) {
+		ino := fs.pendingDel[0]
+		fs.pendingDel = fs.pendingDel[1:]
+		entries = append(entries, summaryEntry{Ino: ino, Kind: kindDelete})
+	}
+
+	// 4. Summary block, then one sequential device write.
+	sum := summary{
+		Seq:      fs.seq,
+		SelfAddr: base,
+		NextSeg:  fs.nextSeg,
+		NBlocks:  len(blocks) - 1,
+		Entries:  entries,
+	}
+	enc, err := sum.encode(fs.blockSize)
+	if err != nil {
+		return err
+	}
+	blocks[0] = enc
+	// Hard invariant: a partial segment must never cross the segment
+	// boundary (it would clobber the neighbouring segment's summaries).
+	if fs.curOff+int64(len(blocks)) > fs.sb.SegmentBlocks {
+		return fmt.Errorf("lfs: internal error: partial segment (%d blocks at offset %d) overflows segment of %d blocks",
+			len(blocks), fs.curOff, fs.sb.SegmentBlocks)
+	}
+	if err := fs.dev.WriteRun(base, blocks); err != nil {
+		return err
+	}
+	fs.segs[fs.curSeg].SeqStamp = fs.seq
+	fs.seq++
+	fs.curOff += int64(len(blocks))
+	fs.stats.PartialSegments++
+	fs.stats.BlocksLogged += int64(len(blocks))
+	fs.stats.SummaryBlocks++
+
+	// 5. The written blocks are now clean/persisted.
+	for _, it := range chunk {
+		if it.buf != nil {
+			fs.pool.MarkClean(it.buf)
+		}
+		delete(fs.orphans, it.id)
+	}
+
+	if fs.sb.SegmentBlocks-fs.curOff < minSegmentTail {
+		return fs.advanceSegmentLocked()
+	}
+	return nil
+}
+
+// advanceSegmentLocked seals the current segment and moves the log head to
+// the pre-allocated next segment, reserving a new successor.
+func (fs *FS) advanceSegmentLocked() error {
+	fs.segs[fs.curSeg].State = segInLog
+	fs.curSeg = fs.nextSeg
+	fs.curOff = 0
+	fs.segs[fs.curSeg].State = segCurrent
+	ns, err := fs.pickFreeLocked()
+	if err != nil {
+		// Desperation: try to reclaim dead segments without copying.
+		if ferr := fs.freeDeadSegmentsLocked(); ferr == nil {
+			ns, err = fs.pickFreeLocked()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	fs.nextSeg = ns
+	fs.segs[ns].State = segReserved
+	fs.free--
+	return nil
+}
+
+// pickFreeLocked returns the lowest-numbered clean segment.
+func (fs *FS) pickFreeLocked() (int64, error) {
+	for s := int64(0); s < fs.sb.NumSegments; s++ {
+		if fs.segs[s].State == segFree {
+			return s, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// freeDeadSegmentsLocked returns fully-dead, checkpoint-safe segments to the
+// free pool without any copying.
+func (fs *FS) freeDeadSegmentsLocked() error {
+	n := 0
+	for s := int64(0); s < fs.sb.NumSegments; s++ {
+		if fs.segs[s].State == segInLog && fs.segs[s].Live == 0 && fs.segs[s].SeqStamp < fs.cpBound {
+			fs.segs[s].State = segFree
+			fs.free++
+			n++
+		}
+	}
+	if n == 0 {
+		return ErrNoSpace
+	}
+	return nil
+}

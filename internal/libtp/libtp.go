@@ -1,0 +1,439 @@
+// Package libtp implements the user-level transaction system of the paper's
+// Figure 2, modelled on the LIBTP library [15]: a record-oriented interface
+// (B-tree, hash, fixed-length records via the pagestore adapter) layered
+// over a user-level buffer manager, a general-purpose two-phase lock
+// manager, and a write-ahead log manager. Transactions begin, commit and
+// abort through a subroutine interface; commit forces the log (with optional
+// group commit); abort applies in-memory before-images; crash recovery
+// replays the log with redo for winners and undo for losers.
+//
+// Synchronization cost: every lock-manager call is charged
+// CostModel.UserSync() of simulated time. On the paper's DECstation — no
+// hardware test-and-set — user-level semaphores cost two system calls,
+// which is precisely what made the user-level system slightly slower than
+// the kernel-embedded one (§5.1). Configure sim.FastSyncCosts() to model
+// fast user-level mutual exclusion [1] and watch the gap close.
+package libtp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/lock"
+	"repro/internal/pagestore"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+// Errors.
+var (
+	ErrTxnDone   = errors.New("libtp: transaction already finished")
+	ErrTxnActive = errors.New("libtp: operation requires no active transactions")
+)
+
+// Options configures an environment.
+type Options struct {
+	// CacheBlocks is the user-level buffer pool capacity in pages
+	// (default 512).
+	CacheBlocks int
+	// Costs is the CPU cost model (default sim.SpriteCosts()).
+	Costs sim.CostModel
+	// GroupCommit batches log forces across this many commits (default 1
+	// = force at every commit).
+	GroupCommit int
+	// LogPath is the write-ahead log file (default "/libtp.log").
+	LogPath string
+}
+
+func (o *Options) fill() {
+	if o.CacheBlocks == 0 {
+		o.CacheBlocks = 512
+	}
+	if o.Costs == (sim.CostModel{}) {
+		o.Costs = sim.SpriteCosts()
+	}
+	if o.GroupCommit == 0 {
+		o.GroupCommit = 1
+	}
+	if o.LogPath == "" {
+		o.LogPath = "/libtp.log"
+	}
+}
+
+// Stats counts environment activity.
+type Stats struct {
+	Begun     int64
+	Committed int64
+	Aborted   int64
+	PageReads int64
+	PageWrite int64
+}
+
+// undoRec is an in-memory before-image for abort processing.
+type undoRec struct {
+	db     uint64
+	page   int64
+	offset uint32
+	before []byte
+}
+
+// Env is a user-level transaction environment bound to one file system.
+type Env struct {
+	mu    sync.Mutex
+	fs    vfs.FileSystem
+	clock *sim.Clock
+	costs sim.CostModel
+	pool  *buffer.Pool
+	locks *lock.Manager
+	log   *wal.Manager
+	opts  Options
+
+	files   map[uint64]vfs.File // db id (inode) → open file
+	nextTxn uint64
+	active  map[uint64]bool
+	undo    map[uint64][]undoRec
+	stats   Stats
+}
+
+// NewEnv creates (or reopens) a transaction environment on fsys. The log
+// file is created if absent; if it exists, recovery is run before the
+// environment is usable.
+func NewEnv(fsys vfs.FileSystem, clock *sim.Clock, opts Options) (*Env, error) {
+	opts.fill()
+	env := &Env{
+		fs:     fsys,
+		clock:  clock,
+		costs:  opts.Costs,
+		locks:  lock.NewManager(),
+		opts:   opts,
+		files:  make(map[uint64]vfs.File),
+		active: make(map[uint64]bool),
+		undo:   make(map[uint64][]undoRec),
+	}
+	env.pool = buffer.New(opts.CacheBlocks, fsys.BlockSize(), env.writeback)
+
+	if _, err := fsys.Stat(opts.LogPath); errors.Is(err, vfs.ErrNotExist) {
+		lg, err := wal.Create(fsys, opts.LogPath)
+		if err != nil {
+			return nil, err
+		}
+		env.log = lg
+	} else if err != nil {
+		return nil, err
+	} else {
+		lg, err := wal.Open(fsys, opts.LogPath)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := lg.Scan()
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) > 0 {
+			return nil, errors.New("libtp: log contains records; recover with RecoverPaths")
+		}
+		env.log = lg
+	}
+	env.log.SetGroupCommit(opts.GroupCommit)
+	return env, nil
+}
+
+// FS returns the underlying file system.
+func (e *Env) FS() vfs.FileSystem { return e.fs }
+
+// Stats returns a snapshot of the counters.
+func (e *Env) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// LockStats exposes the lock manager counters.
+func (e *Env) LockStats() lock.Stats { return e.locks.Stats() }
+
+// LogStats exposes the log manager counters.
+func (e *Env) LogStats() wal.Stats { return e.log.Stats() }
+
+// writeback persists an evicted dirty page, honouring the WAL rule: the log
+// is forced before the page goes to the database file. The write() into the
+// kernel costs a system call.
+func (e *Env) writeback(id buffer.BlockID, data []byte) error {
+	if err := e.log.Force(); err != nil {
+		return err
+	}
+	e.clock.Advance(e.costs.Syscall)
+	f, ok := e.files[uint64(id.File)]
+	if !ok {
+		return fmt.Errorf("libtp: writeback for unknown db %d", id.File)
+	}
+	_, err := f.WriteAt(data, id.Block*int64(e.pool.BlockSize()))
+	return err
+}
+
+// OpenDB opens (or creates) a database file. The returned DB is shared: all
+// transactions address it through their own transactional page stores.
+func (e *Env) OpenDB(path string) (*DB, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f, err := e.fs.Open(path)
+	if errors.Is(err, vfs.ErrNotExist) {
+		f, err = e.fs.Create(path)
+		if err == nil {
+			// Make the new database's directory entry durable so crash
+			// recovery can find the file by path.
+			err = e.fs.Sync()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{env: e, f: f, id: uint64(f.ID())}
+	e.files[db.id] = f
+	return db, nil
+}
+
+// DB is an open database file.
+type DB struct {
+	env *Env
+	f   vfs.File
+	id  uint64
+}
+
+// ID returns the database's identity (its inode number).
+func (db *DB) ID() uint64 { return db.id }
+
+// Path-free page count (used by the store adapter).
+func (db *DB) numPages() (int64, error) {
+	sz, err := db.f.Size()
+	if err != nil {
+		return 0, err
+	}
+	ps := int64(db.env.pool.BlockSize())
+	return (sz + ps - 1) / ps, nil
+}
+
+// Begin starts a transaction ("txn_begin").
+func (e *Env) Begin() *Txn {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextTxn++
+	id := e.nextTxn
+	e.active[id] = true
+	e.stats.Begun++
+	e.clock.Advance(e.costs.TxnOp + e.costs.Syscall) // subroutine + the syscalls it makes
+	return &Txn{env: e, id: id}
+}
+
+// Txn is an active transaction.
+type Txn struct {
+	env  *Env
+	id   uint64
+	done bool
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Store returns the transactional page store for db: every page read takes
+// a read lock, every page write takes a write lock and logs before/after
+// images. Access methods (btree.Open, recno.Open, ...) plug in directly.
+func (t *Txn) Store(db *DB) pagestore.Store {
+	return &txnStore{t: t, db: db}
+}
+
+// Commit makes the transaction durable ("txn_commit"): force the log
+// (subject to group commit) and release all locks. Dirty pages remain
+// cached (no-force policy) and reach the database file on eviction or
+// checkpoint, after the log.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	e := t.env
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock.Advance(e.costs.TxnOp + e.costs.Syscall)
+	if _, _, err := e.log.LogCommit(t.id); err != nil {
+		return err
+	}
+	e.locks.ReleaseAll(lock.TxnID(t.id))
+	e.clock.Advance(e.costs.UserSync())
+	delete(e.active, t.id)
+	delete(e.undo, t.id)
+	e.stats.Committed++
+	return nil
+}
+
+// Abort rolls the transaction back ("txn_abort"): apply before-images in
+// reverse order to the cached pages, log the abort, release locks.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	e := t.env
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock.Advance(e.costs.TxnOp + e.costs.Syscall)
+	undos := e.undo[t.id]
+	for i := len(undos) - 1; i >= 0; i-- {
+		u := undos[i]
+		// Read the bytes being rolled over so the compensation record
+		// carries a correct (if unused) before-image.
+		cur, err := e.peekLocked(u.db, u.page, u.offset, len(u.before))
+		if err != nil {
+			return err
+		}
+		// Compensation log record: replaying it at recovery re-performs
+		// the rollback in log order.
+		if _, err := e.log.LogUpdate(t.id, u.db, u.page, u.offset, cur, u.before); err != nil {
+			return err
+		}
+		if err := e.applyLocked(u.db, u.page, u.offset, u.before); err != nil {
+			return err
+		}
+	}
+	if _, err := e.log.LogAbort(t.id); err != nil {
+		return err
+	}
+	e.locks.ReleaseAll(lock.TxnID(t.id))
+	e.clock.Advance(e.costs.UserSync())
+	delete(e.active, t.id)
+	delete(e.undo, t.id)
+	e.stats.Aborted++
+	return nil
+}
+
+// peekLocked reads a byte range from a cached database page.
+func (e *Env) peekLocked(db uint64, page int64, offset uint32, n int) ([]byte, error) {
+	f, ok := e.files[db]
+	if !ok {
+		return nil, fmt.Errorf("libtp: unknown db %d", db)
+	}
+	id := buffer.BlockID{File: vfs.FileID(db), Block: page}
+	b, err := e.pool.Get(id, func(_ buffer.BlockID, dst []byte) error {
+		_, err := f.ReadAt(dst, page*int64(e.pool.BlockSize()))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), b.Data[offset:int(offset)+n]...)
+	e.pool.Release(b)
+	return out, nil
+}
+
+// applyLocked writes a byte range into a cached database page.
+func (e *Env) applyLocked(db uint64, page int64, offset uint32, data []byte) error {
+	f, ok := e.files[db]
+	if !ok {
+		return fmt.Errorf("libtp: unknown db %d", db)
+	}
+	id := buffer.BlockID{File: vfs.FileID(db), Block: page}
+	b, err := e.pool.Get(id, func(_ buffer.BlockID, dst []byte) error {
+		_, err := f.ReadAt(dst, page*int64(e.pool.BlockSize()))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	copy(b.Data[offset:], data)
+	e.pool.MarkDirty(b)
+	e.pool.Release(b)
+	return nil
+}
+
+// Checkpoint flushes all dirty pages (log first — WAL rule), writes a
+// checkpoint record, and truncates the log. It requires quiescence.
+func (e *Env) Checkpoint() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.active) != 0 {
+		return ErrTxnActive
+	}
+	if err := e.log.Force(); err != nil {
+		return err
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		return err
+	}
+	for _, f := range e.files {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	if _, err := e.log.LogCheckpoint(); err != nil {
+		return err
+	}
+	return e.log.Reset()
+}
+
+// recoverLocked replays the log into the (already opened) database files.
+func (e *Env) recoverLocked() (winners, losers int, err error) {
+	return e.log.Recover(func(file uint64, block int64, offset uint32, data []byte) error {
+		f, ok := e.files[file]
+		if !ok {
+			return fmt.Errorf("libtp: recovery update for unopened database %d; pass its path to RecoverPaths", file)
+		}
+		_, err := f.WriteAt(data, block*int64(e.pool.BlockSize())+int64(offset))
+		return err
+	})
+}
+
+// RecoverPaths reopens an environment whose databases live at the given
+// paths, running recovery with every database available. Use this after a
+// crash instead of NewEnv.
+func RecoverPaths(fsys vfs.FileSystem, clock *sim.Clock, opts Options, dbPaths []string) (*Env, *RecoveryReport, error) {
+	opts.fill()
+	env := &Env{
+		fs:     fsys,
+		clock:  clock,
+		costs:  opts.Costs,
+		locks:  lock.NewManager(),
+		opts:   opts,
+		files:  make(map[uint64]vfs.File),
+		active: make(map[uint64]bool),
+		undo:   make(map[uint64][]undoRec),
+	}
+	env.pool = buffer.New(opts.CacheBlocks, fsys.BlockSize(), env.writeback)
+	for _, p := range dbPaths {
+		f, err := fsys.Open(p)
+		if errors.Is(err, vfs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		env.files[uint64(f.ID())] = f
+	}
+	lg, err := wal.Open(fsys, opts.LogPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	env.log = lg
+	w, l, err := env.recoverLocked()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Recovered pages must reach the files before the log is truncated.
+	for _, f := range env.files {
+		if err := f.Sync(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := env.log.Reset(); err != nil {
+		return nil, nil, err
+	}
+	env.log.SetGroupCommit(opts.GroupCommit)
+	return env, &RecoveryReport{Winners: w, Losers: l}, nil
+}
+
+// RecoveryReport summarizes a recovery pass.
+type RecoveryReport struct {
+	Winners int // transactions redone
+	Losers  int // transactions undone
+}

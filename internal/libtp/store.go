@@ -1,0 +1,156 @@
+package libtp
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/lock"
+	"repro/internal/vfs"
+)
+
+// txnStore is the transactional page store a transaction uses to address a
+// database: the point where the record layer (Figure 2's "Record" module)
+// calls into the buffer, lock, and log managers.
+//
+//   - ReadPage: acquire a read lock on (db, page), then serve the page from
+//     the user-level buffer pool (or fault it in from the file).
+//   - WritePage: acquire a write lock, log the changed byte range
+//     (before/after images), update the cached page, remember the
+//     before-image for in-memory abort.
+//
+// Locking is strictly two-phase: locks accumulate until commit/abort.
+type txnStore struct {
+	t  *Txn
+	db *DB
+}
+
+func (s *txnStore) PageSize() int { return s.t.env.pool.BlockSize() }
+
+func (s *txnStore) NumPages() (int64, error) {
+	s.t.env.mu.Lock()
+	defer s.t.env.mu.Unlock()
+	return s.db.numPages()
+}
+
+// fetch loads a page of the database file into the pool: a read() system
+// call into the kernel's file system.
+func (s *txnStore) fetch(id buffer.BlockID, dst []byte) error {
+	s.t.env.clock.Advance(s.t.env.costs.Syscall)
+	_, err := s.db.f.ReadAt(dst, id.Block*int64(len(dst)))
+	return err
+}
+
+func (s *txnStore) lock(page int64, mode lock.Mode) error {
+	e := s.t.env
+	// Lock-manager call: semaphore acquire/release in user space.
+	e.clock.Advance(e.costs.UserSync())
+	return e.locks.Lock(lock.TxnID(s.t.id), lock.Object{File: s.db.id, Block: page}, mode)
+}
+
+func (s *txnStore) ReadPage(n int64, p []byte) error {
+	if s.t.done {
+		return ErrTxnDone
+	}
+	if err := s.lock(n, lock.Read); err != nil {
+		return err
+	}
+	e := s.t.env
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock.Advance(e.costs.CacheHit)
+	b, err := e.pool.Get(buffer.BlockID{File: vfs.FileID(s.db.id), Block: n}, s.fetch)
+	if err != nil {
+		return err
+	}
+	copy(p, b.Data)
+	e.pool.Release(b)
+	e.stats.PageReads++
+	return nil
+}
+
+func (s *txnStore) WritePage(n int64, p []byte) error {
+	if s.t.done {
+		return ErrTxnDone
+	}
+	if err := s.lock(n, lock.Write); err != nil {
+		return err
+	}
+	e := s.t.env
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock.Advance(e.costs.CacheHit)
+	id := buffer.BlockID{File: vfs.FileID(s.db.id), Block: n}
+	b, err := e.pool.Get(id, s.fetch)
+	if err != nil {
+		return err
+	}
+	defer e.pool.Release(b)
+
+	// Log only the changed byte range (WAL delta logging, §4.3).
+	lo, hi := diffRange(b.Data, p)
+	if lo < hi {
+		before := append([]byte(nil), b.Data[lo:hi]...)
+		after := append([]byte(nil), p[lo:hi]...)
+		if _, err := e.log.LogUpdate(s.t.id, s.db.id, n, uint32(lo), before, after); err != nil {
+			return err
+		}
+		e.undo[s.t.id] = append(e.undo[s.t.id], undoRec{db: s.db.id, page: n, offset: uint32(lo), before: before})
+		copy(b.Data, p)
+		e.pool.MarkDirty(b)
+	}
+	e.stats.PageWrite++
+	return nil
+}
+
+// AllocPage extends the database file by one zeroed page. Growth is not
+// undone on abort: an aborted transaction may leave unreferenced pages at
+// the tail, which the access methods never reach (their meta page was
+// rolled back).
+func (s *txnStore) AllocPage() (int64, error) {
+	if s.t.done {
+		return 0, ErrTxnDone
+	}
+	e := s.t.env
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	np, err := s.db.numPages()
+	if err != nil {
+		return 0, err
+	}
+	zero := make([]byte, e.pool.BlockSize())
+	if _, err := s.db.f.WriteAt(zero, np*int64(len(zero))); err != nil {
+		return 0, err
+	}
+	return np, nil
+}
+
+// Sync forces the log; data pages follow lazily (no-force).
+func (s *txnStore) Sync() error {
+	e := s.t.env
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.log.Force()
+}
+
+// diffRange returns the smallest [lo, hi) byte range where old and new
+// differ (lo == hi when identical).
+func diffRange(old, new []byte) (int, int) {
+	n := len(old)
+	if len(new) < n {
+		n = len(new)
+	}
+	lo := 0
+	for lo < n && old[lo] == new[lo] {
+		lo++
+	}
+	if lo == n && len(old) == len(new) {
+		return 0, 0
+	}
+	hiOld, hiNew := len(old), len(new)
+	for hiOld > lo && hiNew > lo && old[hiOld-1] == new[hiNew-1] {
+		hiOld--
+		hiNew--
+	}
+	if hiNew < hiOld {
+		hiNew = hiOld
+	}
+	return lo, hiNew
+}

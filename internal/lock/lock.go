@@ -1,0 +1,285 @@
+// Package lock implements the two-phase, page-granularity lock manager both
+// transaction systems share: single writer / multiple readers, lock chains
+// maintained per object and per transaction (so commit and abort can
+// traverse a transaction's locks rapidly, §4.1 of the paper), blocking
+// waiters, lock upgrades, and deadlock detection by waits-for cycle search.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+const (
+	// Read is a shared lock.
+	Read Mode = iota
+	// Write is an exclusive lock.
+	Write
+)
+
+func (m Mode) String() string {
+	if m == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Object identifies a lockable object: file and block number, as in the
+// paper's lock table ("currently locked objects which are identified by file
+// and block number").
+type Object struct {
+	File  uint64
+	Block int64
+}
+
+func (o Object) String() string { return fmt.Sprintf("(%d,%d)", o.File, o.Block) }
+
+// TxnID identifies a lock owner.
+type TxnID uint64
+
+// Errors.
+var (
+	// ErrDeadlock is returned to the transaction chosen as the victim of a
+	// waits-for cycle; the caller should abort.
+	ErrDeadlock = errors.New("lock: deadlock detected")
+)
+
+// Stats counts lock-manager activity.
+type Stats struct {
+	Acquired  int64 // granted requests (excluding re-grants of held locks)
+	Waited    int64 // requests that had to block
+	Deadlocks int64 // requests aborted by deadlock detection
+	Upgrades  int64 // read→write upgrades
+}
+
+// head is the per-object lock state.
+type head struct {
+	holders map[TxnID]Mode
+	waiters int
+}
+
+// Manager is a lock manager. All methods are safe for concurrent use.
+type Manager struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	table map[Object]*head
+	byTxn map[TxnID]map[Object]Mode
+	// waitsFor[t] is the set of transactions t is currently blocked on.
+	waitsFor map[TxnID]map[TxnID]bool
+	stats    Stats
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	m := &Manager{
+		table:    make(map[Object]*head),
+		byTxn:    make(map[TxnID]map[Object]Mode),
+		waitsFor: make(map[TxnID]map[TxnID]bool),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Held returns the objects txn currently holds, with their modes.
+func (m *Manager) Held(txn TxnID) map[Object]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[Object]Mode, len(m.byTxn[txn]))
+	for o, md := range m.byTxn[txn] {
+		out[o] = md
+	}
+	return out
+}
+
+// HeldCount returns the number of locks txn holds.
+func (m *Manager) HeldCount(txn TxnID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byTxn[txn])
+}
+
+// Holders returns the transactions currently holding obj.
+func (m *Manager) Holders(obj Object) []TxnID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.table[obj]
+	if h == nil {
+		return nil
+	}
+	out := make([]TxnID, 0, len(h.holders))
+	for t := range h.holders {
+		out = append(out, t)
+	}
+	return out
+}
+
+// conflicts reports the set of other holders blocking txn's request.
+func (h *head) conflicts(txn TxnID, mode Mode) []TxnID {
+	var out []TxnID
+	for other, held := range h.holders {
+		if other == txn {
+			continue
+		}
+		if mode == Write || held == Write {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// Lock acquires obj in the given mode for txn, blocking until it is granted.
+// Re-acquiring a held lock (same or weaker mode) returns immediately; a
+// read→write upgrade waits for other readers to drain. If waiting would
+// close a cycle in the waits-for graph, the request fails with ErrDeadlock
+// and the caller is expected to abort the transaction.
+func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	h := m.table[obj]
+	if h == nil {
+		h = &head{holders: make(map[TxnID]Mode)}
+		m.table[obj] = h
+	}
+	if held, ok := h.holders[txn]; ok {
+		if held == Write || mode == Read {
+			return nil // already covered
+		}
+		m.stats.Upgrades++
+	}
+
+	waited := false
+	for {
+		blockers := h.conflicts(txn, mode)
+		if len(blockers) == 0 {
+			break
+		}
+		// Deadlock check before blocking.
+		bs := make(map[TxnID]bool, len(blockers))
+		for _, b := range blockers {
+			bs[b] = true
+		}
+		m.waitsFor[txn] = bs
+		if m.cycleLocked(txn) {
+			delete(m.waitsFor, txn)
+			m.stats.Deadlocks++
+			return fmt.Errorf("%w: txn %d on %v (%s)", ErrDeadlock, txn, obj, mode)
+		}
+		if !waited {
+			m.stats.Waited++
+			waited = true
+		}
+		h.waiters++
+		m.cond.Wait()
+		h.waiters--
+	}
+	delete(m.waitsFor, txn)
+	h.holders[txn] = mode
+	if m.byTxn[txn] == nil {
+		m.byTxn[txn] = make(map[Object]Mode)
+	}
+	if prev, ok := m.byTxn[txn][obj]; !ok || prev != mode {
+		if !ok {
+			m.stats.Acquired++
+		}
+		m.byTxn[txn][obj] = mode
+	}
+	return nil
+}
+
+// cycleLocked reports whether txn is part of a waits-for cycle. Holder
+// relations are implied by waitsFor edges; a cycle exists when following
+// edges from txn reaches txn again.
+func (m *Manager) cycleLocked(start TxnID) bool {
+	seen := map[TxnID]bool{}
+	var dfs func(t TxnID) bool
+	dfs = func(t TxnID) bool {
+		for next := range m.waitsFor[t] {
+			if next == start {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// Unlock releases one lock early. Two-phase discipline normally releases
+// everything at commit/abort via ReleaseAll; Unlock exists for lock-coupling
+// descent in the B-tree layer.
+func (m *Manager) Unlock(txn TxnID, obj Object) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(txn, obj)
+	m.cond.Broadcast()
+}
+
+func (m *Manager) releaseLocked(txn TxnID, obj Object) {
+	if h := m.table[obj]; h != nil {
+		delete(h.holders, txn)
+		if len(h.holders) == 0 && h.waiters == 0 {
+			delete(m.table, obj)
+		}
+	}
+	if s := m.byTxn[txn]; s != nil {
+		delete(s, obj)
+		if len(s) == 0 {
+			delete(m.byTxn, txn)
+		}
+	}
+}
+
+// ReleaseAll releases every lock txn holds (commit or abort: "the kernel
+// locates the lock chain for the transaction ... traverses the lock chain,
+// releasing locks", §4.3). It returns the objects that were write-locked,
+// which abort processing uses to invalidate dirty buffers.
+func (m *Manager) ReleaseAll(txn TxnID) []Object {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var written []Object
+	for obj, mode := range m.byTxn[txn] {
+		if mode == Write {
+			written = append(written, obj)
+		}
+		if h := m.table[obj]; h != nil {
+			delete(h.holders, txn)
+			if len(h.holders) == 0 && h.waiters == 0 {
+				delete(m.table, obj)
+			}
+		}
+	}
+	delete(m.byTxn, txn)
+	delete(m.waitsFor, txn)
+	m.cond.Broadcast()
+	return written
+}
+
+// WriteLocked returns the objects txn holds write locks on.
+func (m *Manager) WriteLocked(txn TxnID) []Object {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Object
+	for obj, mode := range m.byTxn[txn] {
+		if mode == Write {
+			out = append(out, obj)
+		}
+	}
+	return out
+}

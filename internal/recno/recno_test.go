@@ -1,0 +1,201 @@
+package recno
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pagestore"
+)
+
+func newFile(t *testing.T, recSize int) *File {
+	t.Helper()
+	f, err := Create(pagestore.NewMemStore(512), recSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func rec(size int, seed byte) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(i) + seed
+	}
+	return b
+}
+
+func TestAppendGet(t *testing.T) {
+	f := newFile(t, 50)
+	n, err := f.Append(rec(50, 1))
+	if err != nil || n != 0 {
+		t.Fatalf("Append = %d, %v", n, err)
+	}
+	got, err := f.Get(0)
+	if err != nil || !bytes.Equal(got, rec(50, 1)) {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+}
+
+func TestAppendAcrossPages(t *testing.T) {
+	f := newFile(t, 100) // 5 records per 512-byte page
+	const n = 37
+	for i := 0; i < n; i++ {
+		if _, err := f.Append(rec(100, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Count() != n {
+		t.Fatalf("Count = %d", f.Count())
+	}
+	for i := 0; i < n; i++ {
+		got, err := f.Get(int64(i))
+		if err != nil || !bytes.Equal(got, rec(100, byte(i))) {
+			t.Fatalf("Get(%d) mismatch: %v", i, err)
+		}
+	}
+}
+
+func TestSet(t *testing.T) {
+	f := newFile(t, 20)
+	for i := 0; i < 10; i++ {
+		f.Append(rec(20, byte(i)))
+	}
+	if err := f.Set(5, rec(20, 99)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := f.Get(5)
+	if !bytes.Equal(got, rec(20, 99)) {
+		t.Fatal("Set did not take")
+	}
+	// Neighbours untouched.
+	got, _ = f.Get(4)
+	if !bytes.Equal(got, rec(20, 4)) {
+		t.Fatal("Set corrupted neighbour")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	f := newFile(t, 20)
+	f.Append(rec(20, 0))
+	if _, err := f.Get(1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := f.Get(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("got %v", err)
+	}
+	if err := f.Set(7, rec(20, 0)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestBadSize(t *testing.T) {
+	f := newFile(t, 20)
+	if _, err := f.Append(rec(19, 0)); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	f := newFile(t, 64)
+	const n = 25
+	for i := 0; i < n; i++ {
+		f.Append(rec(64, byte(i)))
+	}
+	var seen []int64
+	err := f.Scan(func(n int64, r []byte) bool {
+		if r[0] != byte(n) {
+			t.Fatalf("record %d has wrong content", n)
+		}
+		seen = append(seen, n)
+		return true
+	})
+	if err != nil || len(seen) != n {
+		t.Fatalf("scan saw %d, %v", len(seen), err)
+	}
+	// Early stop.
+	count := 0
+	f.Scan(func(int64, []byte) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early stop at %d", count)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	st := pagestore.NewMemStore(512)
+	f, _ := Create(st, 40)
+	for i := 0; i < 30; i++ {
+		f.Append(rec(40, byte(i)))
+	}
+	f2, err := Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Count() != 30 || f2.RecordSize() != 40 {
+		t.Fatalf("reopened: count=%d recsize=%d", f2.Count(), f2.RecordSize())
+	}
+	got, _ := f2.Get(17)
+	if !bytes.Equal(got, rec(40, 17)) {
+		t.Fatal("reopened content wrong")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	if _, err := Create(pagestore.NewMemStore(512), 0); err == nil {
+		t.Fatal("zero record size should fail")
+	}
+	if _, err := Create(pagestore.NewMemStore(512), 513); err == nil {
+		t.Fatal("record larger than page should fail")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	st := pagestore.NewMemStore(512)
+	st.AllocPage()
+	if _, err := Open(st); err == nil {
+		t.Fatal("garbage should not open")
+	}
+}
+
+// Property: append/set/get behaves like a slice of records.
+func TestShadowProperty(t *testing.T) {
+	f := newFile(t, 8)
+	var shadow [][]byte
+	prop := func(ops []struct {
+		Set bool
+		Idx uint8
+		Val uint64
+	}) bool {
+		for _, op := range ops {
+			r := make([]byte, 8)
+			binary.LittleEndian.PutUint64(r, op.Val)
+			if op.Set && len(shadow) > 0 {
+				idx := int64(op.Idx) % int64(len(shadow))
+				if err := f.Set(idx, r); err != nil {
+					return false
+				}
+				shadow[idx] = r
+			} else {
+				if _, err := f.Append(r); err != nil {
+					return false
+				}
+				shadow = append(shadow, r)
+			}
+		}
+		if f.Count() != int64(len(shadow)) {
+			return false
+		}
+		for i, want := range shadow {
+			got, err := f.Get(int64(i))
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+// Package sim provides the simulation substrate for the reproduction of
+// "Transaction Support in a Log-Structured File System" (Seltzer, ICDE 1993):
+// a deterministic simulated clock, a disk service-time model parameterised to
+// resemble the paper's DEC RZ55 SCSI drive, a CPU cost model for the
+// operating-system overheads the paper discusses (system calls, lock
+// operations, buffer-cache hits), and a small deterministic random number
+// generator used by the workloads.
+//
+// All elapsed-time results in the benchmark harness are measured in simulated
+// time: the disk model advances the clock for every I/O, and the cost model
+// advances it for every modelled CPU operation. With a multiprogramming level
+// of one (the paper's configuration) the simulation is fully deterministic.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a monotonically increasing simulated clock. The zero value is a
+// clock at time zero, ready to use.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewClock returns a clock starting at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current simulated time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. Negative durations are ignored so a
+// buggy caller can never make time run backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to t if t is later than the current time.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	c.mu.Lock()
+	if t > c.now {
+		c.now = t
+	}
+	c.mu.Unlock()
+}
+
+// Reset rewinds the clock to zero. Intended for test setup only.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.now = 0
+	c.mu.Unlock()
+}
+
+// String formats the current simulated time.
+func (c *Clock) String() string {
+	return fmt.Sprintf("sim.Clock(%v)", c.Now())
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math"
+	"time"
+)
+
+// DiskModel computes service times for a simulated disk. The geometry is a
+// simplified single-surface model: the block address space is divided into
+// cylinders of CylinderBlocks blocks each, seeks cost a fixed settle time plus
+// a term proportional to the square root of the cylinder distance (the usual
+// first-order approximation of arm acceleration), every discontiguous access
+// pays an average rotational delay, and data transfers at a fixed media rate.
+//
+// The defaults resemble the DEC RZ55 used in the paper: 300 MB, average seek
+// about 16 ms, 3600 RPM spindle (8.33 ms per revolution), and roughly
+// 1.25 MB/s of media bandwidth.
+type DiskModel struct {
+	// BlockSize is the size of one block in bytes.
+	BlockSize int
+	// NumBlocks is the total number of blocks on the device.
+	NumBlocks int64
+	// CylinderBlocks is the number of blocks per cylinder.
+	CylinderBlocks int64
+	// SeekSettle is the fixed cost of any seek, however short.
+	SeekSettle time.Duration
+	// SeekFactor scales with the square root of the cylinder distance.
+	SeekFactor time.Duration
+	// RotationTime is the time of one full revolution; the average
+	// rotational delay for a discontiguous access is half of it.
+	RotationTime time.Duration
+	// TransferRate is the media transfer rate in bytes per second.
+	TransferRate float64
+}
+
+// RZ55Model returns a disk model parameterised like the paper's RZ55:
+// 300 MB of 4 KB blocks, ~16 ms average seek, 3600 RPM, 1.25 MB/s.
+func RZ55Model() DiskModel {
+	return DiskModel{
+		BlockSize:      4096,
+		NumBlocks:      76800, // 300 MB / 4 KB
+		CylinderBlocks: 64,    // 256 KB per cylinder
+		SeekSettle:     4 * time.Millisecond,
+		SeekFactor:     700 * time.Microsecond, // avg seek ≈ settle + factor·√(N/3) ≈ 16 ms
+		RotationTime:   16667 * time.Microsecond,
+		TransferRate:   1.25e6,
+	}
+}
+
+// SmallModel returns a scaled-down disk (32 MB) with the same service-time
+// characteristics, convenient for fast unit tests.
+func SmallModel() DiskModel {
+	m := RZ55Model()
+	m.NumBlocks = 8192 // 32 MB
+	return m
+}
+
+// Cylinder returns the cylinder containing the given block.
+func (m DiskModel) Cylinder(block int64) int64 {
+	if m.CylinderBlocks <= 0 {
+		return 0
+	}
+	return block / m.CylinderBlocks
+}
+
+// SeekTime returns the cost of moving the arm between two cylinders.
+// A zero-distance seek is free: the arm is already there.
+func (m DiskModel) SeekTime(fromCyl, toCyl int64) time.Duration {
+	d := toCyl - fromCyl
+	if d < 0 {
+		d = -d
+	}
+	if d == 0 {
+		return 0
+	}
+	return m.SeekSettle + time.Duration(float64(m.SeekFactor)*math.Sqrt(float64(d)))
+}
+
+// AvgRotationalDelay returns the expected rotational latency of a
+// discontiguous access (half a revolution).
+func (m DiskModel) AvgRotationalDelay() time.Duration {
+	return m.RotationTime / 2
+}
+
+// TransferTime returns the media transfer time for n bytes.
+func (m DiskModel) TransferTime(n int) time.Duration {
+	if n <= 0 || m.TransferRate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / m.TransferRate * float64(time.Second))
+}
+
+// AccessTime returns the full service time of an access of nblocks contiguous
+// blocks starting at `block`, given that the previous access ended at block
+// `prev` (or prev < 0 if the arm position is unknown, which charges an
+// average seek). Accesses that continue exactly where the last one ended pay
+// neither seek nor rotational delay — this is what makes the log-structured
+// file system's segment writes cheap.
+func (m DiskModel) AccessTime(prev, block int64, nblocks int) time.Duration {
+	var t time.Duration
+	sequential := prev >= 0 && block == prev
+	if !sequential {
+		fromCyl := m.Cylinder(prev)
+		if prev < 0 {
+			// Unknown arm position: charge an average-distance seek.
+			fromCyl = m.Cylinder(m.NumBlocks / 3)
+		}
+		t += m.SeekTime(fromCyl, m.Cylinder(block))
+		t += m.AvgRotationalDelay()
+	}
+	t += m.TransferTime(nblocks * m.BlockSize)
+	return t
+}
+
+// AvgSeekTime reports the model's average seek time (using the standard
+// random-access expectation of one third of the full stroke).
+func (m DiskModel) AvgSeekTime() time.Duration {
+	cyls := m.NumBlocks / maxInt64(1, m.CylinderBlocks)
+	return m.SeekTime(0, cyls/3)
+}
+
+// SizeBytes returns the capacity of the modelled device in bytes.
+func (m DiskModel) SizeBytes() int64 {
+	return m.NumBlocks * int64(m.BlockSize)
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,41 @@
+package tpcb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Result reports one benchmark run.
+type Result struct {
+	System  string
+	Txns    int
+	Elapsed time.Duration // simulated time
+	TPS     float64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-12s %6d txns in %8.1fs simulated → %6.2f TPS", r.System, r.Txns, r.Elapsed.Seconds(), r.TPS)
+}
+
+// RunBenchmark executes n transactions on sys, measuring simulated elapsed
+// time (including the final drain of any pending group commit).
+func RunBenchmark(sys System, clock *sim.Clock, cfg Config, n int) (Result, error) {
+	gen := NewGenerator(cfg)
+	start := clock.Now()
+	for i := 0; i < n; i++ {
+		if err := sys.Run(gen.Next()); err != nil {
+			return Result{}, fmt.Errorf("tpcb: txn %d on %s: %w", i, sys.Name(), err)
+		}
+	}
+	if err := sys.Drain(); err != nil {
+		return Result{}, err
+	}
+	elapsed := clock.Now() - start
+	res := Result{System: sys.Name(), Txns: n, Elapsed: elapsed}
+	if elapsed > 0 {
+		res.TPS = float64(n) / elapsed.Seconds()
+	}
+	return res, nil
+}

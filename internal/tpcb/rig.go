@@ -1,0 +1,174 @@
+package tpcb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/ffs"
+	"repro/internal/lfs"
+	"repro/internal/libtp"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// RigOptions configures a benchmark rig.
+type RigOptions struct {
+	// Kind selects the configuration: "user-ffs", "user-lfs", "kernel-lfs".
+	Kind string
+	// Config sizes the database.
+	Config Config
+	// Costs is the CPU cost model (default sim.SpriteCosts()).
+	Costs sim.CostModel
+	// GroupCommit batches commits (default 1).
+	GroupCommit int
+	// Policy selects the LFS cleaner policy.
+	Policy lfs.CleanerPolicy
+	// ExpectedTxns sizes the disk for history growth (default 100000).
+	ExpectedTxns int
+	// DiskScale multiplies the computed disk size (default 1.0). The
+	// default sizing follows the paper: the database occupies roughly
+	// half the disk.
+	DiskScale float64
+}
+
+// Rig is a ready-to-run benchmark configuration.
+type Rig struct {
+	Clock *sim.Clock
+	Dev   *disk.Device
+	FS    vfs.FileSystem
+	LFS   *lfs.FS // non-nil for LFS-based rigs
+	Sys   System
+	Env   *libtp.Env    // non-nil for user-level rigs
+	Core  *core.Manager // non-nil for the embedded rig
+}
+
+// DiskModelFor returns the simulated disk geometry the rig builder would
+// pick for a configuration (exposed for harnesses that assemble their own
+// stacks, e.g. the user-TP-on-transaction-kernel leg of Figure 5).
+func DiskModelFor(cfg Config, expectedTxns int) sim.DiskModel {
+	dbPages := dbPagesEstimate(cfg, expectedTxns)
+	model := sim.RZ55Model()
+	freeBlocks := int64(expectedTxns)
+	if freeBlocks < dbPages {
+		freeBlocks = dbPages
+	}
+	model.NumBlocks = dbPages + dbPages/5 + freeBlocks + 2048
+	return model
+}
+
+// CacheBlocksFor returns the per-pool cache sizing for a configuration.
+func CacheBlocksFor(cfg Config, expectedTxns int) int {
+	cache := int(dbPagesEstimate(cfg, expectedTxns) / 10)
+	if cache < 96 {
+		cache = 96
+	}
+	return cache
+}
+
+// dbPagesEstimate approximates the loaded database size in pages.
+func dbPagesEstimate(cfg Config, expectedTxns int) int64 {
+	balances := cfg.Accounts + cfg.Tellers + cfg.Branches
+	treePages := balances/28 + 64 // ~30 records per 4 KB leaf + interior slack
+	historyPages := int64(expectedTxns)/75 + 16
+	return treePages + historyPages
+}
+
+// BuildRig constructs the device, file system, transaction system, and
+// loaded database for one configuration.
+func BuildRig(opts RigOptions) (*Rig, error) {
+	if opts.Costs == (sim.CostModel{}) {
+		opts.Costs = sim.SpriteCosts()
+	}
+	if opts.GroupCommit < 1 {
+		opts.GroupCommit = 1
+	}
+	if opts.ExpectedTxns == 0 {
+		opts.ExpectedTxns = 100000
+	}
+	if opts.DiskScale == 0 {
+		opts.DiskScale = 1.0
+	}
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+
+	dbPages := dbPagesEstimate(opts.Config, opts.ExpectedTxns)
+	model := sim.RZ55Model()
+	// Disk sizing preserves two regimes of the paper's full-scale setup
+	// rather than scaling the disk purely with the database:
+	//  - enough free space that the log wraps (and the cleaner cycles) at
+	//    the paper's per-transaction rate — per-transaction write volume
+	//    does not shrink with the database, so free space is sized from
+	//    the expected transaction count (~1 block of eventual log space
+	//    per transaction kept free, matching the paper's ~18 log cycles
+	//    per 100k-transaction run);
+	//  - the database still occupying a large fraction of the disk.
+	freeBlocks := int64(opts.ExpectedTxns)
+	if freeBlocks < dbPages {
+		freeBlocks = dbPages
+	}
+	model.NumBlocks = int64(float64(dbPages+dbPages/5+freeBlocks+2048) * opts.DiskScale)
+	// The paper's machine cached a small fraction of the database (32 MB
+	// of memory against a 160 MB account file plus the OS): "databases too
+	// large to cache in main memory" is what makes the workload
+	// read-bound. One tenth per pool; the user-level systems have two
+	// pools (user + kernel), the embedded system gets the whole budget in
+	// its single kernel cache.
+	cache := int(dbPages / 10)
+	if cache < 96 {
+		cache = 96
+	}
+
+	clk := sim.NewClock()
+	dev := disk.New(model, clk)
+	rig := &Rig{Clock: clk, Dev: dev}
+
+	switch opts.Kind {
+	case "user-ffs":
+		fsys, err := ffs.Format(dev, clk, ffs.Options{CacheBlocks: cache, SyncInterval: 30 * time.Second})
+		if err != nil {
+			return nil, err
+		}
+		rig.FS = fsys
+		env, err := libtp.NewEnv(fsys, clk, libtp.Options{CacheBlocks: cache, Costs: opts.Costs, GroupCommit: opts.GroupCommit})
+		if err != nil {
+			return nil, err
+		}
+		rig.Env = env
+		rig.Sys = NewUserSystem(env, clk, opts.Costs)
+	case "user-lfs":
+		fsys, err := lfs.Format(dev, clk, lfs.Options{CacheBlocks: cache, Policy: opts.Policy})
+		if err != nil {
+			return nil, err
+		}
+		rig.FS, rig.LFS = fsys, fsys
+		env, err := libtp.NewEnv(fsys, clk, libtp.Options{CacheBlocks: cache, Costs: opts.Costs, GroupCommit: opts.GroupCommit})
+		if err != nil {
+			return nil, err
+		}
+		rig.Env = env
+		rig.Sys = NewUserSystem(env, clk, opts.Costs)
+	case "kernel-lfs":
+		// The embedded system avoids double buffering: the user-level
+		// configurations split the same memory between a user pool and
+		// the kernel cache, so the kernel configuration gets the whole
+		// budget in one cache (§1: the user-level architecture's
+		// "functional redundancy").
+		fsys, err := lfs.Format(dev, clk, lfs.Options{CacheBlocks: 2 * cache, Policy: opts.Policy})
+		if err != nil {
+			return nil, err
+		}
+		rig.FS, rig.LFS = fsys, fsys
+		m := core.New(fsys, clk, core.Options{Costs: opts.Costs, GroupCommit: opts.GroupCommit})
+		rig.Core = m
+		rig.Sys = NewEmbeddedSystem(m, clk, opts.Costs)
+	default:
+		return nil, fmt.Errorf("tpcb: unknown rig kind %q", opts.Kind)
+	}
+	if err := rig.Sys.Load(opts.Config); err != nil {
+		return nil, fmt.Errorf("tpcb: load on %s: %w", opts.Kind, err)
+	}
+	return rig, nil
+}

@@ -1,0 +1,360 @@
+package tpcb
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/libtp"
+	"repro/internal/pagestore"
+	"repro/internal/recno"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Relation paths.
+const (
+	AccountPath = "/account"
+	TellerPath  = "/teller"
+	BranchPath  = "/branch"
+	HistoryPath = "/history"
+)
+
+// DBPaths lists all relation files (for LIBTP crash recovery).
+func DBPaths() []string {
+	return []string{AccountPath, TellerPath, BranchPath, HistoryPath}
+}
+
+// LoadRelations bulk-loads the four relations directly through the file
+// system (the offline load phase; transactions are not involved) and syncs.
+func LoadRelations(fsys vfs.FileSystem, cfg Config) error {
+	return loadRelations(fsys, cfg)
+}
+
+// ScanAccountsOn walks the account B-tree in key order through a raw file
+// store on any file system (the §5.3 SCAN test measurement).
+func ScanAccountsOn(fsys vfs.FileSystem) (int64, error) {
+	return scanAccounts(fsys)
+}
+
+// loadRelations bulk-loads the four relations directly through the file
+// system (the offline load phase; transactions are not involved) and syncs.
+func loadRelations(fsys vfs.FileSystem, cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	mkTree := func(path string, n int64) error {
+		f, err := fsys.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// Bulk-build the primary index bottom-up from the sorted id
+		// stream, as a real database load utility would.
+		id := int64(0)
+		_, err = btree.BulkLoad(pagestore.NewFileStore(f, fsys.BlockSize()), func() ([]byte, []byte, bool) {
+			if id >= n {
+				return nil, nil, false
+			}
+			k, v := Key(id), BalanceRecord(id, 0)
+			id++
+			return k, v, true
+		})
+		return err
+	}
+	if err := mkTree(AccountPath, cfg.Accounts); err != nil {
+		return fmt.Errorf("tpcb: load accounts: %w", err)
+	}
+	if err := mkTree(TellerPath, cfg.Tellers); err != nil {
+		return fmt.Errorf("tpcb: load tellers: %w", err)
+	}
+	if err := mkTree(BranchPath, cfg.Branches); err != nil {
+		return fmt.Errorf("tpcb: load branches: %w", err)
+	}
+	f, err := fsys.Create(HistoryPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := recno.Create(pagestore.NewFileStore(f, fsys.BlockSize()), HistoryRecordSize); err != nil {
+		return fmt.Errorf("tpcb: load history: %w", err)
+	}
+	return fsys.Sync()
+}
+
+// scanAccounts walks the account B-tree in key order through a raw file
+// store (the SCAN test measures file-system layout, not locking).
+func scanAccounts(fsys vfs.FileSystem) (int64, error) {
+	f, err := fsys.Open(AccountPath)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	tr, err := btree.Open(pagestore.NewFileStore(f, fsys.BlockSize()))
+	if err != nil {
+		return 0, err
+	}
+	c, err := tr.First()
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for c.Next() {
+		n++
+	}
+	if c.Err() != nil {
+		return n, c.Err()
+	}
+	return n, nil
+}
+
+// --- user-level system (LIBTP, Figure 2) ---
+
+// UserSystem runs TPC-B through the user-level transaction manager on any
+// file system.
+type UserSystem struct {
+	env   *libtp.Env
+	clock *sim.Clock
+	costs sim.CostModel
+	label string
+	acc   *libtp.DB
+	tel   *libtp.DB
+	brn   *libtp.DB
+	hist  *libtp.DB
+}
+
+// NewUserSystem builds the user-level configuration on env's file system.
+func NewUserSystem(env *libtp.Env, clock *sim.Clock, costs sim.CostModel) *UserSystem {
+	return &UserSystem{
+		env:   env,
+		clock: clock,
+		costs: costs,
+		label: "user-" + env.FS().Name(),
+	}
+}
+
+// Name implements System.
+func (s *UserSystem) Name() string { return s.label }
+
+// Load implements System.
+func (s *UserSystem) Load(cfg Config) error {
+	if err := loadRelations(s.env.FS(), cfg); err != nil {
+		return err
+	}
+	var err error
+	if s.acc, err = s.env.OpenDB(AccountPath); err != nil {
+		return err
+	}
+	if s.tel, err = s.env.OpenDB(TellerPath); err != nil {
+		return err
+	}
+	if s.brn, err = s.env.OpenDB(BranchPath); err != nil {
+		return err
+	}
+	if s.hist, err = s.env.OpenDB(HistoryPath); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Attach opens the four relations on an already-loaded (e.g. recovered)
+// environment. No load is performed.
+func (s *UserSystem) Attach() error {
+	var err error
+	if s.acc, err = s.env.OpenDB(AccountPath); err != nil {
+		return err
+	}
+	if s.tel, err = s.env.OpenDB(TellerPath); err != nil {
+		return err
+	}
+	if s.brn, err = s.env.OpenDB(BranchPath); err != nil {
+		return err
+	}
+	if s.hist, err = s.env.OpenDB(HistoryPath); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Run implements System: the classic read-update of account, teller, and
+// branch plus a history append, inside one transaction.
+func (s *UserSystem) Run(t Txn) error {
+	txn := s.env.Begin()
+	update := func(db *libtp.DB, id int64) error {
+		s.clock.Advance(s.costs.RecordOp)
+		tr, err := btree.Open(txn.Store(db))
+		if err != nil {
+			return err
+		}
+		rec, err := tr.Get(Key(id))
+		if err != nil {
+			return err
+		}
+		rec2 := append([]byte(nil), rec...)
+		SetBalance(rec2, Balance(rec2)+t.Amount)
+		return tr.Put(Key(id), rec2)
+	}
+	if err := update(s.acc, t.Account); err != nil {
+		txn.Abort()
+		return err
+	}
+	if err := update(s.tel, t.Teller); err != nil {
+		txn.Abort()
+		return err
+	}
+	if err := update(s.brn, t.Branch); err != nil {
+		txn.Abort()
+		return err
+	}
+	s.clock.Advance(s.costs.RecordOp)
+	hf, err := recno.Open(txn.Store(s.hist))
+	if err != nil {
+		txn.Abort()
+		return err
+	}
+	if _, err := hf.Append(HistoryRecord(t.Account, t.Teller, t.Branch, t.Amount, int64(s.clock.Now()))); err != nil {
+		txn.Abort()
+		return err
+	}
+	return txn.Commit()
+}
+
+// Drain implements System: force any batched commits and flush the cache
+// through a checkpoint.
+func (s *UserSystem) Drain() error {
+	return s.env.Checkpoint()
+}
+
+// ScanAccounts implements System.
+func (s *UserSystem) ScanAccounts() (int64, error) {
+	return scanAccounts(s.env.FS())
+}
+
+// Close implements System.
+func (s *UserSystem) Close() error { return nil }
+
+// --- embedded system (Figure 3) ---
+
+// EmbeddedSystem runs TPC-B through the kernel transaction manager in LFS.
+type EmbeddedSystem struct {
+	m     *core.Manager
+	clock *sim.Clock
+	costs sim.CostModel
+	proc  *core.Process
+	acc   *core.File
+	tel   *core.File
+	brn   *core.File
+	hist  *core.File
+}
+
+// NewEmbeddedSystem builds the kernel configuration.
+func NewEmbeddedSystem(m *core.Manager, clock *sim.Clock, costs sim.CostModel) *EmbeddedSystem {
+	return &EmbeddedSystem{m: m, clock: clock, costs: costs, proc: m.NewProcess()}
+}
+
+// Name implements System.
+func (s *EmbeddedSystem) Name() string { return "kernel-lfs" }
+
+// Load implements System: bulk-load, then turn transaction-protection on
+// for all four relations.
+func (s *EmbeddedSystem) Load(cfg Config) error {
+	if err := loadRelations(s.m.FS(), cfg); err != nil {
+		return err
+	}
+	for _, p := range DBPaths() {
+		if err := s.m.Protect(p); err != nil {
+			return err
+		}
+	}
+	if err := s.m.FS().Sync(); err != nil {
+		return err
+	}
+	var err error
+	if s.acc, err = s.m.Open(AccountPath); err != nil {
+		return err
+	}
+	if s.tel, err = s.m.Open(TellerPath); err != nil {
+		return err
+	}
+	if s.brn, err = s.m.Open(BranchPath); err != nil {
+		return err
+	}
+	if s.hist, err = s.m.Open(HistoryPath); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Attach opens the four relations on an already-loaded file system (after a
+// crash and remount, for instance). No load is performed.
+func (s *EmbeddedSystem) Attach() error {
+	var err error
+	if s.acc, err = s.m.Open(AccountPath); err != nil {
+		return err
+	}
+	if s.tel, err = s.m.Open(TellerPath); err != nil {
+		return err
+	}
+	if s.brn, err = s.m.Open(BranchPath); err != nil {
+		return err
+	}
+	if s.hist, err = s.m.Open(HistoryPath); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Run implements System.
+func (s *EmbeddedSystem) Run(t Txn) error {
+	if err := s.proc.TxnBegin(); err != nil {
+		return err
+	}
+	update := func(f *core.File, id int64) error {
+		s.clock.Advance(s.costs.RecordOp)
+		tr, err := btree.Open(core.NewStore(s.proc, f))
+		if err != nil {
+			return err
+		}
+		rec, err := tr.Get(Key(id))
+		if err != nil {
+			return err
+		}
+		rec2 := append([]byte(nil), rec...)
+		SetBalance(rec2, Balance(rec2)+t.Amount)
+		return tr.Put(Key(id), rec2)
+	}
+	if err := update(s.acc, t.Account); err != nil {
+		s.proc.TxnAbort()
+		return err
+	}
+	if err := update(s.tel, t.Teller); err != nil {
+		s.proc.TxnAbort()
+		return err
+	}
+	if err := update(s.brn, t.Branch); err != nil {
+		s.proc.TxnAbort()
+		return err
+	}
+	s.clock.Advance(s.costs.RecordOp)
+	hf, err := recno.Open(core.NewStore(s.proc, s.hist))
+	if err != nil {
+		s.proc.TxnAbort()
+		return err
+	}
+	if _, err := hf.Append(HistoryRecord(t.Account, t.Teller, t.Branch, t.Amount, int64(s.clock.Now()))); err != nil {
+		s.proc.TxnAbort()
+		return err
+	}
+	return s.proc.TxnCommit()
+}
+
+// Drain implements System.
+func (s *EmbeddedSystem) Drain() error { return s.m.Flush() }
+
+// ScanAccounts implements System.
+func (s *EmbeddedSystem) ScanAccounts() (int64, error) {
+	return scanAccounts(s.m.FS())
+}
+
+// Close implements System.
+func (s *EmbeddedSystem) Close() error { return nil }

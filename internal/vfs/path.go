@@ -1,0 +1,33 @@
+package vfs
+
+import "strings"
+
+// SplitPath normalizes an absolute slash-separated path into its components.
+// "/" yields an empty slice. Empty components and "." are dropped; ".." is
+// rejected (neither file system supports it) by returning ok=false.
+func SplitPath(path string) (parts []string, ok bool) {
+	if path == "" {
+		return nil, false
+	}
+	for _, p := range strings.Split(path, "/") {
+		switch p {
+		case "", ".":
+			continue
+		case "..":
+			return nil, false
+		default:
+			parts = append(parts, p)
+		}
+	}
+	return parts, true
+}
+
+// SplitDirBase splits a path into its parent components and final name.
+// ok is false for the root or malformed paths.
+func SplitDirBase(path string) (dir []string, base string, ok bool) {
+	parts, ok := SplitPath(path)
+	if !ok || len(parts) == 0 {
+		return nil, "", false
+	}
+	return parts[:len(parts)-1], parts[len(parts)-1], true
+}

@@ -1,0 +1,44 @@
+package vfs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+		ok   bool
+	}{
+		{"/", nil, true},
+		{"", nil, false},
+		{"/a", []string{"a"}, true},
+		{"/a/b/c", []string{"a", "b", "c"}, true},
+		{"a/b", []string{"a", "b"}, true},
+		{"//a///b/", []string{"a", "b"}, true},
+		{"/a/./b", []string{"a", "b"}, true},
+		{"/a/../b", nil, false},
+		{"..", nil, false},
+	}
+	for _, c := range cases {
+		got, ok := SplitPath(c.in)
+		if ok != c.ok || !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitPath(%q) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestSplitDirBase(t *testing.T) {
+	dir, base, ok := SplitDirBase("/a/b/c")
+	if !ok || base != "c" || !reflect.DeepEqual(dir, []string{"a", "b"}) {
+		t.Fatalf("SplitDirBase(/a/b/c) = %v,%q,%v", dir, base, ok)
+	}
+	if _, _, ok := SplitDirBase("/"); ok {
+		t.Fatal("root has no base name")
+	}
+	dir, base, ok = SplitDirBase("/top")
+	if !ok || base != "top" || len(dir) != 0 {
+		t.Fatalf("SplitDirBase(/top) = %v,%q,%v", dir, base, ok)
+	}
+}

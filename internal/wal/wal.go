@@ -1,0 +1,410 @@
+// Package wal implements the write-ahead log manager of the user-level
+// transaction system (Figure 2 of the paper): physical before/after-image
+// logging of byte ranges within pages, supporting both redo and undo
+// recovery, with group commit to amortize the cost of forcing the log.
+//
+// The log is an append-only file on whichever file system the database lives
+// on. Each record carries its transaction, the page it touched, the byte
+// range, and the before- and after-images; commit forces the log to disk
+// (possibly after batching several transactions — group commit, [3]).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/vfs"
+)
+
+// LSN is a log sequence number: the byte offset of a record in the log file.
+type LSN int64
+
+// RecType discriminates log records.
+type RecType uint8
+
+const (
+	// RecUpdate is a page update with before/after images.
+	RecUpdate RecType = iota + 1
+	// RecCommit marks a transaction committed.
+	RecCommit
+	// RecAbort marks a transaction rolled back.
+	RecAbort
+	// RecCheckpoint records that all dirty pages up to this point were
+	// flushed and lists no active transactions (quiescent checkpoint).
+	RecCheckpoint
+)
+
+// Record is one log record.
+type Record struct {
+	LSN    LSN
+	Type   RecType
+	Txn    uint64
+	File   uint64
+	Block  int64
+	Offset uint32 // byte offset within the page
+	Before []byte
+	After  []byte
+}
+
+// headerSize is the reserved area at the start of the log file.
+const headerSize = 512
+
+const recFixed = 4 + 4 + 1 + 8 + 8 + 8 + 4 + 4 + 4 // len crc type txn file block off blen alen
+
+// Errors.
+var (
+	ErrCorrupt = errors.New("wal: corrupt log record")
+	ErrClosed  = errors.New("wal: log closed")
+)
+
+// Stats counts log activity.
+type Stats struct {
+	Records      int64
+	BytesLogged  int64
+	Forces       int64 // log forces (synchronous flushes)
+	GroupCommits int64 // commits absorbed into a pending batch
+}
+
+// Manager is a write-ahead log.
+type Manager struct {
+	f      vfs.File
+	buf    []byte // unflushed tail
+	tail   int64  // durable end of log (file offset)
+	end    int64  // logical end including buffered records
+	closed bool
+
+	// Group commit: force the log only once every batch commits, or
+	// immediately when batch <= 1 ("sufficiently more transactions have
+	// committed to justify the write", §4.4).
+	batch        int
+	pendingComms int
+
+	stats Stats
+}
+
+// Create initializes a fresh log file at path.
+func Create(fsys vfs.FileSystem, path string) (*Manager, error) {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(hdr, 0x57414c31) // "WAL1"
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		return nil, err
+	}
+	// A full file-system sync, not just an fsync of the file: the log's
+	// directory entry must be durable too, or a crash before the first
+	// checkpoint leaves the log unreachable by path.
+	if err := fsys.Sync(); err != nil {
+		return nil, err
+	}
+	return &Manager{f: f, tail: headerSize, end: headerSize, batch: 1}, nil
+}
+
+// Open opens an existing log file for recovery and further appending.
+func Open(fsys vfs.FileSystem, path string) (*Manager, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{f: f, batch: 1}
+	// The durable end is found by scanning (the trailing record's end);
+	// Scan tolerates a torn tail.
+	recs, err := m.Scan()
+	if err != nil {
+		return nil, err
+	}
+	end := int64(headerSize)
+	if n := len(recs); n > 0 {
+		last := recs[n-1]
+		end = int64(last.LSN) + int64(recSize(&last))
+	}
+	m.tail, m.end = end, end
+	return m, nil
+}
+
+// SetGroupCommit sets the commit batch size: the log is forced once per
+// `batch` commits. batch <= 1 forces at every commit.
+func (m *Manager) SetGroupCommit(batch int) {
+	if batch < 1 {
+		batch = 1
+	}
+	m.batch = batch
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// End returns the logical end of the log.
+func (m *Manager) End() LSN { return LSN(m.end) }
+
+func recSize(r *Record) int { return recFixed + len(r.Before) + len(r.After) }
+
+func encodeRecord(r *Record) []byte {
+	size := recSize(r)
+	b := make([]byte, size)
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], uint32(size))
+	b[8] = byte(r.Type)
+	le.PutUint64(b[9:], r.Txn)
+	le.PutUint64(b[17:], r.File)
+	le.PutUint64(b[25:], uint64(r.Block))
+	le.PutUint32(b[33:], r.Offset)
+	le.PutUint32(b[37:], uint32(len(r.Before)))
+	le.PutUint32(b[41:], uint32(len(r.After)))
+	copy(b[recFixed:], r.Before)
+	copy(b[recFixed+len(r.Before):], r.After)
+	crc := crc32.NewIEEE()
+	crc.Write(b[0:4])
+	crc.Write(b[8:])
+	le.PutUint32(b[4:], crc.Sum32())
+	return b
+}
+
+func decodeRecord(b []byte) (Record, int, error) {
+	if len(b) < recFixed {
+		return Record{}, 0, ErrCorrupt
+	}
+	le := binary.LittleEndian
+	size := int(le.Uint32(b[0:]))
+	if size < recFixed || size > len(b) {
+		return Record{}, 0, ErrCorrupt
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(b[0:4])
+	crc.Write(b[8:size])
+	if le.Uint32(b[4:]) != crc.Sum32() {
+		return Record{}, 0, ErrCorrupt
+	}
+	var r Record
+	r.Type = RecType(b[8])
+	r.Txn = le.Uint64(b[9:])
+	r.File = le.Uint64(b[17:])
+	r.Block = int64(le.Uint64(b[25:]))
+	r.Offset = le.Uint32(b[33:])
+	blen := int(le.Uint32(b[37:]))
+	alen := int(le.Uint32(b[41:]))
+	if recFixed+blen+alen != size {
+		return Record{}, 0, ErrCorrupt
+	}
+	r.Before = append([]byte(nil), b[recFixed:recFixed+blen]...)
+	r.After = append([]byte(nil), b[recFixed+blen:size]...)
+	return r, size, nil
+}
+
+// append adds a record to the in-memory tail and returns its LSN.
+func (m *Manager) append(r *Record) LSN {
+	lsn := LSN(m.end)
+	r.LSN = lsn
+	enc := encodeRecord(r)
+	m.buf = append(m.buf, enc...)
+	m.end += int64(len(enc))
+	m.stats.Records++
+	m.stats.BytesLogged += int64(len(enc))
+	return lsn
+}
+
+// LogUpdate appends an update record (before writing the page to disk: the
+// WAL protocol requires the log to be forced before the page, which the
+// buffer manager enforces by flushing the log on page write-back).
+func (m *Manager) LogUpdate(txn, file uint64, block int64, offset uint32, before, after []byte) (LSN, error) {
+	if m.closed {
+		return 0, ErrClosed
+	}
+	r := Record{Type: RecUpdate, Txn: txn, File: file, Block: block, Offset: offset,
+		Before: append([]byte(nil), before...), After: append([]byte(nil), after...)}
+	return m.append(&r), nil
+}
+
+// LogCommit appends a commit record and forces the log (or defers the force
+// under group commit). It reports whether the commit is durable yet.
+func (m *Manager) LogCommit(txn uint64) (LSN, bool, error) {
+	if m.closed {
+		return 0, false, ErrClosed
+	}
+	lsn := m.append(&Record{Type: RecCommit, Txn: txn})
+	m.pendingComms++
+	if m.pendingComms >= m.batch {
+		m.pendingComms = 0
+		if err := m.Force(); err != nil {
+			return lsn, false, err
+		}
+		return lsn, true, nil
+	}
+	m.stats.GroupCommits++
+	return lsn, false, nil
+}
+
+// LogAbort appends an abort record (no force needed: undo was already
+// applied from in-memory state, and the abort record only speeds recovery).
+func (m *Manager) LogAbort(txn uint64) (LSN, error) {
+	if m.closed {
+		return 0, ErrClosed
+	}
+	return m.append(&Record{Type: RecAbort, Txn: txn}), nil
+}
+
+// LogCheckpoint appends a quiescent-checkpoint record and forces the log.
+func (m *Manager) LogCheckpoint() (LSN, error) {
+	if m.closed {
+		return 0, ErrClosed
+	}
+	lsn := m.append(&Record{Type: RecCheckpoint})
+	return lsn, m.Force()
+}
+
+// Force flushes all buffered records to the log file and syncs it — the
+// log force at the heart of WAL.
+func (m *Manager) Force() error {
+	if m.closed {
+		return ErrClosed
+	}
+	if len(m.buf) == 0 {
+		return nil
+	}
+	if _, err := m.f.WriteAt(m.buf, m.tail); err != nil {
+		return err
+	}
+	if err := m.f.Sync(); err != nil {
+		return err
+	}
+	m.tail = m.end
+	m.buf = m.buf[:0]
+	m.stats.Forces++
+	return nil
+}
+
+// FlushedTo reports the durable end of the log. Pages whose most recent
+// update has LSN < FlushedTo may be written to the database (WAL rule).
+func (m *Manager) FlushedTo() LSN { return LSN(m.tail) }
+
+// Scan reads every intact record from the start of the log. A torn or
+// corrupt tail terminates the scan without error (those records were never
+// acknowledged durable).
+func (m *Manager) Scan() ([]Record, error) {
+	size, err := m.f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size <= headerSize {
+		return nil, nil
+	}
+	raw := make([]byte, size-headerSize)
+	n, err := m.f.ReadAt(raw, headerSize)
+	if err != nil {
+		return nil, err
+	}
+	raw = raw[:n]
+	var recs []Record
+	off := 0
+	for off < len(raw) {
+		r, sz, err := decodeRecord(raw[off:])
+		if err != nil {
+			break // torn tail
+		}
+		r.LSN = LSN(headerSize + off)
+		recs = append(recs, r)
+		off += sz
+	}
+	return recs, nil
+}
+
+// Recover replays the log. Transactions fall into three classes:
+//
+//   - committed (commit record present): their updates are redone in log
+//     order;
+//   - explicitly aborted (abort record present): they are ALSO redone in
+//     log order — the transaction layer logs compensation updates
+//     (after-image = restored before-image) before the abort record, so
+//     replaying the whole sequence reproduces the rollback without ever
+//     moving backwards in history. This is how compensation log records
+//     keep an abort from clobbering later committed writes at recovery.
+//   - in-flight losers (neither record): their before-images are applied
+//     in reverse order. Strict two-phase locking guarantees no later
+//     transaction wrote the same bytes (the loser still held its write
+//     locks at the crash), so reverse undo is safe.
+//
+// apply writes a byte range into a database page.
+func (m *Manager) Recover(apply func(file uint64, block int64, offset uint32, data []byte) error) (winners, losers int, err error) {
+	recs, err := m.Scan()
+	if err != nil {
+		return 0, 0, err
+	}
+	committed := map[uint64]bool{}
+	aborted := map[uint64]bool{}
+	seen := map[uint64]bool{}
+	for _, r := range recs {
+		switch r.Type {
+		case RecCommit:
+			committed[r.Txn] = true
+		case RecAbort:
+			aborted[r.Txn] = true
+		case RecUpdate:
+			seen[r.Txn] = true
+		}
+	}
+	// Redo committed and aborted-with-compensation transactions forward.
+	for _, r := range recs {
+		if r.Type == RecUpdate && (committed[r.Txn] || aborted[r.Txn]) {
+			if err := apply(r.File, r.Block, r.Offset, r.After); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	// Undo in-flight losers backward.
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		if r.Type == RecUpdate && !committed[r.Txn] && !aborted[r.Txn] {
+			if err := apply(r.File, r.Block, r.Offset, r.Before); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	w, l := 0, 0
+	for txn := range seen {
+		if committed[txn] {
+			w++
+		} else {
+			l++
+		}
+	}
+	return w, l, nil
+}
+
+// Reset truncates the log after a quiescent checkpoint (all data pages
+// flushed, no active transactions): recovery will find an empty log.
+func (m *Manager) Reset() error {
+	if m.closed {
+		return ErrClosed
+	}
+	m.buf = m.buf[:0]
+	if err := m.f.Truncate(headerSize); err != nil {
+		return err
+	}
+	if err := m.f.Sync(); err != nil {
+		return err
+	}
+	m.tail, m.end = headerSize, headerSize
+	m.pendingComms = 0
+	return nil
+}
+
+// Close flushes and closes the log file.
+func (m *Manager) Close() error {
+	if m.closed {
+		return nil
+	}
+	if err := m.Force(); err != nil {
+		return err
+	}
+	m.closed = true
+	return m.f.Close()
+}
+
+// String describes the log position.
+func (m *Manager) String() string {
+	return fmt.Sprintf("wal{end=%d durable=%d}", m.end, m.tail)
+}

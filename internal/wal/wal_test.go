@@ -1,0 +1,388 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+func newLog(t *testing.T) (*Manager, vfs.FileSystem) {
+	t.Helper()
+	clk := sim.NewClock()
+	dev := disk.New(sim.SmallModel(), clk)
+	fsys, err := lfs.Format(dev, clk, lfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Create(fsys, "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, fsys
+}
+
+func TestAppendAndScan(t *testing.T) {
+	m, _ := newLog(t)
+	lsn1, err := m.LogUpdate(1, 10, 5, 100, []byte("old"), []byte("new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.LogCommit(1); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := m.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("Scan = %d records, want 2", len(recs))
+	}
+	r := recs[0]
+	if r.LSN != lsn1 || r.Type != RecUpdate || r.Txn != 1 || r.File != 10 || r.Block != 5 ||
+		r.Offset != 100 || string(r.Before) != "old" || string(r.After) != "new" {
+		t.Fatalf("record = %+v", r)
+	}
+	if recs[1].Type != RecCommit {
+		t.Fatalf("second record = %+v", recs[1])
+	}
+}
+
+func TestCommitForcesLog(t *testing.T) {
+	m, _ := newLog(t)
+	m.LogUpdate(1, 1, 0, 0, []byte("a"), []byte("b"))
+	if m.FlushedTo() != headerSize {
+		t.Fatal("update alone should not force")
+	}
+	_, durable, err := m.LogCommit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !durable {
+		t.Fatal("default batch=1 commit must be durable")
+	}
+	if m.FlushedTo() != m.End() {
+		t.Fatal("commit should force the whole log")
+	}
+}
+
+func TestGroupCommitBatches(t *testing.T) {
+	m, _ := newLog(t)
+	m.SetGroupCommit(3)
+	var durables []bool
+	for txn := uint64(1); txn <= 3; txn++ {
+		m.LogUpdate(txn, 1, 0, 0, []byte("x"), []byte("y"))
+		_, d, err := m.LogCommit(txn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		durables = append(durables, d)
+	}
+	if durables[0] || durables[1] || !durables[2] {
+		t.Fatalf("durability pattern = %v, want [false false true]", durables)
+	}
+	st := m.Stats()
+	if st.Forces != 1 {
+		t.Fatalf("Forces = %d, want 1 (amortized)", st.Forces)
+	}
+	if st.GroupCommits != 2 {
+		t.Fatalf("GroupCommits = %d, want 2", st.GroupCommits)
+	}
+}
+
+func TestReopenFindsEnd(t *testing.T) {
+	m, fsys := newLog(t)
+	m.LogUpdate(1, 1, 0, 0, []byte("a"), []byte("b"))
+	m.LogCommit(1)
+	end := m.End()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(fsys, "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.End() != end {
+		t.Fatalf("reopened end = %d, want %d", m2.End(), end)
+	}
+	// Appending after reopen works.
+	m2.LogUpdate(2, 1, 0, 0, []byte("c"), []byte("d"))
+	if _, _, err := m2.LogCommit(2); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := m2.Scan()
+	if len(recs) != 4 {
+		t.Fatalf("%d records after reopen, want 4", len(recs))
+	}
+}
+
+func TestTornTailIgnored(t *testing.T) {
+	m, fsys := newLog(t)
+	m.LogUpdate(1, 1, 0, 0, []byte("good"), []byte("good"))
+	m.LogCommit(1)
+	// Simulate a torn write: garbage appended directly to the file.
+	f, err := fsys.Open("/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := f.Size()
+	f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3}, sz)
+	f.Sync()
+	f.Close()
+	m2, err := Open(fsys, "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := m2.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2 (torn tail dropped)", len(recs))
+	}
+}
+
+// page is a toy page store for recovery tests.
+type pageStore map[[2]int64][]byte
+
+func (p pageStore) apply(file uint64, block int64, offset uint32, data []byte) error {
+	key := [2]int64{int64(file), block}
+	pg, ok := p[key]
+	if !ok {
+		pg = make([]byte, 4096)
+		p[key] = pg
+	}
+	copy(pg[offset:], data)
+	return nil
+}
+
+func TestRecoverRedoWinners(t *testing.T) {
+	m, _ := newLog(t)
+	m.LogUpdate(1, 7, 0, 10, []byte("AAAA"), []byte("BBBB"))
+	m.LogCommit(1)
+	store := pageStore{}
+	w, l, err := m.Recover(store.apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 || l != 0 {
+		t.Fatalf("winners=%d losers=%d", w, l)
+	}
+	if got := store[[2]int64{7, 0}][10:14]; !bytes.Equal(got, []byte("BBBB")) {
+		t.Fatalf("page = %q, want BBBB", got)
+	}
+}
+
+func TestRecoverUndoLosers(t *testing.T) {
+	m, _ := newLog(t)
+	// Winner then loser on the same bytes.
+	m.LogUpdate(1, 7, 0, 10, []byte("AAAA"), []byte("BBBB"))
+	m.LogCommit(1)
+	m.LogUpdate(2, 7, 0, 10, []byte("BBBB"), []byte("CCCC"))
+	m.Force() // loser's update reached the log but no commit
+	store := pageStore{}
+	// Simulate the page on disk containing the loser's change.
+	store.apply(7, 0, 10, []byte("CCCC"))
+	w, l, err := m.Recover(store.apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 || l != 1 {
+		t.Fatalf("winners=%d losers=%d", w, l)
+	}
+	if got := store[[2]int64{7, 0}][10:14]; !bytes.Equal(got, []byte("BBBB")) {
+		t.Fatalf("page = %q, want BBBB (loser undone)", got)
+	}
+}
+
+func TestRecoverMultiTxnInterleaved(t *testing.T) {
+	m, _ := newLog(t)
+	// T1 and T2 interleave on different offsets of one page; T1 commits.
+	m.LogUpdate(1, 3, 2, 0, []byte("xxxx"), []byte("T1AA"))
+	m.LogUpdate(2, 3, 2, 8, []byte("yyyy"), []byte("T2BB"))
+	m.LogUpdate(1, 3, 2, 4, []byte("zzzz"), []byte("T1CC"))
+	m.LogCommit(1)
+	store := pageStore{}
+	store.apply(3, 2, 0, []byte("T1AAT1CCT2BB")) // crash state: both applied
+	if _, _, err := m.Recover(store.apply); err != nil {
+		t.Fatal(err)
+	}
+	pg := store[[2]int64{3, 2}]
+	if !bytes.Equal(pg[0:4], []byte("T1AA")) || !bytes.Equal(pg[4:8], []byte("T1CC")) {
+		t.Fatalf("winner bytes wrong: %q", pg[:12])
+	}
+	if !bytes.Equal(pg[8:12], []byte("yyyy")) {
+		t.Fatalf("loser bytes not undone: %q", pg[8:12])
+	}
+}
+
+func TestAbortedTxnUndoneAtRecovery(t *testing.T) {
+	// The transaction layer logs a compensation update (restoring the
+	// before-image) ahead of the abort record; recovery replays the whole
+	// sequence forward.
+	m, _ := newLog(t)
+	m.LogUpdate(5, 1, 0, 0, []byte("OLD!"), []byte("NEW!"))
+	m.LogUpdate(5, 1, 0, 0, []byte("NEW!"), []byte("OLD!")) // compensation
+	m.LogAbort(5)
+	m.Force()
+	store := pageStore{}
+	store.apply(1, 0, 0, []byte("NEW!")) // page escaped to disk pre-abort
+	w, l, err := m.Recover(store.apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 || l != 1 {
+		t.Fatalf("winners=%d losers=%d", w, l)
+	}
+	if got := store[[2]int64{1, 0}][:4]; !bytes.Equal(got, []byte("OLD!")) {
+		t.Fatalf("aborted txn not undone: %q", got)
+	}
+}
+
+func TestAbortDoesNotClobberLaterCommit(t *testing.T) {
+	// T3 updates X and aborts (with compensation); T4 then commits a new
+	// value for X. Recovery must leave T4's value in place — the scenario
+	// that breaks naive reverse-undo of aborted transactions.
+	m, _ := newLog(t)
+	m.LogUpdate(3, 1, 0, 0, []byte("0000"), []byte("3333"))
+	m.LogUpdate(3, 1, 0, 0, []byte("3333"), []byte("0000")) // compensation
+	m.LogAbort(3)
+	m.LogUpdate(4, 1, 0, 0, []byte("0000"), []byte("4444"))
+	m.LogCommit(4)
+	store := pageStore{}
+	store.apply(1, 0, 0, []byte("4444"))
+	if _, _, err := m.Recover(store.apply); err != nil {
+		t.Fatal(err)
+	}
+	if got := store[[2]int64{1, 0}][:4]; !bytes.Equal(got, []byte("4444")) {
+		t.Fatalf("committed value clobbered: %q", got)
+	}
+}
+
+func TestResetTruncates(t *testing.T) {
+	m, _ := newLog(t)
+	m.LogUpdate(1, 1, 0, 0, []byte("a"), []byte("b"))
+	m.LogCommit(1)
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := m.Scan()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("after reset: %d records, err %v", len(recs), err)
+	}
+	// The log keeps working after reset.
+	m.LogUpdate(2, 1, 0, 0, []byte("c"), []byte("d"))
+	m.LogCommit(2)
+	recs, _ = m.Scan()
+	if len(recs) != 2 {
+		t.Fatalf("after reset+append: %d records", len(recs))
+	}
+}
+
+func TestCheckpointRecord(t *testing.T) {
+	m, _ := newLog(t)
+	if _, err := m.LogCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := m.Scan()
+	if len(recs) != 1 || recs[0].Type != RecCheckpoint {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+func TestClosedLogRejects(t *testing.T) {
+	m, _ := newLog(t)
+	m.Close()
+	if _, err := m.LogUpdate(1, 1, 0, 0, nil, nil); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	if _, _, err := m.LogCommit(1); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+func TestBytesLoggedReflectsDeltaSize(t *testing.T) {
+	// The point of §4.3's comparison: WAL logs only the changed bytes,
+	// while the embedded system flushes whole pages at commit.
+	m, _ := newLog(t)
+	small := []byte("ab")
+	m.LogUpdate(1, 1, 0, 0, small, small)
+	m.LogCommit(1)
+	st := m.Stats()
+	if st.BytesLogged > 200 {
+		t.Fatalf("BytesLogged = %d; delta logging should be tiny", st.BytesLogged)
+	}
+}
+
+// Property: any sequence of logged records scans back exactly, and recovery
+// of a fully-committed history is idempotent (applying it twice gives the
+// same pages).
+func TestLogRoundTripProperty(t *testing.T) {
+	prop := func(ops []struct {
+		Txn    uint8
+		Block  uint8
+		Off    uint8
+		Commit bool
+	}) bool {
+		m, _ := newLog(t)
+		var expected []Record
+		for _, op := range ops {
+			if op.Commit {
+				if _, _, err := m.LogCommit(uint64(op.Txn)); err != nil {
+					return false
+				}
+				expected = append(expected, Record{Type: RecCommit, Txn: uint64(op.Txn)})
+			} else {
+				before := []byte{op.Block, op.Off}
+				after := []byte{op.Off, op.Block}
+				if _, err := m.LogUpdate(uint64(op.Txn), 1, int64(op.Block), uint32(op.Off), before, after); err != nil {
+					return false
+				}
+				expected = append(expected, Record{Type: RecUpdate, Txn: uint64(op.Txn), Block: int64(op.Block), Offset: uint32(op.Off)})
+			}
+		}
+		if err := m.Force(); err != nil {
+			return false
+		}
+		recs, err := m.Scan()
+		if err != nil || len(recs) != len(expected) {
+			return false
+		}
+		for i, want := range expected {
+			got := recs[i]
+			if got.Type != want.Type || got.Txn != want.Txn {
+				return false
+			}
+			if want.Type == RecUpdate && (got.Block != want.Block || got.Offset != want.Offset) {
+				return false
+			}
+		}
+		// Recovery idempotence.
+		s1, s2 := pageStore{}, pageStore{}
+		if _, _, err := m.Recover(s1.apply); err != nil {
+			return false
+		}
+		if _, _, err := m.Recover(s2.apply); err != nil {
+			return false
+		}
+		if _, _, err := m.Recover(s2.apply); err != nil { // twice
+			return false
+		}
+		if len(s1) != len(s2) {
+			return false
+		}
+		for k, v := range s1 {
+			if !bytes.Equal(s2[k], v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+// Package workload implements the non-transaction benchmarks of §5.2:
+//
+//   - an Andrew-like engineering workstation test [6]: copy a tree of small
+//     files, create a directory structure, traverse it, read everything,
+//     and run a compile-like phase (CPU work producing object files);
+//   - Bigfile: create, copy, and remove a set of large files (1, 5 and
+//     10 MB in the paper, scaled to the simulated disk).
+//
+// Both run against any vfs.FileSystem, so the same code measures a plain
+// kernel and a transaction-enabled kernel (via core.FSAdapter) — Figure 5
+// shows the elapsed times match within 1–2%.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// AndrewConfig sizes the Andrew-like test.
+type AndrewConfig struct {
+	// Dirs is the number of directories in the source tree.
+	Dirs int
+	// FilesPerDir is the number of source files per directory.
+	FilesPerDir int
+	// FileSize is the size of each source file in bytes.
+	FileSize int
+	// CompileCPU is the simulated CPU time per compiled file.
+	CompileCPU time.Duration
+	// ObjectFactor scales object size relative to source size.
+	ObjectFactor float64
+	// Seed drives the deterministic file contents.
+	Seed uint64
+}
+
+// DefaultAndrew resembles the original benchmark's scale: ~70 source files
+// in a handful of directories, a few KB each, with a compile phase.
+func DefaultAndrew() AndrewConfig {
+	return AndrewConfig{
+		Dirs:         5,
+		FilesPerDir:  14,
+		FileSize:     6 * 1024,
+		CompileCPU:   80 * time.Millisecond,
+		ObjectFactor: 1.5,
+		Seed:         1987,
+	}
+}
+
+// AndrewResult reports per-phase simulated elapsed times.
+type AndrewResult struct {
+	MkdirPhase   time.Duration
+	CopyPhase    time.Duration
+	StatPhase    time.Duration
+	ReadPhase    time.Duration
+	CompilePhase time.Duration
+}
+
+// Total returns the whole run's elapsed time.
+func (r AndrewResult) Total() time.Duration {
+	return r.MkdirPhase + r.CopyPhase + r.StatPhase + r.ReadPhase + r.CompilePhase
+}
+
+func fill(rng *sim.RNG, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Uint64())
+	}
+	return b
+}
+
+// RunAndrew executes the five phases on fsys, measuring each phase in
+// simulated time.
+func RunAndrew(fsys vfs.FileSystem, clock *sim.Clock, cfg AndrewConfig) (AndrewResult, error) {
+	var res AndrewResult
+	rng := sim.NewRNG(cfg.Seed)
+	dir := func(d int) string { return fmt.Sprintf("/andrew/dir%02d", d) }
+	src := func(d, f int) string { return fmt.Sprintf("%s/src%03d.c", dir(d), f) }
+	obj := func(d, f int) string { return fmt.Sprintf("%s/src%03d.o", dir(d), f) }
+
+	// Phase 1: create the directory hierarchy.
+	t0 := clock.Now()
+	if err := fsys.Mkdir("/andrew"); err != nil {
+		return res, err
+	}
+	for d := 0; d < cfg.Dirs; d++ {
+		if err := fsys.Mkdir(dir(d)); err != nil {
+			return res, err
+		}
+	}
+	res.MkdirPhase = clock.Now() - t0
+
+	// Phase 2: copy the source files into the tree.
+	t0 = clock.Now()
+	for d := 0; d < cfg.Dirs; d++ {
+		for fidx := 0; fidx < cfg.FilesPerDir; fidx++ {
+			f, err := fsys.Create(src(d, fidx))
+			if err != nil {
+				return res, err
+			}
+			if _, err := f.WriteAt(fill(rng, cfg.FileSize), 0); err != nil {
+				f.Close()
+				return res, err
+			}
+			if err := f.Close(); err != nil {
+				return res, err
+			}
+		}
+	}
+	if err := fsys.Sync(); err != nil {
+		return res, err
+	}
+	res.CopyPhase = clock.Now() - t0
+
+	// Phase 3: traverse the hierarchy, stat every entry.
+	t0 = clock.Now()
+	for d := 0; d < cfg.Dirs; d++ {
+		entries, err := fsys.ReadDir(dir(d))
+		if err != nil {
+			return res, err
+		}
+		for _, e := range entries {
+			if _, err := fsys.Stat(dir(d) + "/" + e.Name); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.StatPhase = clock.Now() - t0
+
+	// Phase 4: read every file in its entirety.
+	t0 = clock.Now()
+	buf := make([]byte, cfg.FileSize)
+	for d := 0; d < cfg.Dirs; d++ {
+		for fidx := 0; fidx < cfg.FilesPerDir; fidx++ {
+			f, err := fsys.Open(src(d, fidx))
+			if err != nil {
+				return res, err
+			}
+			if _, err := f.ReadAt(buf, 0); err != nil {
+				f.Close()
+				return res, err
+			}
+			f.Close()
+		}
+	}
+	res.ReadPhase = clock.Now() - t0
+
+	// Phase 5: "compile": read a source, burn CPU, emit an object file.
+	t0 = clock.Now()
+	objSize := int(float64(cfg.FileSize) * cfg.ObjectFactor)
+	for d := 0; d < cfg.Dirs; d++ {
+		for fidx := 0; fidx < cfg.FilesPerDir; fidx++ {
+			f, err := fsys.Open(src(d, fidx))
+			if err != nil {
+				return res, err
+			}
+			if _, err := f.ReadAt(buf, 0); err != nil {
+				f.Close()
+				return res, err
+			}
+			f.Close()
+			clock.Advance(cfg.CompileCPU)
+			o, err := fsys.Create(obj(d, fidx))
+			if err != nil {
+				return res, err
+			}
+			if _, err := o.WriteAt(fill(rng, objSize), 0); err != nil {
+				o.Close()
+				return res, err
+			}
+			o.Close()
+		}
+	}
+	if err := fsys.Sync(); err != nil {
+		return res, err
+	}
+	res.CompilePhase = clock.Now() - t0
+	return res, nil
+}
+
+// BigfileConfig sizes the large-file throughput test.
+type BigfileConfig struct {
+	// Sizes are the file sizes in bytes (the paper used 1, 5 and 10 MB on
+	// a 300 MB file system).
+	Sizes []int64
+	// Seed drives the file contents.
+	Seed uint64
+}
+
+// DefaultBigfile returns the paper's sizes.
+func DefaultBigfile() BigfileConfig {
+	return BigfileConfig{Sizes: []int64{1 << 20, 5 << 20, 10 << 20}, Seed: 1993}
+}
+
+// BigfileResult reports per-phase elapsed times.
+type BigfileResult struct {
+	CreatePhase time.Duration
+	CopyPhase   time.Duration
+	RemovePhase time.Duration
+}
+
+// Total returns the whole run's elapsed time.
+func (r BigfileResult) Total() time.Duration {
+	return r.CreatePhase + r.CopyPhase + r.RemovePhase
+}
+
+// RunBigfile creates, copies, and removes each configured file.
+func RunBigfile(fsys vfs.FileSystem, clock *sim.Clock, cfg BigfileConfig) (BigfileResult, error) {
+	var res BigfileResult
+	rng := sim.NewRNG(cfg.Seed)
+	const chunk = 256 * 1024
+
+	// Create.
+	t0 := clock.Now()
+	for i, size := range cfg.Sizes {
+		f, err := fsys.Create(fmt.Sprintf("/big%d", i))
+		if err != nil {
+			return res, err
+		}
+		for off := int64(0); off < size; off += chunk {
+			n := int64(chunk)
+			if off+n > size {
+				n = size - off
+			}
+			if _, err := f.WriteAt(fill(rng, int(n)), off); err != nil {
+				f.Close()
+				return res, err
+			}
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return res, err
+		}
+		f.Close()
+	}
+	res.CreatePhase = clock.Now() - t0
+
+	// Copy.
+	t0 = clock.Now()
+	buf := make([]byte, chunk)
+	for i, size := range cfg.Sizes {
+		in, err := fsys.Open(fmt.Sprintf("/big%d", i))
+		if err != nil {
+			return res, err
+		}
+		out, err := fsys.Create(fmt.Sprintf("/big%d.copy", i))
+		if err != nil {
+			in.Close()
+			return res, err
+		}
+		for off := int64(0); off < size; off += chunk {
+			n, err := in.ReadAt(buf, off)
+			if err != nil {
+				in.Close()
+				out.Close()
+				return res, err
+			}
+			if _, err := out.WriteAt(buf[:n], off); err != nil {
+				in.Close()
+				out.Close()
+				return res, err
+			}
+		}
+		if err := out.Sync(); err != nil {
+			in.Close()
+			out.Close()
+			return res, err
+		}
+		in.Close()
+		out.Close()
+	}
+	res.CopyPhase = clock.Now() - t0
+
+	// Remove.
+	t0 = clock.Now()
+	for i := range cfg.Sizes {
+		if err := fsys.Remove(fmt.Sprintf("/big%d", i)); err != nil {
+			return res, err
+		}
+		if err := fsys.Remove(fmt.Sprintf("/big%d.copy", i)); err != nil {
+			return res, err
+		}
+	}
+	if err := fsys.Sync(); err != nil {
+		return res, err
+	}
+	res.RemovePhase = clock.Now() - t0
+	return res, nil
+}

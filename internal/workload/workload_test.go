@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+func newLFS(t *testing.T) (*lfs.FS, *sim.Clock) {
+	t.Helper()
+	clk := sim.NewClock()
+	model := sim.RZ55Model()
+	model.NumBlocks = 24576 // 96 MB: room for the 10 MB bigfile phases
+	dev := disk.New(model, clk)
+	fsys, err := lfs.Format(dev, clk, lfs.Options{CacheBlocks: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fsys, clk
+}
+
+func TestAndrewRunsOnLFS(t *testing.T) {
+	fsys, clk := newLFS(t)
+	res, err := RunAndrew(fsys, clk, DefaultAndrew())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total() <= 0 {
+		t.Fatal("elapsed time should be positive")
+	}
+	// The tree must actually exist.
+	entries, err := fsys.ReadDir("/andrew")
+	if err != nil || len(entries) != DefaultAndrew().Dirs {
+		t.Fatalf("tree = %v, %v", entries, err)
+	}
+	// Compile outputs exist and have the expected size.
+	info, err := fsys.Stat("/andrew/dir00/src000.o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(float64(DefaultAndrew().FileSize) * DefaultAndrew().ObjectFactor)
+	if info.Size != want {
+		t.Fatalf("object size = %d, want %d", info.Size, want)
+	}
+	// Compile phase includes the CPU cost.
+	minCompile := DefaultAndrew().CompileCPU * 70
+	if res.CompilePhase < minCompile {
+		t.Fatalf("compile phase %v < CPU floor %v", res.CompilePhase, minCompile)
+	}
+}
+
+func TestBigfileRunsOnLFS(t *testing.T) {
+	fsys, clk := newLFS(t)
+	cfg := BigfileConfig{Sizes: []int64{1 << 20, 2 << 20}, Seed: 1}
+	res, err := RunBigfile(fsys, clk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CreatePhase <= 0 || res.CopyPhase <= 0 || res.RemovePhase < 0 {
+		t.Fatalf("phases = %+v", res)
+	}
+	// Files removed at the end.
+	if _, err := fsys.Stat("/big0"); err == nil {
+		t.Fatal("big0 should be removed")
+	}
+}
+
+// TestFigure5Property verifies the §5.2 claim: running the workloads on a
+// transaction-enabled kernel costs within ~2% of a plain kernel.
+func TestFigure5Property(t *testing.T) {
+	// Plain kernel.
+	fsPlain, clkPlain := newLFS(t)
+	plain, err := RunAndrew(fsPlain, clkPlain, DefaultAndrew())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transaction kernel: same FS wrapped by the embedded TM adapter.
+	fsTxn, clkTxn := newLFS(t)
+	m := core.New(fsTxn, clkTxn, core.Options{})
+	txn, err := RunAndrew(m.AsFileSystem(), clkTxn, DefaultAndrew())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(txn.Total()) / float64(plain.Total())
+	if math.Abs(ratio-1) > 0.02 {
+		t.Fatalf("txn kernel / plain kernel = %.4f, want within 2%% (plain=%v txn=%v)", ratio, plain.Total(), txn.Total())
+	}
+	if txn.Total() < plain.Total() {
+		t.Fatalf("txn kernel (%v) should not be faster than plain (%v)", txn.Total(), plain.Total())
+	}
+}
+
+func TestWorkloadsRunThroughAdapter(t *testing.T) {
+	fsys, clk := newLFS(t)
+	m := core.New(fsys, clk, core.Options{})
+	var adapter vfs.FileSystem = m.AsFileSystem()
+	if _, err := RunBigfile(adapter, clk, BigfileConfig{Sizes: []int64{1 << 20}, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndrewDeterministic(t *testing.T) {
+	fs1, clk1 := newLFS(t)
+	r1, err := RunAndrew(fs1, clk1, DefaultAndrew())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, clk2 := newLFS(t)
+	r2, err := RunAndrew(fs2, clk2, DefaultAndrew())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("same config must give identical simulated times: %+v vs %+v", r1, r2)
+	}
+}
