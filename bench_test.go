@@ -114,8 +114,9 @@ func BenchmarkAblationCleaner(b *testing.B) {
 			b.Fatal(err)
 		}
 		if i == b.N-1 {
-			b.ReportMetric(rep.TPSKernel, "kernel-cleaner-TPS")
-			b.ReportMetric(rep.TPSUserBound, "user-cleaner-bound-TPS")
+			b.ReportMetric(rep.TPSSync, "sync-cleaner-TPS")
+			b.ReportMetric(rep.TPSIdle, "idle-cleaner-TPS")
+			b.ReportMetric(rep.TPSBound, "no-stall-bound-TPS")
 		}
 	}
 }

@@ -8,6 +8,7 @@
 //	tpcb -system user-ffs
 //	tpcb -system user-lfs -groupcommit 8 -fastsync
 //	tpcb -system kernel-lfs -policy greedy
+//	tpcb -system kernel-lfs -cleaner idle -cleanbatch 8
 package main
 
 import (
@@ -26,8 +27,15 @@ func main() {
 	txns := flag.Int("txns", 5000, "transactions to run")
 	groupCommit := flag.Int("groupcommit", 1, "commit batch size")
 	policy := flag.String("policy", "cost-benefit", "LFS cleaner policy: cost-benefit or greedy")
+	cleaner := flag.String("cleaner", "sync", "LFS cleaning discipline: sync (on the critical path) or idle (overlapped with foreground idle windows)")
+	cleanBatch := flag.Int("cleanbatch", 0, "victims per batched cleaning pass (0 = LFS default)")
+	idleTrigger := flag.Int("idletrigger", 0, "free segments at which idle cleaning starts (0 = LFS default)")
 	fastSync := flag.Bool("fastsync", false, "model fast user-level synchronization (no test-and-set penalty)")
 	flag.Parse()
+
+	if *cleaner != "sync" && *cleaner != "idle" {
+		fatal(fmt.Errorf("unknown -cleaner %q (want sync or idle)", *cleaner))
+	}
 
 	costs := sim.SpriteCosts()
 	if *fastSync {
@@ -42,17 +50,20 @@ func main() {
 		cfg.Accounts, cfg.Tellers, cfg.Branches, *txns)
 
 	rig, err := tpcb.BuildRig(tpcb.RigOptions{
-		Kind:         *system,
-		Config:       cfg,
-		Costs:        costs,
-		GroupCommit:  *groupCommit,
-		Policy:       pol,
-		ExpectedTxns: *txns,
+		Kind:             *system,
+		Config:           cfg,
+		Costs:            costs,
+		GroupCommit:      *groupCommit,
+		Policy:           pol,
+		ExpectedTxns:     *txns,
+		CleanerMode:      *cleaner,
+		CleanBatch:       *cleanBatch,
+		IdleCleanTrigger: *idleTrigger,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	res, err := tpcb.RunBenchmark(rig.Sys, rig.Clock, cfg, *txns)
+	res, err := rig.Run(cfg, *txns)
 	if err != nil {
 		fatal(err)
 	}
@@ -65,9 +76,18 @@ func main() {
 		fst := rig.LFS.Stats()
 		fmt.Printf("lfs: %d partial segments, %d blocks logged, %d checkpoints\n",
 			fst.PartialSegments, fst.BlocksLogged, fst.Checkpoints)
-		fmt.Printf("cleaner: %d segments cleaned, %d blocks copied, %d dead, busy %v (%.1f%% of elapsed)\n",
-			fst.Cleaner.SegmentsCleaned, fst.Cleaner.BlocksCopied, fst.Cleaner.BlocksDead,
-			fst.Cleaner.BusyTime, float64(fst.Cleaner.BusyTime)/float64(res.Elapsed)*100)
+		cl := fst.Cleaner
+		fmt.Printf("cleaner: %d segments cleaned in %d passes, %d blocks copied, %d dead, busy %v (%.1f%% of elapsed)\n",
+			cl.SegmentsCleaned, cl.Runs, cl.BlocksCopied, cl.BlocksDead,
+			cl.BusyTime, float64(cl.BusyTime)/float64(res.Elapsed)*100)
+		if cl.OverlapTime > 0 || cl.StallTime > 0 {
+			fmt.Printf("cleaner: %v overlapped with idle windows, %v stalled the workload (%.1f%% of elapsed)\n",
+				cl.OverlapTime, cl.StallTime, float64(cl.StallTime)/float64(res.Elapsed)*100)
+		}
+		if cl.HotBlocks > 0 || cl.ColdBlocks > 0 {
+			fmt.Printf("cleaner: %d hot / %d cold blocks relocated, write amplification %.2f×\n",
+				cl.HotBlocks, cl.ColdBlocks, fst.WriteAmplification())
+		}
 	}
 	if rig.Env != nil {
 		ls := rig.Env.LockStats()

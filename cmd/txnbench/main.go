@@ -9,12 +9,15 @@
 //	txnbench -fig 4 -scale 0.1 -txns 10000
 //	txnbench -fig 6                   # SCAN test + crossover (Figures 6 and 7)
 //	txnbench -fig sync|cleaner|groupcommit|commitbytes|policy
+//	txnbench -fig cleaner -json       # machine-readable output
+//	txnbench -fig 4 -cleaner idle -cleanbatch 8
 //
 // All elapsed times are simulated: the workloads run on a simulated RZ55
 // disk with a DECstation-like CPU cost model (see internal/sim).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,32 +29,39 @@ func main() {
 	fig := flag.String("fig", "all", "figure to reproduce: 4, 5, 6, 7, sync, cleaner, groupcommit, commitbytes, policy, all")
 	scale := flag.Float64("scale", 0.05, "TPC-B scale factor (1.0 = the paper's 1,000,000 accounts)")
 	txns := flag.Int("txns", 5000, "transactions per measured run")
+	cleaner := flag.String("cleaner", "", "override the LFS cleaning discipline for all rigs: sync or idle (default: each system's natural mode)")
+	cleanBatch := flag.Int("cleanbatch", 0, "victims per batched cleaning pass (0 = LFS default)")
+	jsonOut := flag.Bool("json", false, "emit each report as a JSON object instead of a table")
 	flag.Parse()
 
-	opts := figures.Options{Scale: *scale, Txns: *txns}
+	if *cleaner != "" && *cleaner != "sync" && *cleaner != "idle" {
+		fmt.Fprintf(os.Stderr, "txnbench: unknown -cleaner %q (want sync or idle)\n", *cleaner)
+		os.Exit(2)
+	}
+	opts := figures.Options{Scale: *scale, Txns: *txns, CleanerMode: *cleaner, CleanBatch: *cleanBatch}
 
 	type job struct {
 		name string
 		run  func() (fmt.Stringer, error)
 	}
 	jobs := map[string]job{
-		"4": {"Figure 4", func() (fmt.Stringer, error) { return figures.Figure4(opts) }},
-		"5": {"Figure 5", func() (fmt.Stringer, error) { return figures.Figure5(opts) }},
-		"6": {"Figures 6+7", func() (fmt.Stringer, error) { return figures.Figure67(opts) }},
-		"7": {"Figures 6+7", func() (fmt.Stringer, error) { return figures.Figure67(opts) }},
-		"sync": {"Sync ablation", func() (fmt.Stringer, error) {
+		"4": {"figure4", func() (fmt.Stringer, error) { return figures.Figure4(opts) }},
+		"5": {"figure5", func() (fmt.Stringer, error) { return figures.Figure5(opts) }},
+		"6": {"figure67", func() (fmt.Stringer, error) { return figures.Figure67(opts) }},
+		"7": {"figure67", func() (fmt.Stringer, error) { return figures.Figure67(opts) }},
+		"sync": {"sync", func() (fmt.Stringer, error) {
 			return figures.AblationSync(opts)
 		}},
-		"cleaner": {"Cleaner ablation", func() (fmt.Stringer, error) {
+		"cleaner": {"cleaner", func() (fmt.Stringer, error) {
 			return figures.AblationCleaner(opts)
 		}},
-		"groupcommit": {"Group-commit ablation", func() (fmt.Stringer, error) {
+		"groupcommit": {"groupcommit", func() (fmt.Stringer, error) {
 			return figures.AblationGroupCommit(opts)
 		}},
-		"commitbytes": {"Commit-volume ablation", func() (fmt.Stringer, error) {
+		"commitbytes": {"commitbytes", func() (fmt.Stringer, error) {
 			return figures.AblationCommitBytes(opts)
 		}},
-		"policy": {"Cleaner-policy ablation", func() (fmt.Stringer, error) {
+		"policy": {"policy", func() (fmt.Stringer, error) {
 			return figures.AblationCleanerPolicy(opts)
 		}},
 	}
@@ -68,11 +78,22 @@ func main() {
 		order = []string{*fig}
 	}
 
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
 	for i, key := range order {
 		rep, err := jobs[key].run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "txnbench: %s: %v\n", jobs[key].name, err)
 			os.Exit(1)
+		}
+		if *jsonOut {
+			// One {"figure": name, "report": {...}} object per requested
+			// figure, newline-separated (a JSON stream, jq-friendly).
+			if err := enc.Encode(map[string]any{"figure": jobs[key].name, "report": rep}); err != nil {
+				fmt.Fprintf(os.Stderr, "txnbench: %s: %v\n", jobs[key].name, err)
+				os.Exit(1)
+			}
+			continue
 		}
 		if i > 0 {
 			fmt.Println()

@@ -34,7 +34,30 @@ type Stats struct {
 	BlocksWrit int64         // blocks transferred out
 	Seeks      int64         // accesses that paid positioning time
 	BusyTime   time.Duration // total simulated service time
+
+	// Background-lane accounting (see Lane). BgTime is total background
+	// service time; BgOverlapTime is the portion absorbed by foreground idle
+	// windows; BgStallTime is the residue that actually delayed the workload
+	// (BgTime = BgOverlapTime + BgStallTime).
+	BgTime        time.Duration
+	BgOverlapTime time.Duration
+	BgStallTime   time.Duration
 }
+
+// Lane selects how an access is charged against simulated time.
+type Lane int
+
+const (
+	// Foreground accesses advance the clock by their full service time.
+	Foreground Lane = iota
+	// Background accesses are served in the idle windows between foreground
+	// requests: the device keeps a budget of idle time accumulated since its
+	// last request completed, background service time drains that budget
+	// first, and only the residue advances the clock (stalling the
+	// foreground). This models a cleaner that runs while the disk would
+	// otherwise sit idle, as §5.4 of the paper prescribes.
+	Background
+)
 
 // FaultFn can be installed with SetFault to inject I/O errors: it is called
 // before every access with the operation ("read" or "write") and the first
@@ -52,6 +75,10 @@ type Device struct {
 	arm    int64 // block address one past the last access, -1 if unknown
 	fault  FaultFn
 	stats  Stats
+
+	lane       Lane
+	idleCredit time.Duration // foreground idle time not yet spent on background work
+	lastEnd    time.Duration // clock time when the last request finished
 }
 
 // SetFault installs (or clears, with nil) a fault-injection hook.
@@ -111,7 +138,9 @@ func (d *Device) checkRange(block int64, n int) error {
 }
 
 // charge bills an access of n contiguous blocks at address block and moves
-// the arm. Caller must hold d.mu.
+// the arm. Foreground accesses advance the clock by the full service time;
+// background accesses drain the accumulated idle budget first and only their
+// residue stalls the clock. Caller must hold d.mu.
 func (d *Device) charge(block int64, n int) {
 	t := d.model.AccessTime(d.arm, block, n)
 	if d.arm != block {
@@ -119,7 +148,53 @@ func (d *Device) charge(block int64, n int) {
 	}
 	d.arm = block + int64(n)
 	d.stats.BusyTime += t
-	d.clock.Advance(t)
+	if now := d.clock.Now(); now > d.lastEnd {
+		d.idleCredit += now - d.lastEnd
+	}
+	if d.lane == Background {
+		overlap := min(t, d.idleCredit)
+		d.idleCredit -= overlap
+		d.stats.BgTime += t
+		d.stats.BgOverlapTime += overlap
+		d.stats.BgStallTime += t - overlap
+		d.clock.Advance(t - overlap)
+	} else {
+		d.clock.Advance(t)
+	}
+	d.lastEnd = d.clock.Now()
+}
+
+// SetLane switches the charging lane for subsequent accesses and returns the
+// previous lane, so callers can restore it with defer.
+func (d *Device) SetLane(l Lane) Lane {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	prev := d.lane
+	d.lane = l
+	return prev
+}
+
+// IdleCredit reports the unspent foreground idle budget: time the device has
+// sat idle since its last request that background work could still consume
+// for free.
+func (d *Device) IdleCredit() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	credit := d.idleCredit
+	if now := d.clock.Now(); now > d.lastEnd {
+		credit += now - d.lastEnd
+	}
+	return credit
+}
+
+// ResetIdleCredit forgets accumulated idle time. Benchmark rigs call this
+// after the load phase so the measured run's background cleaner cannot hide
+// behind setup-time idleness.
+func (d *Device) ResetIdleCredit() {
+	d.mu.Lock()
+	d.idleCredit = 0
+	d.lastEnd = d.clock.Now()
+	d.mu.Unlock()
 }
 
 // Read reads one block into buf. buf must be exactly one block long.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -462,5 +463,90 @@ func TestFaultInjection(t *testing.T) {
 	// A faulted access must not be counted or charged.
 	if dev.Stats().Reads != st.Reads+1 {
 		t.Fatal("faulted reads must not count as completed reads")
+	}
+}
+
+func TestBackgroundLaneOverlapsIdleWindows(t *testing.T) {
+	dev, clk := newTestDevice()
+	buf := block(dev, 1)
+
+	// A foreground write, then a gap of pure CPU time: the gap becomes idle
+	// credit background work may consume.
+	if err := dev.Write(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	gap := 500 * time.Millisecond
+	clk.Advance(gap)
+	if got := dev.IdleCredit(); got != gap {
+		t.Fatalf("idle credit = %v, want %v", got, gap)
+	}
+
+	// Background accesses drain the credit before stalling the clock.
+	prev := dev.SetLane(Background)
+	if prev != Foreground {
+		t.Fatalf("previous lane = %v, want Foreground", prev)
+	}
+	before := clk.Now()
+	for i := int64(1); i <= 8; i++ {
+		if err := dev.Write(i*100, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.SetLane(prev)
+	stalled := clk.Now() - before
+
+	st := dev.Stats()
+	if st.BgTime != st.BgOverlapTime+st.BgStallTime {
+		t.Errorf("BgTime %v != overlap %v + stall %v", st.BgTime, st.BgOverlapTime, st.BgStallTime)
+	}
+	if st.BgOverlapTime == 0 {
+		t.Error("no background time overlapped the idle window")
+	}
+	if st.BgStallTime != stalled {
+		t.Errorf("clock advanced %v during background work, stats say %v", stalled, st.BgStallTime)
+	}
+	if st.BgTime <= st.BgOverlapTime && stalled != 0 {
+		t.Errorf("stall %v reported with BgTime %v fully overlapped", stalled, st.BgTime)
+	}
+
+	// Foreground accounting must be untouched by lane bookkeeping: a
+	// foreground access after restoring the lane advances the clock fully.
+	fgBefore := clk.Now()
+	if err := dev.Write(5000, buf); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() == fgBefore {
+		t.Error("foreground write after lane restore did not advance the clock")
+	}
+}
+
+func TestResetIdleCreditForgetsBudget(t *testing.T) {
+	dev, clk := newTestDevice()
+	buf := block(dev, 2)
+	if err := dev.Write(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	if dev.IdleCredit() == 0 {
+		t.Fatal("expected idle credit after a gap")
+	}
+	dev.ResetIdleCredit()
+	if got := dev.IdleCredit(); got != 0 {
+		t.Fatalf("idle credit after reset = %v, want 0", got)
+	}
+
+	// With no credit, background work stalls the clock for its full cost.
+	prev := dev.SetLane(Background)
+	before := clk.Now()
+	if err := dev.Write(100, buf); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetLane(prev)
+	st := dev.Stats()
+	if st.BgOverlapTime != 0 {
+		t.Errorf("overlap %v after credit reset, want 0", st.BgOverlapTime)
+	}
+	if advanced := clk.Now() - before; advanced != st.BgStallTime {
+		t.Errorf("clock advanced %v, BgStallTime %v", advanced, st.BgStallTime)
 	}
 }

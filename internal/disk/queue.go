@@ -68,10 +68,23 @@ func (q *Queue) FlushSorted() error {
 	for i < len(ordered) {
 		r := ordered[i]
 		if r.Read {
-			if err := q.dev.Read(r.Block, r.Buf); err != nil {
+			// Coalesce a contiguous run of reads.
+			run := [][]byte{r.Buf}
+			j := i + 1
+			for j < len(ordered) && ordered[j].Read && ordered[j].Block == r.Block+int64(len(run)) {
+				run = append(run, ordered[j].Buf)
+				j++
+			}
+			var err error
+			if len(run) == 1 {
+				err = q.dev.Read(r.Block, r.Buf)
+			} else {
+				err = q.dev.ReadRun(r.Block, run)
+			}
+			if err != nil {
 				return err
 			}
-			i++
+			i = j
 			continue
 		}
 		// Coalesce a contiguous run of writes.

@@ -2,9 +2,11 @@ package lfs
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/buffer"
+	"repro/internal/disk"
 )
 
 // CleanerPolicy selects how the cleaner picks victim segments.
@@ -32,11 +34,35 @@ type CleanerStats struct {
 	BlocksCopied    int64         // live blocks copied forward
 	BlocksDead      int64         // dead blocks simply discarded
 	BusyTime        time.Duration // device time attributable to cleaning
+
+	// Idle-overlap accounting, filled by CleanIdle: OverlapTime is cleaner
+	// device time absorbed by foreground idle windows, StallTime is the
+	// residue that actually delayed the workload
+	// (BusyTime = OverlapTime + StallTime for background passes).
+	OverlapTime time.Duration
+	StallTime   time.Duration
+
+	Batches       int64 // batched cleaning passes
+	BatchVictims  int64 // victims across all batched passes
+	BlocksWritten int64 // blocks the cleaner's own flushes logged (incl. summaries/meta)
+	SummaryReads  int64 // summary blocks read from disk (summary-cache misses)
+	HotBlocks     int64 // relocated data blocks classified hot (or unsegregated)
+	ColdBlocks    int64 // relocated data blocks classified cold
 }
 
-// CleanOnce runs a single cleaning pass regardless of the free-segment
-// threshold (used by tests and by the user-space cleaner's idle-period
-// policy). It reports whether a segment was reclaimed.
+// WriteAmplification returns total logged blocks divided by foreground
+// (non-cleaner) logged blocks — 1.0 means the cleaner added no writes.
+func (s Stats) WriteAmplification() float64 {
+	fg := s.BlocksLogged - s.Cleaner.BlocksWritten
+	if fg <= 0 {
+		return 1
+	}
+	return float64(s.BlocksLogged) / float64(fg)
+}
+
+// CleanOnce runs a single batched cleaning pass regardless of the
+// free-segment threshold (used by tests and by the user-space cleaner's
+// idle-period policy). It reports whether any segment was reclaimed.
 func (fs *FS) CleanOnce() (bool, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -47,21 +73,98 @@ func (fs *FS) CleanOnce() (bool, error) {
 	defer func() { fs.cleaning = false }()
 	busy0 := fs.dev.Stats().BusyTime
 	defer func() { fs.stats.Cleaner.BusyTime += fs.dev.Stats().BusyTime - busy0 }()
-	victim := fs.pickVictimLocked()
-	if victim < 0 && fs.victimsBlockedByCheckpointLocked() {
+	maxLive := fs.sb.SegmentBlocks - minCleanGain
+	victims := fs.pickVictimsLocked(fs.opts.CleanBatch, maxLive)
+	if len(victims) == 0 && fs.victimsBlockedByCheckpointLocked(maxLive) {
 		if err := fs.writeCheckpointLocked(); err != nil {
 			return false, err
 		}
-		victim = fs.pickVictimLocked()
+		victims = fs.pickVictimsLocked(fs.opts.CleanBatch, maxLive)
 	}
-	if victim < 0 {
+	if len(victims) == 0 {
 		return false, nil
 	}
 	fs.stats.Cleaner.Runs++
-	if err := fs.cleanSegmentLocked(victim); err != nil {
+	if err := fs.cleanBatchLocked(victims); err != nil {
 		return false, err
 	}
 	return true, nil
+}
+
+// CleanIdle runs one background-priority cleaning pass if the free-segment
+// pool has fallen below the idle trigger. Device time is charged to the
+// background lane: I/O is absorbed by the idle windows the foreground
+// workload left behind, and only the residue stalls it — the paper's §5.4
+// "clean in idle periods" design, made incremental so the TPC-B driver can
+// call it between transactions. It reports whether any segment was
+// reclaimed.
+func (fs *FS) CleanIdle() (bool, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.cleaning || fs.free >= int64(fs.opts.IdleCleanTrigger) {
+		return false, nil
+	}
+	fs.cleaning = true
+	defer func() { fs.cleaning = false }()
+	prev := fs.dev.SetLane(disk.Background)
+	defer fs.dev.SetLane(prev)
+	d0 := fs.dev.Stats()
+	defer func() {
+		d1 := fs.dev.Stats()
+		fs.stats.Cleaner.BusyTime += d1.BusyTime - d0.BusyTime
+		fs.stats.Cleaner.OverlapTime += d1.BgOverlapTime - d0.BgOverlapTime
+		fs.stats.Cleaner.StallTime += d1.BgStallTime - d0.BgStallTime
+	}()
+	// Background passes take only cheap victims: copying a mostly-live
+	// segment costs more device time than the idle windows can hide, and
+	// cost-benefit's age term would otherwise keep re-picking the cleaner's
+	// own cold, mostly-live output segments. Expensive segments are left to
+	// shed more blocks; the synchronous path remains the backstop if space
+	// runs out first.
+	maxLive := fs.sb.SegmentBlocks / 2
+	victims := fs.pickVictimsLocked(fs.opts.CleanBatch, maxLive)
+	if len(victims) == 0 && fs.victimsBlockedByCheckpointLocked(maxLive) {
+		if err := fs.writeCheckpointLocked(); err != nil {
+			return false, err
+		}
+		victims = fs.pickVictimsLocked(fs.opts.CleanBatch, maxLive)
+	}
+	// Pace the pass to the idle budget: a full batch can cost more device
+	// time than the foreground has left idle so far, and the excess would
+	// stall the workload even though later windows could have absorbed it.
+	// While space is not yet critical, trim the batch to what the accrued
+	// credit covers and let the rest wait for more idle time; once the pool
+	// falls to the synchronous-cleaning threshold the stall is unavoidable
+	// anyway and the full batch proceeds.
+	if fs.free > int64(fs.opts.CleanThreshold) {
+		credit := fs.dev.IdleCredit()
+		model := fs.dev.Model()
+		scatter := model.AvgRotationalDelay() + model.TransferTime(model.BlockSize)
+		seq := model.TransferTime(model.BlockSize)
+		var budget time.Duration
+		n := 0
+		for _, v := range victims {
+			live := fs.segs[v].Live
+			// live scattered reads plus a few summary-chain reads, then a
+			// sequential rewrite of the survivors.
+			cost := time.Duration(live+3)*scatter + time.Duration(live)*seq
+			if budget+cost > credit {
+				break
+			}
+			budget += cost
+			n++
+		}
+		victims = victims[:n]
+	}
+	if len(victims) == 0 {
+		return false, nil
+	}
+	fs.stats.Cleaner.Runs++
+	freeBefore := fs.free
+	if err := fs.cleanBatchLocked(victims); err != nil {
+		return false, err
+	}
+	return fs.free > freeBefore, nil
 }
 
 // cleanLocked brings the free-segment count back to the target. It is
@@ -75,30 +178,31 @@ func (fs *FS) cleanLocked() error {
 	busy0 := fs.dev.Stats().BusyTime
 	defer func() { fs.stats.Cleaner.BusyTime += fs.dev.Stats().BusyTime - busy0 }()
 	fs.stats.Cleaner.Runs++
+	maxLive := fs.sb.SegmentBlocks - minCleanGain
 	for fs.free < int64(fs.opts.CleanTarget) {
-		victim := fs.pickVictimLocked()
-		if victim < 0 {
+		victims := fs.pickVictimsLocked(fs.opts.CleanBatch, maxLive)
+		if len(victims) == 0 {
 			// Candidates may exist that are only blocked by the
 			// checkpoint boundary (segments written since the last
 			// checkpoint are part of the roll-forward chain). Write a
 			// checkpoint (no flush needed — the imap always describes
 			// flushed state) to advance the boundary and retry. This is
 			// the checkpoint-before-reuse discipline of real LFS.
-			if fs.victimsBlockedByCheckpointLocked() {
+			if fs.victimsBlockedByCheckpointLocked(maxLive) {
 				if err := fs.writeCheckpointLocked(); err != nil {
 					return err
 				}
-				victim = fs.pickVictimLocked()
+				victims = fs.pickVictimsLocked(fs.opts.CleanBatch, maxLive)
 			}
 		}
-		if victim < 0 {
+		if len(victims) == 0 {
 			if fs.free == 0 {
 				return ErrNoSpace
 			}
 			return nil
 		}
 		freeBefore := fs.free
-		if err := fs.cleanSegmentLocked(victim); err != nil {
+		if err := fs.cleanBatchLocked(victims); err != nil {
 			return err
 		}
 		if fs.free <= freeBefore {
@@ -119,117 +223,171 @@ func (fs *FS) cleanLocked() error {
 // it frees.
 const minCleanGain = 4
 
-// victimsBlockedByCheckpointLocked reports whether cleanable segments exist
-// that are excluded only because they were written since the last
-// checkpoint.
-func (fs *FS) victimsBlockedByCheckpointLocked() bool {
+// minSegregate is the minimum size of each age group before the cleaner
+// spends an early segment seal on hot/cold segregation.
+const minSegregate = 4
+
+// victimsBlockedByCheckpointLocked reports whether cleanable segments (at
+// most maxLive live blocks) exist that are excluded only because they were
+// written since the last checkpoint.
+func (fs *FS) victimsBlockedByCheckpointLocked(maxLive int64) bool {
+	if cap := fs.sb.SegmentBlocks - minCleanGain; maxLive > cap {
+		maxLive = cap
+	}
 	for s := int64(0); s < fs.sb.NumSegments; s++ {
 		info := fs.segs[s]
-		if info.State == segInLog && info.SeqStamp >= fs.cpBound && info.Live <= fs.sb.SegmentBlocks-minCleanGain {
+		if info.State == segInLog && info.SeqStamp >= fs.cpBound && info.Live <= maxLive {
 			return true
 		}
 	}
 	return false
 }
 
-// pickVictimLocked chooses a victim segment, or -1 when none is eligible.
-// Only checkpointed log segments qualify: segments written since the last
-// checkpoint are part of the roll-forward chain and must not be recycled.
-func (fs *FS) pickVictimLocked() int64 {
-	best := int64(-1)
-	var bestScore float64
+// pickVictimsLocked chooses up to n victim segments with at most maxLive
+// live blocks each, best score first. Only checkpointed log segments
+// qualify: segments written since the last checkpoint are part of the
+// roll-forward chain and must not be recycled. Ties break on segment number
+// so victim selection is deterministic.
+func (fs *FS) pickVictimsLocked(n int, maxLive int64) []int64 {
+	if n < 1 {
+		n = 1
+	}
+	if cap := fs.sb.SegmentBlocks - minCleanGain; maxLive > cap {
+		maxLive = cap // copying nearly-full segments costs as much space as it frees
+	}
+	type cand struct {
+		seg  int64
+		age  int64
+		util float64
+	}
+	var cands []cand
 	for s := int64(0); s < fs.sb.NumSegments; s++ {
 		info := fs.segs[s]
 		if info.State != segInLog || info.SeqStamp >= fs.cpBound {
 			continue
 		}
-		if info.Live > fs.sb.SegmentBlocks-minCleanGain {
-			continue // not enough dead blocks to be worth copying
+		if info.Live > maxLive {
+			continue
 		}
-		var score float64
-		u := float64(info.Live) / float64(fs.sb.SegmentBlocks)
-		switch fs.opts.Policy {
-		case Greedy:
-			score = 1 - u
-		default: // CostBenefit
-			age := float64(fs.seq - info.SeqStamp)
-			score = (1 - u) * age / (1 + u)
+		cands = append(cands, cand{
+			seg: s,
+			// Age is measured from when the segment was written
+			// (SeqStamp), not from the data's original write time
+			// (AgeStamp): relocated cold data keeps its old stamps, so
+			// scoring on data age would make the cleaner's own output
+			// segments look ancient and re-pick them every pass, copying
+			// the cold set once per log cycle. A freshly compacted cold
+			// segment must first age (and shed blocks) before it can
+			// compete again.
+			age:  int64(fs.seq - info.SeqStamp),
+			util: float64(info.Live) / float64(fs.sb.SegmentBlocks),
+		})
+	}
+	// The age benefit saturates at the first-quartile candidate age: a
+	// segment that has outlived a quarter of its peers has had its chance to
+	// shed blocks, and waiting longer gains nothing, so matured segments
+	// compete on utilization alone. Unsaturated, the age term would send the
+	// cleaner to old-but-still-live segments over younger, deader ones —
+	// copying more blocks per segment freed.
+	var ageCap int64 = 1
+	if len(cands) > 0 {
+		ages := make([]int64, len(cands))
+		for i, c := range cands {
+			ages[i] = c.age
 		}
-		if best < 0 || score > bestScore {
-			best, bestScore = s, score
+		sort.Slice(ages, func(i, j int) bool { return ages[i] < ages[j] })
+		if ageCap = ages[len(ages)/4]; ageCap < 1 {
+			ageCap = 1
 		}
 	}
-	return best
+	score := func(c cand) float64 {
+		if fs.opts.Policy == Greedy {
+			return 1 - c.util
+		}
+		return (1 - c.util) * float64(min(c.age, ageCap)) / (1 + c.util)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if si, sj := score(cands[i]), score(cands[j]); si != sj {
+			return si > sj
+		}
+		return cands[i].seg < cands[j].seg
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	victims := make([]int64, len(cands))
+	for i, c := range cands {
+		victims[i] = c.seg
+	}
+	return victims
 }
 
-// cleanSegmentLocked reclaims one segment: read it, copy its live blocks to
-// the head of the log, and mark it clean.
-func (fs *FS) cleanSegmentLocked(victim int64) error {
-	base := fs.segBase(victim)
-	segBlocks := int(fs.sb.SegmentBlocks)
-	raw := make([]byte, segBlocks*fs.blockSize)
-	bufs := make([][]byte, segBlocks)
-	for i := range bufs {
-		bufs[i] = raw[i*fs.blockSize : (i+1)*fs.blockSize]
+// victimSummariesLocked returns the partial-segment summaries of a segment:
+// from the in-memory summary cache when present, otherwise by walking the
+// summary chain on disk (one block per partial — still far cheaper than
+// reading the whole segment).
+func (fs *FS) victimSummariesLocked(seg int64) ([]summary, error) {
+	if sums, ok := fs.sumCache[seg]; ok {
+		return sums, nil
 	}
-	if err := fs.dev.ReadRun(base, bufs); err != nil {
-		return err
-	}
-
-	// Walk the partial segments recorded in the victim.
-	relocIDs := make(map[buffer.BlockID]bool)
-	relocInos := make(map[Ino]bool)
+	base := fs.segBase(seg)
+	var sums []summary
+	buf := make([]byte, fs.blockSize)
 	off := int64(0)
-	for off < int64(segBlocks) {
-		sum, ok := decodeSummary(bufs[off], base+off)
+	for off < fs.sb.SegmentBlocks {
+		addr := base + off
+		if err := fs.dev.Read(addr, buf); err != nil {
+			return nil, err
+		}
+		fs.stats.Cleaner.SummaryReads++
+		sum, ok := decodeSummary(buf, addr)
 		if !ok {
 			break
 		}
-		blockIdx := int64(0)
-		for _, e := range sum.Entries {
-			if e.Kind == kindDelete {
-				continue
-			}
-			addr := base + off + 1 + blockIdx
-			data := bufs[off+1+blockIdx]
-			blockIdx++
-			live, err := fs.entryLiveLocked(e, addr)
-			if err != nil {
-				return err
-			}
-			if !live {
-				fs.stats.Cleaner.BlocksDead++
-				continue
-			}
-			fs.stats.Cleaner.BlocksCopied++
-			inos, err := fs.relocateLocked(e, addr, data)
-			if err != nil {
-				return err
-			}
-			for _, ino := range inos {
-				relocInos[ino] = true
-			}
-			if e.Kind == kindData {
-				relocIDs[blockIDOf(e.Ino, e.Index)] = true
-			}
+		if len(sums) > 0 && sum.Seq <= sums[len(sums)-1].Seq {
+			break // stale summary from a previous life of the segment
 		}
+		sums = append(sums, sum)
 		off += 1 + int64(sum.NBlocks)
 	}
+	fs.sumCache[seg] = sums
+	return sums, nil
+}
 
-	// Write the relocated blocks and affected meta-data to the log. The
-	// flush is scoped to exactly this work so cleaning never amplifies
-	// into a full flush of the dirty pool while segments are scarce.
-	if err := fs.flushRelocLocked(relocIDs, relocInos); err != nil {
-		return err
+// cleanBatchLocked reclaims a ranked batch of victim segments in one pass:
+//
+//  1. walk every victim's summaries (from the summary cache when possible)
+//     and test each entry for liveness — in memory, before any data I/O;
+//  2. read only the live data blocks, batched through one C-SCAN sweep of
+//     the disk queue, and park them in the orphan table; meta-data blocks
+//     are merely re-dirtied (their in-memory contents are current);
+//  3. partition the relocated blocks by age and flush cold and hot groups
+//     into separate output segments, stamping each with its group's age;
+//  4. verify every victim is fully dead and return it to the free pool.
+func (fs *FS) cleanBatchLocked(victims []int64) error {
+	fs.stats.Cleaner.Batches++
+	fs.stats.Cleaner.BatchVictims += int64(len(victims))
+	logged0 := fs.stats.BlocksLogged
+
+	// 1. Liveness walk over all victims.
+	type liveEntry struct {
+		e    summaryEntry
+		addr int64
+		age  uint64
 	}
-	if fs.segs[victim].Live != 0 {
-		// Diagnose which entries remain live (invariant violation).
-		var kinds [6]int
-		off = 0
-		for off < int64(segBlocks) {
-			sum, ok := decodeSummary(bufs[off], base+off)
-			if !ok {
-				break
+	var live []liveEntry
+	var packAddrs []int64
+	for _, victim := range victims {
+		sums, err := fs.victimSummariesLocked(victim)
+		if err != nil {
+			return err
+		}
+		base := fs.segBase(victim)
+		off := int64(0)
+		for _, sum := range sums {
+			age := sum.AgeStamp
+			if age == 0 {
+				age = sum.Seq
 			}
 			blockIdx := int64(0)
 			for _, e := range sum.Entries {
@@ -238,52 +396,269 @@ func (fs *FS) cleanSegmentLocked(victim int64) error {
 				}
 				addr := base + off + 1 + blockIdx
 				blockIdx++
-				if live, _ := fs.entryLiveLocked(e, addr); live {
+				isLive, err := fs.entryLiveLocked(e, addr)
+				if err != nil {
+					return err
+				}
+				if !isLive {
+					fs.stats.Cleaner.BlocksDead++
+					continue
+				}
+				fs.stats.Cleaner.BlocksCopied++
+				live = append(live, liveEntry{e, addr, age})
+				if e.Kind == kindInodePack {
+					packAddrs = append(packAddrs, addr)
+				}
+			}
+			off += 1 + int64(sum.NBlocks)
+		}
+	}
+
+	// Reverse-map live pack blocks to the inodes that still live in them
+	// (one imap scan for the whole batch; sorted for determinism).
+	packInos := make(map[int64][]Ino, len(packAddrs))
+	if len(packAddrs) > 0 {
+		want := make(map[int64]bool, len(packAddrs))
+		for _, a := range packAddrs {
+			want[a] = true
+		}
+		for ino, addr := range fs.imap {
+			if want[addr] {
+				packInos[addr] = append(packInos[addr], ino)
+			}
+		}
+		for _, inos := range packInos {
+			sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+		}
+	}
+
+	// 2. Stage relocations. Data blocks whose current bytes exist only on
+	// disk are queued as single-block reads; a newer staged or dirty
+	// resident version supersedes the victim's copy (preserving the
+	// no-overwrite guarantee transaction abort depends on), and a clean
+	// resident buffer donates its bytes without any I/O.
+	type relocBlock struct {
+		id  buffer.BlockID
+		age uint64
+		buf []byte // non-nil: bytes arrive from the queued disk read
+	}
+	var relocs []relocBlock
+	relocIDs := make(map[buffer.BlockID]bool)
+	relocInos := make(map[Ino]bool)
+	q := disk.NewQueue(fs.dev)
+	for _, le := range live {
+		switch le.e.Kind {
+		case kindData:
+			id := blockIDOf(le.e.Ino, le.e.Index)
+			relocIDs[id] = true
+			rb := relocBlock{id: id, age: le.age}
+			if _, parked := fs.orphans[id]; parked {
+				// A newer, not-yet-flushed version is already staged.
+			} else if b := fs.pool.Lookup(id); b != nil && b.Dirty() && !b.Held() {
+				// A dirty resident buffer supersedes the on-disk copy and
+				// will be written by the scoped flush.
+			} else if b := fs.pool.Lookup(id); b != nil && !b.Dirty() {
+				cp := make([]byte, len(b.Data))
+				copy(cp, b.Data)
+				fs.orphans[id] = cp
+			} else {
+				rb.buf = make([]byte, fs.blockSize)
+				q.EnqueueRead(le.addr, rb.buf)
+			}
+			relocs = append(relocs, rb)
+		case kindInodePack:
+			// Re-dirty every inode still living in this pack; the scoped
+			// flush writes them into a fresh pack at the log head. The imap
+			// already tells us which inodes those are — no pack read needed.
+			for _, ino := range packInos[le.addr] {
+				in, err := fs.loadInode(ino)
+				if err != nil {
+					return err
+				}
+				in.dirty = true
+				relocInos[ino] = true
+			}
+		case kindInd:
+			in, err := fs.loadInode(le.e.Ino)
+			if err != nil {
+				return err
+			}
+			p, err := fs.loadInd(in)
+			if err != nil {
+				return err
+			}
+			p.dirty = true
+			relocInos[le.e.Ino] = true
+		case kindDInd:
+			in, err := fs.loadInode(le.e.Ino)
+			if err != nil {
+				return err
+			}
+			p, err := fs.loadDInd(in)
+			if err != nil {
+				return err
+			}
+			p.dirty = true
+			relocInos[le.e.Ino] = true
+		case kindDChild:
+			in, err := fs.loadInode(le.e.Ino)
+			if err != nil {
+				return err
+			}
+			p, err := fs.loadDChild(in, le.e.Index)
+			if err != nil {
+				return err
+			}
+			p.dirty = true
+			relocInos[le.e.Ino] = true
+		}
+	}
+	if err := q.FlushSorted(); err != nil {
+		return err
+	}
+	for _, rb := range relocs {
+		if rb.buf != nil {
+			fs.orphans[rb.id] = rb.buf
+		}
+	}
+
+	// 3. Hot/cold segregation: split the relocated data by age at the
+	// midpoint and write each group into its own output segment, so cold
+	// data stops being recopied every time its hot neighbours die (the
+	// Sprite-LFS generational trick). Skipped when one group is trivial or
+	// free segments are too scarce to spend one on an early seal.
+	var minAge, maxAge uint64
+	for i, rb := range relocs {
+		if i == 0 || rb.age < minAge {
+			minAge = rb.age
+		}
+		if rb.age > maxAge {
+			maxAge = rb.age
+		}
+	}
+	coldIDs := make(map[buffer.BlockID]bool)
+	hotIDs := make(map[buffer.BlockID]bool)
+	var coldAge, hotAge uint64
+	if minAge < maxAge {
+		pivot := minAge + (maxAge-minAge)/2
+		for _, rb := range relocs {
+			if rb.age <= pivot {
+				coldIDs[rb.id] = true
+				coldAge = max(coldAge, rb.age)
+			} else {
+				hotIDs[rb.id] = true
+				hotAge = max(hotAge, rb.age)
+			}
+		}
+	}
+	if len(coldIDs) >= minSegregate && len(hotIDs) >= minSegregate &&
+		fs.free > int64(fs.opts.CleanThreshold) {
+		fs.stats.Cleaner.ColdBlocks += int64(len(coldIDs))
+		fs.stats.Cleaner.HotBlocks += int64(len(hotIDs))
+		if err := fs.flushRelocLocked(coldIDs, nil, coldAge); err != nil {
+			return err
+		}
+		// Seal the cold output so the hot group starts its own segment.
+		if fs.curOff > 0 {
+			if err := fs.advanceSegmentLocked(); err != nil {
+				return err
+			}
+		}
+		if err := fs.flushRelocLocked(hotIDs, fs.dirtyRelocInosLocked(relocInos), hotAge); err != nil {
+			return err
+		}
+	} else {
+		fs.stats.Cleaner.HotBlocks += int64(len(relocs))
+		if err := fs.flushRelocLocked(relocIDs, fs.dirtyRelocInosLocked(relocInos), maxAge); err != nil {
+			return err
+		}
+	}
+
+	// 4. Verify and free.
+	for _, victim := range victims {
+		if fs.segs[victim].Live != 0 {
+			return fs.cleanFailureLocked(victim)
+		}
+		fs.segs[victim].State = segFree
+		fs.segs[victim].AgeStamp = 0
+		delete(fs.sumCache, victim)
+		fs.free++
+		fs.stats.Cleaner.SegmentsCleaned++
+	}
+	fs.stats.Cleaner.BlocksWritten += fs.stats.BlocksLogged - logged0
+	if fs.debugAudit {
+		if _, _, diff, err := fs.auditLocked(); err != nil || len(diff) > 0 {
+			panic(fmt.Sprintf("audit after cleaning segs %v: diff=%v err=%v", victims, diff, err))
+		}
+	}
+	return nil
+}
+
+// dirtyRelocInosLocked filters relocation-affected files down to those whose
+// meta-data is still dirty — an earlier flush in the same pass (the cold
+// group) may already have rewritten some of them.
+func (fs *FS) dirtyRelocInosLocked(inos map[Ino]bool) map[Ino]bool {
+	out := make(map[Ino]bool, len(inos))
+	for ino := range inos {
+		if in, ok := fs.inodes[ino]; ok && fs.inodeMetaDirty(in) {
+			out[ino] = true
+		}
+	}
+	return out
+}
+
+// cleanFailureLocked builds the diagnostic for the invariant violation of a
+// victim keeping live blocks after its relocation flush.
+func (fs *FS) cleanFailureLocked(victim int64) error {
+	var kinds [6]int
+	sums, err := fs.victimSummariesLocked(victim)
+	if err == nil {
+		base := fs.segBase(victim)
+		off := int64(0)
+		for _, sum := range sums {
+			blockIdx := int64(0)
+			for _, e := range sum.Entries {
+				if e.Kind == kindDelete {
+					continue
+				}
+				addr := base + off + 1 + blockIdx
+				blockIdx++
+				if isLive, _ := fs.entryLiveLocked(e, addr); isLive {
 					kinds[e.Kind]++
 				}
 			}
 			off += 1 + int64(sum.NBlocks)
 		}
-		// Cross-walk: which addresses in the victim does the imap still
-		// reference, and did the summary walk cover them?
-		covered := off
-		type ref struct {
-			Ino  Ino
-			Kind blockKind
-			Idx  int64
-			Addr int64
-		}
-		var refs []ref
-		for ino := range fs.imap {
-			if fs.segOf(fs.imap[ino]) == victim {
-				refs = append(refs, ref{ino, kindInodePack, 0, fs.imap[ino]})
-			}
-			in, e := fs.loadInode(ino)
-			if e != nil {
-				continue
-			}
-			fs.forEachBlock(in, func(kind blockKind, index, a int64) error {
-				if fs.segOf(a) == victim {
-					refs = append(refs, ref{ino, kind, index, a})
-				}
-				return nil
-			})
-		}
-		if len(refs) > 8 {
-			refs = refs[:8]
-		}
-		return fmt.Errorf("lfs: segment %d still has %d live blocks after cleaning (walk covered %d/%d blocks; live kinds data=%d pack=%d ind=%d dind=%d dchild=%d; refs=%+v)",
-			victim, fs.segs[victim].Live, covered, segBlocks, kinds[kindData], kinds[kindInodePack], kinds[kindInd], kinds[kindDInd], kinds[kindDChild], refs)
 	}
-	fs.segs[victim].State = segFree
-	fs.free++
-	fs.stats.Cleaner.SegmentsCleaned++
-	if fs.debugAudit {
-		if _, _, diff, err := fs.auditLocked(); err != nil || len(diff) > 0 {
-			panic(fmt.Sprintf("audit after cleaning seg %d: diff=%v err=%v", victim, diff, err))
-		}
+	// Cross-walk: which addresses in the victim does the imap still
+	// reference?
+	type ref struct {
+		Ino  Ino
+		Kind blockKind
+		Idx  int64
+		Addr int64
 	}
-	return nil
+	var refs []ref
+	for ino := range fs.imap {
+		if fs.segOf(fs.imap[ino]) == victim {
+			refs = append(refs, ref{ino, kindInodePack, 0, fs.imap[ino]})
+		}
+		in, e := fs.loadInode(ino)
+		if e != nil {
+			continue
+		}
+		fs.forEachBlock(in, func(kind blockKind, index, a int64) error {
+			if fs.segOf(a) == victim {
+				refs = append(refs, ref{ino, kind, index, a})
+			}
+			return nil
+		})
+	}
+	if len(refs) > 8 {
+		refs = refs[:8]
+	}
+	return fmt.Errorf("lfs: segment %d still has %d live blocks after cleaning (%d summaries walked; live kinds data=%d pack=%d ind=%d dind=%d dchild=%d; refs=%+v)",
+		victim, fs.segs[victim].Live, len(sums), kinds[kindData], kinds[kindInodePack], kinds[kindInd], kinds[kindDInd], kinds[kindDChild], refs)
 }
 
 // entryLiveLocked reports whether a summary entry's block at addr is still
@@ -328,78 +703,4 @@ func (fs *FS) entryLiveLocked(e summaryEntry, addr int64) (bool, error) {
 	default:
 		return false, nil
 	}
-}
-
-// relocateLocked stages a live block for rewriting at the log head.
-//
-// Data blocks are parked in the orphan table (their bytes must move); the
-// next flush assigns them new addresses and updates the inode. If a
-// transaction currently holds a newer uncommitted version of the page in the
-// cache, the on-disk before-image is what gets relocated — preserving the
-// no-overwrite guarantee that abort depends on. Meta-data blocks are merely
-// marked dirty: their in-memory contents are current (everything unheld was
-// flushed before cleaning), so rewriting them relocates them.
-func (fs *FS) relocateLocked(e summaryEntry, addr int64, data []byte) ([]Ino, error) {
-	if e.Kind == kindInodePack {
-		// Re-dirty every inode in the pack that still lives here; the
-		// scoped flush writes them into a fresh pack at the log head.
-		pack, err := decodeInodePack(data)
-		if err != nil {
-			return nil, err
-		}
-		var inos []Ino
-		for _, packedIn := range pack {
-			if fs.imap[packedIn.ino] != addr {
-				continue
-			}
-			in, err := fs.loadInode(packedIn.ino)
-			if err != nil {
-				return nil, err
-			}
-			in.dirty = true
-			inos = append(inos, packedIn.ino)
-		}
-		return inos, nil
-	}
-	in, err := fs.loadInode(e.Ino)
-	if err != nil {
-		return nil, err
-	}
-	switch e.Kind {
-	case kindData:
-		id := blockIDOf(e.Ino, e.Index)
-		if _, exists := fs.orphans[id]; exists {
-			// A newer, not-yet-flushed version of this block is already
-			// parked in the orphan table; flushing it supersedes the
-			// victim's copy. Never clobber it with the older image.
-			break
-		}
-		if b := fs.pool.Lookup(id); b != nil && b.Dirty() && !b.Held() {
-			// Same: a dirty resident buffer supersedes the on-disk copy
-			// and will be written by the scoped flush.
-			break
-		}
-		cp := make([]byte, len(data))
-		copy(cp, data)
-		fs.orphans[id] = cp
-	case kindInd:
-		p, err := fs.loadInd(in)
-		if err != nil {
-			return nil, err
-		}
-		p.dirty = true
-	case kindDInd:
-		p, err := fs.loadDInd(in)
-		if err != nil {
-			return nil, err
-		}
-		p.dirty = true
-	case kindDChild:
-		p, err := fs.loadDChild(in, e.Index)
-		if err != nil {
-			return nil, err
-		}
-		p.dirty = true
-	}
-	return []Ino{e.Ino}, nil
 }

@@ -131,6 +131,13 @@ type segInfo struct {
 	State    segState
 	Live     int64  // live blocks that would need copying to clean this segment
 	SeqStamp uint64 // summary sequence of the most recent write into the segment
+	// AgeStamp is the youngest data age written into the segment: the
+	// maximum of the AgeStamp fields of its partial segments. Fresh writes
+	// stamp the current sequence number, but the cleaner preserves the age
+	// of relocated blocks, so a segment full of relocated cold data keeps a
+	// small AgeStamp and stays attractive to the cost-benefit policy — the
+	// Sprite-LFS generational trick.
+	AgeStamp uint64
 }
 
 // blockKind tags an entry in a segment summary.
@@ -163,7 +170,9 @@ const summaryEntrySize = 8 + 1 + 8 // ino + kind + index
 //	nextSeg  int64    (pre-allocated successor segment, for roll-forward chaining)
 //	nBlocks  uint32   (blocks following the summary)
 //	nEntries uint32   (summary entries, = nBlocks + deletion records)
-const summaryHeaderSize = 4 + 4 + 8 + 8 + 8 + 4 + 4
+//	ageStamp uint64   (age of the youngest block; fresh writes use seq, the
+//	                   cleaner carries the age of relocated blocks forward)
+const summaryHeaderSize = 4 + 4 + 8 + 8 + 8 + 4 + 4 + 8
 
 // maxSummaryEntries is how many entries fit in one summary block.
 func maxSummaryEntries(blockSize int) int {
@@ -175,6 +184,7 @@ type summary struct {
 	SelfAddr int64
 	NextSeg  int64
 	NBlocks  int
+	AgeStamp uint64
 	Entries  []summaryEntry
 }
 
@@ -190,6 +200,7 @@ func (s *summary) encode(blockSize int) ([]byte, error) {
 	le.PutUint64(b[24:], uint64(s.NextSeg))
 	le.PutUint32(b[32:], uint32(s.NBlocks))
 	le.PutUint32(b[36:], uint32(len(s.Entries)))
+	le.PutUint64(b[40:], s.AgeStamp)
 	off := summaryHeaderSize
 	for _, e := range s.Entries {
 		le.PutUint64(b[off:], uint64(e.Ino))
@@ -231,6 +242,7 @@ func decodeSummary(b []byte, addr int64) (summary, bool) {
 	}
 	s.NextSeg = int64(le.Uint64(b[24:]))
 	s.NBlocks = int(le.Uint32(b[32:]))
+	s.AgeStamp = le.Uint64(b[40:])
 	n := int(le.Uint32(b[36:]))
 	if n < 0 || n > maxSummaryEntries(len(b)) {
 		return s, false

@@ -30,6 +30,18 @@ type Options struct {
 	// segments (default 512), bounding the roll-forward work a crash can
 	// require. Sprite LFS checkpointed on a timer for the same reason.
 	CheckpointEvery int
+	// CleanBatch is how many cost-benefit-ranked victim segments one
+	// cleaning pass reclaims together (default 4). Batching amortizes the
+	// positioning cost of reading live blocks — they go through one C-SCAN
+	// sweep — and gives the hot/cold segregation enough blocks to separate.
+	CleanBatch int
+	// IdleCleanTrigger: CleanIdle starts working when free segments drop
+	// below this (default CleanThreshold+1). It sits just above
+	// CleanThreshold so background cleaning keeps the synchronous cleaner
+	// from firing on the critical path, but no higher than it must:
+	// triggering earlier shrinks the in-log pool, giving segments less time
+	// to die and forcing the cleaner to copy hotter, fuller victims.
+	IdleCleanTrigger int
 }
 
 func (o *Options) fill() {
@@ -50,6 +62,12 @@ func (o *Options) fill() {
 	}
 	if o.CheckpointEvery == 0 {
 		o.CheckpointEvery = 512
+	}
+	if o.CleanBatch == 0 {
+		o.CleanBatch = 4
+	}
+	if o.IdleCleanTrigger == 0 {
+		o.IdleCleanTrigger = o.CleanThreshold + 1
 	}
 }
 
@@ -95,6 +113,14 @@ type FS struct {
 	orphanPressure bool
 	debugAudit     bool
 	stats          Stats
+	// sumCache holds, per in-log segment, the summaries of ALL its partial
+	// segments — present only when complete (built up from offset 0).
+	// It lets the cleaner identify a victim's live blocks without reading
+	// the whole segment back: it reads just the live data blocks, an ~8×
+	// I/O saving at typical victim utilisation. Cache misses (e.g. segments
+	// written before the last mount) fall back to reading the summary
+	// chain from disk.
+	sumCache map[int64][]summary
 }
 
 var _ vfs.FileSystem = (*FS)(nil)
@@ -139,6 +165,7 @@ func Format(dev *disk.Device, clock *sim.Clock, opts Options) (*FS, error) {
 		inodes:    make(map[Ino]*inode),
 		orphans:   make(map[buffer.BlockID][]byte),
 		packRefs:  make(map[int64]int),
+		sumCache:  make(map[int64][]summary),
 	}
 	fs.segs[0].State = segCurrent
 	fs.segs[1].State = segReserved

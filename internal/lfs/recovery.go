@@ -26,7 +26,7 @@ type checkpoint struct {
 }
 
 func (cp *checkpoint) encode() []byte {
-	size := 4 + 4 + 4 + 8*6 + 8 + len(cp.Imap)*16 + 8 + len(cp.Segs)*17
+	size := 4 + 4 + 4 + 8*6 + 8 + len(cp.Imap)*16 + 8 + len(cp.Segs)*25
 	b := make([]byte, size)
 	le := binary.LittleEndian
 	le.PutUint32(b[0:], cpMagic)
@@ -55,7 +55,8 @@ func (cp *checkpoint) encode() []byte {
 		b[off] = byte(s.State)
 		le.PutUint64(b[off+1:], uint64(s.Live))
 		le.PutUint64(b[off+9:], s.SeqStamp)
-		off += 17
+		le.PutUint64(b[off+17:], s.AgeStamp)
+		off += 25
 	}
 	crc := crc32.NewIEEE()
 	crc.Write(b[0:4])
@@ -107,7 +108,8 @@ func decodeCheckpoint(b []byte) (*checkpoint, error) {
 		cp.Segs[i].State = segState(b[off])
 		cp.Segs[i].Live = int64(le.Uint64(b[off+1:]))
 		cp.Segs[i].SeqStamp = le.Uint64(b[off+9:])
-		off += 17
+		cp.Segs[i].AgeStamp = le.Uint64(b[off+17:])
+		off += 25
 	}
 	return cp, nil
 }
@@ -225,6 +227,7 @@ func Mount(dev *disk.Device, clock *sim.Clock, opts Options) (*FS, error) {
 		inodes:    make(map[Ino]*inode),
 		orphans:   make(map[buffer.BlockID][]byte),
 		packRefs:  make(map[int64]int),
+		sumCache:  make(map[int64][]summary),
 	}
 	if int64(len(fs.segs)) != sb.NumSegments {
 		return nil, fmt.Errorf("%w: checkpoint segment table size", ErrCorrupt)
@@ -330,6 +333,9 @@ func (fs *FS) rollForwardLocked() error {
 			blockIdx++
 		}
 		fs.segs[curSeg].SeqStamp = sum.Seq
+		if age := sum.AgeStamp; age > fs.segs[curSeg].AgeStamp {
+			fs.segs[curSeg].AgeStamp = age
+		}
 		fs.seq++
 		nextSeg = sum.NextSeg
 		curOff += int64(1 + sum.NBlocks)

@@ -64,13 +64,13 @@ func (fs *FS) flushLocked(only map[Ino]bool, deferPtr bool) error {
 		if err != nil {
 			return err
 		}
-		if err := fs.writePartialLocked(chunk, chunkFiles, deferPtr); err != nil {
+		if err := fs.writePartialLocked(chunk, chunkFiles, deferPtr, 0); err != nil {
 			return err
 		}
 	}
 	// Deletion records with no accompanying blocks still need logging.
 	if len(fs.pendingDel) > 0 {
-		if err := fs.writePartialLocked(nil, nil, deferPtr); err != nil {
+		if err := fs.writePartialLocked(nil, nil, deferPtr, 0); err != nil {
 			return err
 		}
 	}
@@ -194,15 +194,17 @@ func (fs *FS) gatherRelocLocked(ids map[buffer.BlockID]bool, inos map[Ino]bool) 
 
 // flushRelocLocked writes the cleaner's scoped work list. Cleaning is in
 // progress, so no further cleaning is triggered; segment advances may dig
-// into the reserve the CleanThreshold maintains.
-func (fs *FS) flushRelocLocked(ids map[buffer.BlockID]bool, inos map[Ino]bool) error {
+// into the reserve the CleanThreshold maintains. ageStamp (non-zero) carries
+// the age of the relocated blocks into the output partials so the receiving
+// segment inherits their coldness.
+func (fs *FS) flushRelocLocked(ids map[buffer.BlockID]bool, inos map[Ino]bool, ageStamp uint64) error {
 	items, files := fs.gatherRelocLocked(ids, inos)
 	for len(items) > 0 || len(files) > 0 {
 		chunk, chunkFiles, err := fs.takeChunk(&items, &files, false)
 		if err != nil {
 			return err
 		}
-		if err := fs.writePartialLocked(chunk, chunkFiles, false); err != nil {
+		if err := fs.writePartialLocked(chunk, chunkFiles, false, ageStamp); err != nil {
 			return err
 		}
 	}
@@ -350,8 +352,10 @@ func (fs *FS) takeChunk(items *[]dataItem, files *[]Ino, deferPtr bool) ([]dataI
 
 // writePartialLocked emits one partial segment: a summary block followed by
 // the chunk's data blocks, then the affected pointer blocks and inodes (in
-// dependency order), then logs pending deletions in the summary.
-func (fs *FS) writePartialLocked(chunk []dataItem, metaOnly []Ino, deferPtr bool) error {
+// dependency order), then logs pending deletions in the summary. ageStamp 0
+// means "fresh data" (stamped with the current sequence number); the cleaner
+// passes the age of the blocks it relocates.
+func (fs *FS) writePartialLocked(chunk []dataItem, metaOnly []Ino, deferPtr bool, ageStamp uint64) error {
 	fileSet := map[Ino]bool{}
 	perFile := map[Ino][]int64{}
 	for _, it := range chunk {
@@ -501,11 +505,15 @@ func (fs *FS) writePartialLocked(chunk []dataItem, metaOnly []Ino, deferPtr bool
 	}
 
 	// 4. Summary block, then one sequential device write.
+	if ageStamp == 0 {
+		ageStamp = fs.seq
+	}
 	sum := summary{
 		Seq:      fs.seq,
 		SelfAddr: base,
 		NextSeg:  fs.nextSeg,
 		NBlocks:  len(blocks) - 1,
+		AgeStamp: ageStamp,
 		Entries:  entries,
 	}
 	enc, err := sum.encode(fs.blockSize)
@@ -523,6 +531,19 @@ func (fs *FS) writePartialLocked(chunk []dataItem, metaOnly []Ino, deferPtr bool
 		return err
 	}
 	fs.segs[fs.curSeg].SeqStamp = fs.seq
+	if ageStamp > fs.segs[fs.curSeg].AgeStamp {
+		fs.segs[fs.curSeg].AgeStamp = ageStamp
+	}
+	// Maintain the summary cache, but only where it is complete: a fresh
+	// entry when this partial starts the segment, an append when the cache
+	// already covers everything before it. (After a mount the current
+	// segment may have pre-existing partials we never saw; its cache entry
+	// stays absent and the cleaner falls back to the disk walk.)
+	if fs.curOff == 0 {
+		fs.sumCache[fs.curSeg] = []summary{sum}
+	} else if sums, ok := fs.sumCache[fs.curSeg]; ok {
+		fs.sumCache[fs.curSeg] = append(sums, sum)
+	}
 	fs.seq++
 	fs.curOff += int64(len(blocks))
 	fs.stats.PartialSegments++
@@ -583,6 +604,8 @@ func (fs *FS) freeDeadSegmentsLocked() error {
 	for s := int64(0); s < fs.sb.NumSegments; s++ {
 		if fs.segs[s].State == segInLog && fs.segs[s].Live == 0 && fs.segs[s].SeqStamp < fs.cpBound {
 			fs.segs[s].State = segFree
+			fs.segs[s].AgeStamp = 0
+			delete(fs.sumCache, s)
 			fs.free++
 			n++
 		}

@@ -159,12 +159,14 @@ func (e *Env) LogStats() wal.Stats { return e.log.Stats() }
 
 // writeback persists an evicted dirty page, honouring the WAL rule: the log
 // is forced before the page goes to the database file. The write() into the
-// kernel costs a system call.
+// kernel costs a system call plus the copyin of the whole page (the WAL's
+// own appends move only record-sized deltas and are charged by the log
+// manager).
 func (e *Env) writeback(id buffer.BlockID, data []byte) error {
 	if err := e.log.Force(); err != nil {
 		return err
 	}
-	e.clock.Advance(e.costs.Syscall)
+	e.clock.Advance(e.costs.Syscall + e.costs.PageCopy)
 	f, ok := e.files[uint64(id.File)]
 	if !ok {
 		return fmt.Errorf("libtp: writeback for unknown db %d", id.File)

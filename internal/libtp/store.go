@@ -31,9 +31,11 @@ func (s *txnStore) NumPages() (int64, error) {
 }
 
 // fetch loads a page of the database file into the pool: a read() system
-// call into the kernel's file system.
+// call into the kernel's file system, plus the copyout of the whole page
+// into the user-level pool (§1's double-buffering cost — whether the kernel
+// served it from its own cache or from disk).
 func (s *txnStore) fetch(id buffer.BlockID, dst []byte) error {
-	s.t.env.clock.Advance(s.t.env.costs.Syscall)
+	s.t.env.clock.Advance(s.t.env.costs.Syscall + s.t.env.costs.PageCopy)
 	_, err := s.db.f.ReadAt(dst, id.Block*int64(len(dst)))
 	return err
 }
@@ -116,6 +118,7 @@ func (s *txnStore) AllocPage() (int64, error) {
 		return 0, err
 	}
 	zero := make([]byte, e.pool.BlockSize())
+	e.clock.Advance(e.costs.Syscall + e.costs.PageCopy) // write() of the new page
 	if _, err := s.db.f.WriteAt(zero, np*int64(len(zero))); err != nil {
 		return 0, err
 	}

@@ -21,6 +21,13 @@ type CostModel struct {
 	RecordOp time.Duration
 	// TxnOp is the bookkeeping cost of transaction begin/commit/abort.
 	TxnOp time.Duration
+	// PageCopy is the cost of moving one whole page across the user/kernel
+	// boundary (copyin/copyout). The user-level architecture pays it on
+	// every buffer-pool fill and every dirty-page write-back — §1's
+	// "functional redundancy" of double buffering; the embedded manager
+	// works in the kernel cache directly and moves only record-sized
+	// operands across the boundary, which the Syscall charge covers.
+	PageCopy time.Duration
 	// UserSyncSyscalls is the number of kernel crossings a user-level
 	// synchronization operation costs. On hardware without test-and-set
 	// (the paper's DECstation) this is 2 (obtain + release semaphores via
@@ -43,6 +50,7 @@ func SpriteCosts() CostModel {
 		CacheHit:         50 * time.Microsecond,
 		RecordOp:         2 * time.Millisecond,
 		TxnOp:            500 * time.Microsecond,
+		PageCopy:         300 * time.Microsecond, // 4 KB at ~13 MB/s kernel-user bcopy
 		UserSyncSyscalls: 2,
 	}
 }

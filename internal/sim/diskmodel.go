@@ -115,18 +115,11 @@ func (m DiskModel) AccessTime(prev, block int64, nblocks int) time.Duration {
 // AvgSeekTime reports the model's average seek time (using the standard
 // random-access expectation of one third of the full stroke).
 func (m DiskModel) AvgSeekTime() time.Duration {
-	cyls := m.NumBlocks / maxInt64(1, m.CylinderBlocks)
+	cyls := m.NumBlocks / max(1, m.CylinderBlocks)
 	return m.SeekTime(0, cyls/3)
 }
 
 // SizeBytes returns the capacity of the modelled device in bytes.
 func (m DiskModel) SizeBytes() int64 {
 	return m.NumBlocks * int64(m.BlockSize)
-}
-
-func maxInt64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

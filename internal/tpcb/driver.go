@@ -22,11 +22,24 @@ func (r Result) String() string {
 // RunBenchmark executes n transactions on sys, measuring simulated elapsed
 // time (including the final drain of any pending group commit).
 func RunBenchmark(sys System, clock *sim.Clock, cfg Config, n int) (Result, error) {
+	return RunBenchmarkIdle(sys, clock, cfg, n, nil)
+}
+
+// RunBenchmarkIdle is RunBenchmark with an idle hook invoked between
+// transactions. Rigs built with CleanerMode "idle" point the hook at the
+// LFS's incremental background cleaner, which reclaims segments in the
+// device's idle windows instead of stalling a flush mid-transaction.
+func RunBenchmarkIdle(sys System, clock *sim.Clock, cfg Config, n int, idle func() error) (Result, error) {
 	gen := NewGenerator(cfg)
 	start := clock.Now()
 	for i := 0; i < n; i++ {
 		if err := sys.Run(gen.Next()); err != nil {
 			return Result{}, fmt.Errorf("tpcb: txn %d on %s: %w", i, sys.Name(), err)
+		}
+		if idle != nil {
+			if err := idle(); err != nil {
+				return Result{}, fmt.Errorf("tpcb: idle cleaning after txn %d on %s: %w", i, sys.Name(), err)
+			}
 		}
 	}
 	if err := sys.Drain(); err != nil {

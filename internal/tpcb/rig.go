@@ -31,6 +31,17 @@ type RigOptions struct {
 	// default sizing follows the paper: the database occupies roughly
 	// half the disk.
 	DiskScale float64
+	// CleanerMode selects how LFS-based rigs clean: "sync" (default) lets
+	// the flush path invoke the cleaner synchronously on the critical
+	// path; "idle" wires Rig.Idle to the incremental background cleaner so
+	// the driver cleans between transactions in device idle windows.
+	CleanerMode string
+	// CleanBatch overrides the cleaner's victims-per-pass batch size
+	// (0 = the LFS default).
+	CleanBatch int
+	// IdleCleanTrigger overrides the free-segment level below which the
+	// background cleaner starts working (0 = the LFS default).
+	IdleCleanTrigger int
 }
 
 // Rig is a ready-to-run benchmark configuration.
@@ -42,6 +53,15 @@ type Rig struct {
 	Sys   System
 	Env   *libtp.Env    // non-nil for user-level rigs
 	Core  *core.Manager // non-nil for the embedded rig
+	// Idle is the between-transactions hook (non-nil when CleanerMode is
+	// "idle"): one incremental background cleaning step, charged against
+	// foreground idle time. Pass it to RunBenchmarkIdle.
+	Idle func() error
+}
+
+// Run executes the benchmark on the rig, using the idle hook if present.
+func (r *Rig) Run(cfg Config, n int) (Result, error) {
+	return RunBenchmarkIdle(r.Sys, r.Clock, cfg, n, r.Idle)
 }
 
 // DiskModelFor returns the simulated disk geometry the rig builder would
@@ -50,21 +70,14 @@ type Rig struct {
 func DiskModelFor(cfg Config, expectedTxns int) sim.DiskModel {
 	dbPages := dbPagesEstimate(cfg, expectedTxns)
 	model := sim.RZ55Model()
-	freeBlocks := int64(expectedTxns)
-	if freeBlocks < dbPages {
-		freeBlocks = dbPages
-	}
+	freeBlocks := max(int64(expectedTxns), dbPages)
 	model.NumBlocks = dbPages + dbPages/5 + freeBlocks + 2048
 	return model
 }
 
 // CacheBlocksFor returns the per-pool cache sizing for a configuration.
 func CacheBlocksFor(cfg Config, expectedTxns int) int {
-	cache := int(dbPagesEstimate(cfg, expectedTxns) / 10)
-	if cache < 96 {
-		cache = 96
-	}
-	return cache
+	return max(int(dbPagesEstimate(cfg, expectedTxns)/10), 96)
 }
 
 // dbPagesEstimate approximates the loaded database size in pages.
@@ -105,10 +118,7 @@ func BuildRig(opts RigOptions) (*Rig, error) {
 	//    per transaction kept free, matching the paper's ~18 log cycles
 	//    per 100k-transaction run);
 	//  - the database still occupying a large fraction of the disk.
-	freeBlocks := int64(opts.ExpectedTxns)
-	if freeBlocks < dbPages {
-		freeBlocks = dbPages
-	}
+	freeBlocks := max(int64(opts.ExpectedTxns), dbPages)
 	model.NumBlocks = int64(float64(dbPages+dbPages/5+freeBlocks+2048) * opts.DiskScale)
 	// The paper's machine cached a small fraction of the database (32 MB
 	// of memory against a 160 MB account file plus the OS): "databases too
@@ -116,10 +126,7 @@ func BuildRig(opts RigOptions) (*Rig, error) {
 	// read-bound. One tenth per pool; the user-level systems have two
 	// pools (user + kernel), the embedded system gets the whole budget in
 	// its single kernel cache.
-	cache := int(dbPages / 10)
-	if cache < 96 {
-		cache = 96
-	}
+	cache := max(int(dbPages/10), 96)
 
 	clk := sim.NewClock()
 	dev := disk.New(model, clk)
@@ -139,7 +146,7 @@ func BuildRig(opts RigOptions) (*Rig, error) {
 		rig.Env = env
 		rig.Sys = NewUserSystem(env, clk, opts.Costs)
 	case "user-lfs":
-		fsys, err := lfs.Format(dev, clk, lfs.Options{CacheBlocks: cache, Policy: opts.Policy})
+		fsys, err := lfs.Format(dev, clk, lfs.Options{CacheBlocks: cache, Policy: opts.Policy, CleanBatch: opts.CleanBatch, IdleCleanTrigger: opts.IdleCleanTrigger})
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +163,7 @@ func BuildRig(opts RigOptions) (*Rig, error) {
 		// the kernel cache, so the kernel configuration gets the whole
 		// budget in one cache (§1: the user-level architecture's
 		// "functional redundancy").
-		fsys, err := lfs.Format(dev, clk, lfs.Options{CacheBlocks: 2 * cache, Policy: opts.Policy})
+		fsys, err := lfs.Format(dev, clk, lfs.Options{CacheBlocks: 2 * cache, Policy: opts.Policy, CleanBatch: opts.CleanBatch, IdleCleanTrigger: opts.IdleCleanTrigger})
 		if err != nil {
 			return nil, err
 		}
@@ -170,5 +177,23 @@ func BuildRig(opts RigOptions) (*Rig, error) {
 	if err := rig.Sys.Load(opts.Config); err != nil {
 		return nil, fmt.Errorf("tpcb: load on %s: %w", opts.Kind, err)
 	}
+	switch opts.CleanerMode {
+	case "", "sync":
+		// Default: the flush path cleans synchronously when it must.
+	case "idle":
+		if rig.LFS == nil {
+			return nil, fmt.Errorf("tpcb: cleaner mode %q needs an LFS-based rig, got %q", opts.CleanerMode, opts.Kind)
+		}
+		lfsys := rig.LFS
+		rig.Idle = func() error {
+			_, err := lfsys.CleanIdle()
+			return err
+		}
+	default:
+		return nil, fmt.Errorf("tpcb: unknown cleaner mode %q", opts.CleanerMode)
+	}
+	// The measured run must not hide background work behind idle time the
+	// load phase accumulated.
+	dev.ResetIdleCredit()
 	return rig, nil
 }
