@@ -7,6 +7,7 @@
 //	tpcb -system kernel-lfs -scale 0.05 -txns 5000
 //	tpcb -system user-ffs
 //	tpcb -system user-lfs -groupcommit 8 -fastsync
+//	tpcb -system user-lfs -mpl 8 -groupcommit 8
 //	tpcb -system kernel-lfs -policy greedy
 //	tpcb -system kernel-lfs -cleaner idle -cleanbatch 8
 package main
@@ -25,6 +26,7 @@ func main() {
 	system := flag.String("system", "kernel-lfs", "configuration: user-ffs, user-lfs, kernel-lfs")
 	scale := flag.Float64("scale", 0.05, "TPC-B scale factor (1.0 = 1,000,000 accounts)")
 	txns := flag.Int("txns", 5000, "transactions to run")
+	mpl := flag.Int("mpl", 1, "multiprogramming level (concurrent simulated clients)")
 	groupCommit := flag.Int("groupcommit", 1, "commit batch size")
 	policy := flag.String("policy", "cost-benefit", "LFS cleaner policy: cost-benefit or greedy")
 	cleaner := flag.String("cleaner", "sync", "LFS cleaning discipline: sync (on the critical path) or idle (overlapped with foreground idle windows)")
@@ -63,15 +65,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := rig.Run(cfg, *txns)
+	var res tpcb.Result
+	if *mpl > 1 {
+		res, err = rig.RunMPL(cfg, *txns, *mpl)
+	} else {
+		res, err = rig.Run(cfg, *txns)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(res)
 
 	st := rig.Dev.Stats()
-	fmt.Printf("\ndisk: %d read ops (%d blocks), %d write ops (%d blocks), busy %v\n",
-		st.Reads, st.BlocksRead, st.Writes, st.BlocksWrit, st.BusyTime)
+	fmt.Printf("\ndisk: %d read ops (%d blocks), %d write ops (%d blocks), busy %v, queued %v\n",
+		st.Reads, st.BlocksRead, st.Writes, st.BlocksWrit, st.BusyTime, st.QueueTime)
 	if rig.LFS != nil {
 		fst := rig.LFS.Stats()
 		fmt.Printf("lfs: %d partial segments, %d blocks logged, %d checkpoints\n",
@@ -90,19 +97,23 @@ func main() {
 		}
 	}
 	if rig.Env != nil {
-		ls := rig.Env.LockStats()
 		ws := rig.Env.LogStats()
-		fmt.Printf("locks: %d acquired, %d waits, %d deadlocks\n", ls.Acquired, ls.Waited, ls.Deadlocks)
+		printLockStats(rig)
 		fmt.Printf("wal: %d records, %d bytes, %d forces, %d group-absorbed commits\n",
 			ws.Records, ws.BytesLogged, ws.Forces, ws.GroupCommits)
 	}
 	if rig.Core != nil {
 		cs := rig.Core.Stats()
-		ls := rig.Core.LockStats()
 		fmt.Printf("embedded: %d committed, %d aborted, %d commit flushes, %d pages (%d bytes) forced\n",
 			cs.Committed, cs.Aborted, cs.CommitFlush, cs.PagesFlushed, cs.BytesFlushed)
-		fmt.Printf("locks: %d acquired, %d waits, %d deadlocks\n", ls.Acquired, ls.Waited, ls.Deadlocks)
+		printLockStats(rig)
 	}
+}
+
+func printLockStats(rig *tpcb.Rig) {
+	ls := rig.LockStats()
+	fmt.Printf("locks: %d acquired, %d waits (%v blocked), %d deadlocks (%d aborts)\n",
+		ls.Acquired, ls.Waited, ls.BlockedTime, ls.Deadlocks, ls.DeadlockAborts)
 }
 
 func fatal(err error) {

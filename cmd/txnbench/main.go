@@ -9,6 +9,7 @@
 //	txnbench -fig 4 -scale 0.1 -txns 10000
 //	txnbench -fig 6                   # SCAN test + crossover (Figures 6 and 7)
 //	txnbench -fig sync|cleaner|groupcommit|commitbytes|policy
+//	txnbench -fig mpl                 # TPS vs multiprogramming level (not in "all")
 //	txnbench -fig cleaner -json       # machine-readable output
 //	txnbench -fig 4 -cleaner idle -cleanbatch 8
 //
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 4, 5, 6, 7, sync, cleaner, groupcommit, commitbytes, policy, all")
+	fig := flag.String("fig", "all", "figure to reproduce: 4, 5, 6, 7, sync, cleaner, groupcommit, commitbytes, policy, mpl, all")
 	scale := flag.Float64("scale", 0.05, "TPC-B scale factor (1.0 = the paper's 1,000,000 accounts)")
 	txns := flag.Int("txns", 5000, "transactions per measured run")
 	cleaner := flag.String("cleaner", "", "override the LFS cleaning discipline for all rigs: sync or idle (default: each system's natural mode)")
@@ -63,6 +64,10 @@ func main() {
 		}},
 		"policy": {"policy", func() (fmt.Stringer, error) {
 			return figures.AblationCleanerPolicy(opts)
+		}},
+		// The MPL sweep runs 30 full benchmarks, so it is not part of "all".
+		"mpl": {"mpl", func() (fmt.Stringer, error) {
+			return figures.FigureMPL(opts)
 		}},
 	}
 

@@ -45,12 +45,13 @@ var (
 // Buf is a cached block. Data is valid while the buffer is pinned; callers
 // must not retain Data after Release.
 type Buf struct {
-	ID    BlockID
-	Data  []byte
-	dirty bool
-	held  bool
-	pins  int
-	elem  *list.Element
+	ID      BlockID
+	Data    []byte
+	dirty   bool
+	held    bool
+	loading bool // fetch in flight; Data not yet valid
+	pins    int
+	elem    *list.Element
 }
 
 // Dirty reports whether the buffer has unwritten modifications.
@@ -70,6 +71,7 @@ type Stats struct {
 // Pool is an LRU pool of at most capacity blocks.
 type Pool struct {
 	mu        sync.Mutex
+	cond      *sync.Cond // signalled when an in-flight fetch settles
 	capacity  int
 	blockSize int
 	writeback WriteBack
@@ -86,13 +88,15 @@ func New(capacity, blockSize int, writeback WriteBack) *Pool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Pool{
+	p := &Pool{
 		capacity:  capacity,
 		blockSize: blockSize,
 		writeback: writeback,
 		table:     make(map[BlockID]*Buf, capacity),
 		lru:       list.New(),
 	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
 }
 
 // Capacity returns the pool's block capacity.
@@ -120,31 +124,47 @@ func (p *Pool) Len() int {
 // is about to be fully overwritten). The caller must Release the buffer.
 func (p *Pool) Get(id BlockID, fetch Fetch) (*Buf, error) {
 	p.mu.Lock()
-	if b, ok := p.table[id]; ok {
-		p.stats.Hits++
-		b.pins++
-		p.lru.MoveToFront(b.elem)
-		p.mu.Unlock()
-		return b, nil
+	for {
+		b, ok := p.table[id]
+		if !ok {
+			break
+		}
+		if !b.loading {
+			p.stats.Hits++
+			b.pins++
+			p.lru.MoveToFront(b.elem)
+			p.mu.Unlock()
+			return b, nil
+		}
+		// Another goroutine is filling this block; wait for its fetch to
+		// settle rather than returning uninitialized data. (Virtual
+		// processes never reach this wait — they are scheduled one at a
+		// time and do not yield mid-fetch — so a sync.Cond is sufficient.)
+		p.cond.Wait()
 	}
 	p.stats.Misses++
 	if err := p.makeRoomLocked(); err != nil {
 		p.mu.Unlock()
 		return nil, err
 	}
-	b := &Buf{ID: id, Data: make([]byte, p.blockSize), pins: 1}
+	b := &Buf{ID: id, Data: make([]byte, p.blockSize), pins: 1, loading: fetch != nil}
 	b.elem = p.lru.PushFront(b)
 	p.table[id] = b
 	p.mu.Unlock()
 
 	if fetch != nil {
-		if err := fetch(id, b.Data); err != nil {
-			p.mu.Lock()
+		err := fetch(id, b.Data)
+		p.mu.Lock()
+		b.loading = false
+		if err != nil {
 			b.pins = 0
 			p.removeLocked(b)
+			p.cond.Broadcast()
 			p.mu.Unlock()
 			return nil, err
 		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
 	}
 	return b, nil
 }

@@ -87,6 +87,11 @@ type Manager struct {
 	// pending are committed transactions awaiting the group-commit flush.
 	pending []*Txn
 	stats   Stats
+
+	// stallFlushErr is a flush error raised by the scheduler's stall hook
+	// (no proc was running to receive it); the next commit or explicit
+	// flush reports it.
+	stallFlushErr error
 }
 
 // New attaches a transaction manager to a mounted log-structured file
@@ -98,7 +103,7 @@ func New(fsys *lfs.FS, clock *sim.Clock, opts Options) *Manager {
 	if opts.GroupCommit < 1 {
 		opts.GroupCommit = 1
 	}
-	return &Manager{
+	m := &Manager{
 		fs:     fsys,
 		clock:  clock,
 		costs:  opts.Costs,
@@ -106,6 +111,9 @@ func New(fsys *lfs.FS, clock *sim.Clock, opts Options) *Manager {
 		opts:   opts,
 		heldBy: make(map[buffer.BlockID]int),
 	}
+	m.locks.SetClock(clock)
+	clock.OnStall(m.groupCommitStall)
+	return m
 }
 
 // FS returns the underlying file system.
@@ -193,10 +201,13 @@ func (p *Process) TxnBegin() error {
 }
 
 // TxnCommit commits the process's transaction (txn_commit): move the dirty
-// buffers from the inode's transaction list to its dirty list, flush them
-// to disk, and release locks when the writes have completed. Under group
-// commit the flush (and the lock release) waits until enough transactions
-// have committed.
+// buffers from the inode's transaction list to its dirty list and, when the
+// group-commit batch has filled, flush them to disk and release locks. A
+// pending transaction keeps its locks until the flush — the kernel design
+// never writes uncommitted pages, so it cannot release early the way the
+// user-level log manager can — which is why a conflicting lock request
+// (lockObject) or the scheduler's stall hook flushes the batch instead of
+// letting requesters queue behind a parked committer.
 func (p *Process) TxnCommit() error {
 	if p.txn == nil || p.txn.status != txnRunning {
 		return ErrNoTxn
@@ -204,6 +215,10 @@ func (p *Process) TxnCommit() error {
 	m := p.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.stallFlushErr; err != nil {
+		m.stallFlushErr = nil
+		return err
+	}
 	m.clock.Advance(m.costs.Syscall + m.costs.TxnOp)
 	t := p.txn
 	t.status = txnCommitting
@@ -215,6 +230,24 @@ func (p *Process) TxnCommit() error {
 	}
 	p.txn = nil
 	return nil
+}
+
+// groupCommitStall is the scheduler's stall hook: every runnable client is
+// blocked, and what blocks them is (transitively) a lock held by a pending
+// committed transaction. Flush the batch — the discrete-event analogue of
+// the group-commit timeout — releasing those locks and waking the waiters.
+func (m *Manager) groupCommitStall() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.pending) == 0 {
+		return false
+	}
+	if err := m.flushPendingLocked(); err != nil && m.stallFlushErr == nil {
+		// No proc is running to receive the error; surface it at the next
+		// commit or explicit flush.
+		m.stallFlushErr = err
+	}
+	return true
 }
 
 // flushPendingLocked performs the (group) commit flush: unhold every pending
@@ -267,6 +300,10 @@ func (m *Manager) flushPendingLocked() error {
 func (m *Manager) Flush() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.stallFlushErr; err != nil {
+		m.stallFlushErr = nil
+		return err
+	}
 	return m.flushPendingLocked()
 }
 
@@ -320,6 +357,7 @@ func (p *Process) abortOnDeadlock() {
 	p.m.mu.Lock()
 	p.m.stats.Deadlocks++
 	p.m.mu.Unlock()
+	p.m.locks.NoteDeadlockAbort()
 	_ = p.TxnAbort()
 }
 

@@ -72,6 +72,10 @@ func (f *File) pageRange(off int64, n int) (first, last int64) {
 // the transaction on deadlock.
 func (p *Process) lockObject(obj lock.Object, mode lock.Mode) error {
 	m := p.m
+	// Cooperative scheduling point: no mutex is held here, so this is where
+	// a multiprogramming run interleaves processes at page-access
+	// granularity (the kernel scheduler's preemption point).
+	m.clock.Yield()
 	// A lock held by a committing (pending group-commit) transaction will
 	// be released as soon as the batch flushes; do that now rather than
 	// sleeping on it.

@@ -34,6 +34,7 @@ type Stats struct {
 	BlocksWrit int64         // blocks transferred out
 	Seeks      int64         // accesses that paid positioning time
 	BusyTime   time.Duration // total simulated service time
+	QueueTime  time.Duration // foreground time spent queued behind earlier requests (MPL > 1)
 
 	// Background-lane accounting (see Lane). BgTime is total background
 	// service time; BgOverlapTime is the portion absorbed by foreground idle
@@ -79,6 +80,7 @@ type Device struct {
 	lane       Lane
 	idleCredit time.Duration // foreground idle time not yet spent on background work
 	lastEnd    time.Duration // clock time when the last request finished
+	busyUntil  time.Duration // virtual time the spindle finishes its current foreground request
 }
 
 // SetFault installs (or clears, with nil) a fault-injection hook.
@@ -141,7 +143,24 @@ func (d *Device) checkRange(block int64, n int) error {
 // the arm. Foreground accesses advance the clock by the full service time;
 // background accesses drain the accumulated idle budget first and only their
 // residue stalls the clock. Caller must hold d.mu.
+//
+// The device models a single spindle: a foreground request issued while an
+// earlier foreground request is still in service (possible only at MPL > 1,
+// where clients carry independent virtual clocks) first waits out the
+// remaining service time, and that queueing delay is charged to the waiting
+// client. At MPL = 1 the single client's time is never behind busyUntil, so
+// the queue wait is always zero and timings match the direct-advance design
+// exactly. Background accesses bypass the queue — they model work scheduled
+// into idle windows, and their overlap accounting below already bounds how
+// much of them the foreground can absorb.
 func (d *Device) charge(block int64, n int) {
+	if d.lane == Foreground {
+		if now := d.clock.Now(); d.busyUntil > now {
+			wait := d.busyUntil - now
+			d.clock.Advance(wait)
+			d.stats.QueueTime += wait
+		}
+	}
 	t := d.model.AccessTime(d.arm, block, n)
 	if d.arm != block {
 		d.stats.Seeks++
@@ -162,6 +181,9 @@ func (d *Device) charge(block int64, n int) {
 		d.clock.Advance(t)
 	}
 	d.lastEnd = d.clock.Now()
+	if d.lane == Foreground {
+		d.busyUntil = d.lastEnd
+	}
 }
 
 // SetLane switches the charging lane for subsequent accesses and returns the

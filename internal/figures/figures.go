@@ -43,6 +43,12 @@ type Options struct {
 	// CleanBatch overrides the cleaner's victims-per-pass batch size
 	// (0 = the LFS default).
 	CleanBatch int
+	// MPLs are the multiprogramming levels the MPL sweep measures
+	// (default 1, 2, 4, 8, 16).
+	MPLs []int
+	// GroupCommit is the batch size for the group-commit arm of the MPL
+	// sweep (default 8); the other arm always forces per commit.
+	GroupCommit int
 }
 
 func (o *Options) fill() {
@@ -54,6 +60,12 @@ func (o *Options) fill() {
 	}
 	if o.Costs == (sim.CostModel{}) {
 		o.Costs = sim.SpriteCosts()
+	}
+	if len(o.MPLs) == 0 {
+		o.MPLs = []int{1, 2, 4, 8, 16}
+	}
+	if o.GroupCommit == 0 {
+		o.GroupCommit = 8
 	}
 }
 

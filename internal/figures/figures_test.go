@@ -186,6 +186,40 @@ func TestAblationCleanerPolicy(t *testing.T) {
 	_ = rep.String()
 }
 
+func TestFigureMPLSweep(t *testing.T) {
+	opts := smallOpts()
+	opts.MPLs = []int{1, 4}
+	rep, err := FigureMPL(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 systems × 2 group-commit settings.
+	if len(rep.Series) != 6 {
+		t.Fatalf("series = %d", len(rep.Series))
+	}
+	for _, s := range rep.Series {
+		if len(s.Cells) != 2 {
+			t.Fatalf("%s gc=%d: cells = %d", s.System, s.GroupCommit, len(s.Cells))
+		}
+		for _, c := range s.Cells {
+			if c.TPS <= 0 {
+				t.Fatalf("%s gc=%d mpl=%d produced no throughput", s.System, s.GroupCommit, c.MPL)
+			}
+		}
+		// Concurrency must help the force-per-commit runs: overlapping
+		// clients hide the per-commit force latency. (With group commit the
+		// MPL=1 run already batches its forces, so no ordering is asserted.)
+		if s.GroupCommit == 1 && s.Cells[1].TPS <= s.Cells[0].TPS {
+			t.Fatalf("%s gc=%d: MPL=4 (%.2f TPS) should beat MPL=1 (%.2f TPS)",
+				s.System, s.GroupCommit, s.Cells[1].TPS, s.Cells[0].TPS)
+		}
+	}
+	out := rep.String()
+	if !strings.Contains(out, "MPL sweep") || !strings.Contains(out, "kernel-lfs") {
+		t.Fatalf("report formatting broken:\n%s", out)
+	}
+}
+
 func TestCoalescingCleanerRestoresScan(t *testing.T) {
 	rep, err := Figure67(smallOpts())
 	if err != nil {

@@ -96,6 +96,19 @@ type Env struct {
 	active  map[uint64]bool
 	undo    map[uint64][]undoRec
 	stats   Stats
+
+	// Blocking group commit (multiprogramming only): commit records of
+	// concurrent transactions accumulate until the batch fills — or no other
+	// client is runnable, or the scheduler stalls — and every committer in
+	// the batch waits on the same log force. gcEpoch increments per force so
+	// waiters know their batch went out; gcForceDue asks the earliest waiter
+	// to perform the force itself (the "timeout" arm, fired when the
+	// scheduler has nothing else to run).
+	gcPending  int
+	gcEpoch    uint64
+	gcForceDue bool
+	gcErr      error
+	gcWaiters  sim.WaitQueue
 }
 
 // NewEnv creates (or reopens) a transaction environment on fsys. The log
@@ -138,6 +151,8 @@ func NewEnv(fsys vfs.FileSystem, clock *sim.Clock, opts Options) (*Env, error) {
 		env.log = lg
 	}
 	env.log.SetGroupCommit(opts.GroupCommit)
+	env.locks.SetClock(clock)
+	clock.OnStall(env.groupCommitStall)
 	return env, nil
 }
 
@@ -259,15 +274,83 @@ func (t *Txn) Commit() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.clock.Advance(e.costs.TxnOp + e.costs.Syscall)
-	if _, _, err := e.log.LogCommit(t.id); err != nil {
-		return err
+	if e.clock.LiveProcs() > 1 {
+		// Multiprogramming: pre-commit. Append the commit record and release
+		// locks immediately — commit order is fixed by log order, and a
+		// dependent transaction's commit record lands later in the same log,
+		// so it can never become durable first — then block until the shared
+		// force makes the batch durable. Holding locks across the force wait
+		// would serialize the very concurrency group commit needs.
+		if _, err := e.log.AppendCommit(t.id); err != nil {
+			return err
+		}
+		e.locks.ReleaseAll(lock.TxnID(t.id))
+		if err := e.awaitGroupForceLocked(); err != nil {
+			return err
+		}
+	} else {
+		if _, _, err := e.log.LogCommit(t.id); err != nil {
+			return err
+		}
+		e.locks.ReleaseAll(lock.TxnID(t.id))
 	}
-	e.locks.ReleaseAll(lock.TxnID(t.id))
 	e.clock.Advance(e.costs.UserSync())
 	delete(e.active, t.id)
 	delete(e.undo, t.id)
 	e.stats.Committed++
 	return nil
+}
+
+// awaitGroupForceLocked implements group commit for concurrent committers
+// (§4.4: delay the force "until sufficiently more transactions have
+// committed"): either force the whole batch — when it has filled, or when no
+// other client is runnable so waiting cannot help — or suspend until a later
+// committer (or the scheduler's stall hook) forces it. The caller has
+// already appended its commit record and released its locks (pre-commit).
+// Caller holds e.mu.
+func (e *Env) awaitGroupForceLocked() error {
+	e.gcPending++
+	if e.gcPending >= e.opts.GroupCommit || !e.clock.OtherRunnable() {
+		return e.forceGroupLocked()
+	}
+	e.log.NoteAbsorbed()
+	epoch := e.gcEpoch
+	for e.gcEpoch == epoch {
+		if e.gcForceDue {
+			e.gcForceDue = false
+			return e.forceGroupLocked()
+		}
+		e.gcWaiters.Wait(e.clock, &e.mu)
+	}
+	return e.gcErr
+}
+
+// forceGroupLocked forces the log on behalf of every pending commit and
+// releases the batch's waiters. Caller holds e.mu.
+func (e *Env) forceGroupLocked() error {
+	err := e.log.Force()
+	e.gcPending = 0
+	e.gcErr = err
+	e.gcEpoch++
+	e.gcForceDue = false
+	e.gcWaiters.Broadcast(e.clock)
+	return err
+}
+
+// groupCommitStall is the scheduler's stall hook — the discrete-event
+// analogue of the group-commit timeout. When every runnable client has been
+// exhausted and committers are parked waiting for the batch to fill (their
+// held locks may be what blocked everyone else), wake the earliest waiter;
+// it will find gcForceDue set and perform the force itself, in its own
+// simulated time.
+func (e *Env) groupCommitStall() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.gcPending == 0 || e.gcWaiters.Empty() {
+		return false
+	}
+	e.gcForceDue = true
+	return e.gcWaiters.WakeOne(e.clock)
 }
 
 // Abort rolls the transaction back ("txn_abort"): apply before-images in
@@ -431,6 +514,8 @@ func RecoverPaths(fsys vfs.FileSystem, clock *sim.Clock, opts Options, dbPaths [
 		return nil, nil, err
 	}
 	env.log.SetGroupCommit(opts.GroupCommit)
+	env.locks.SetClock(clock)
+	clock.OnStall(env.groupCommitStall)
 	return env, &RecoveryReport{Winners: w, Losers: l}, nil
 }
 

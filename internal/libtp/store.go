@@ -1,6 +1,8 @@
 package libtp
 
 import (
+	"errors"
+
 	"repro/internal/buffer"
 	"repro/internal/lock"
 	"repro/internal/vfs"
@@ -42,9 +44,18 @@ func (s *txnStore) fetch(id buffer.BlockID, dst []byte) error {
 
 func (s *txnStore) lock(page int64, mode lock.Mode) error {
 	e := s.t.env
+	// Cooperative scheduling point: no mutex is held here, so this is where
+	// a multiprogramming run interleaves clients at page-access granularity.
+	e.clock.Yield()
 	// Lock-manager call: semaphore acquire/release in user space.
 	e.clock.Advance(e.costs.UserSync())
-	return e.locks.Lock(lock.TxnID(s.t.id), lock.Object{File: s.db.id, Block: page}, mode)
+	err := e.locks.Lock(lock.TxnID(s.t.id), lock.Object{File: s.db.id, Block: page}, mode)
+	if err != nil && errors.Is(err, lock.ErrDeadlock) {
+		// Two-phase locking contract: the victim must abort, which the
+		// record layer does by surfacing the error to Txn.Abort's caller.
+		e.locks.NoteDeadlockAbort()
+	}
+	return err
 }
 
 func (s *txnStore) ReadPage(n int64, p []byte) error {

@@ -9,6 +9,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/sim"
 )
 
 // Mode is a lock mode.
@@ -52,8 +55,19 @@ var (
 type Stats struct {
 	Acquired  int64 // granted requests (excluding re-grants of held locks)
 	Waited    int64 // requests that had to block
-	Deadlocks int64 // requests aborted by deadlock detection
+	Deadlocks int64 // requests denied by deadlock detection
 	Upgrades  int64 // read→write upgrades
+
+	// BlockedTime is the cumulative simulated time transactions spent
+	// suspended waiting for locks. Only waits inside virtual processes
+	// (multiprogramming runs with a sim clock attached via SetClock) can be
+	// measured in simulated time; goroutine waits add nothing here.
+	BlockedTime time.Duration
+	// DeadlockAborts counts transactions actually aborted after losing
+	// deadlock detection, as reported by the transaction layers through
+	// NoteDeadlockAbort. It can be lower than Deadlocks when a caller
+	// retries the same request without aborting.
+	DeadlockAborts int64
 }
 
 // head is the per-object lock state.
@@ -71,6 +85,11 @@ type Manager struct {
 	// waitsFor[t] is the set of transactions t is currently blocked on.
 	waitsFor map[TxnID]map[TxnID]bool
 	stats    Stats
+
+	// clk, when set, lets waiters inside virtual processes suspend in
+	// simulated time on simQ instead of parking their goroutine on cond.
+	clk  *sim.Clock
+	simQ sim.WaitQueue
 }
 
 // NewManager returns an empty lock manager.
@@ -82,6 +101,26 @@ func NewManager() *Manager {
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
+}
+
+// SetClock attaches the simulated clock. With a clock attached, a Lock call
+// made from a virtual process suspends the proc — accumulating
+// Stats.BlockedTime in simulated time — rather than parking its goroutine;
+// calls from plain goroutines keep the sync.Cond path.
+func (m *Manager) SetClock(clk *sim.Clock) {
+	m.mu.Lock()
+	m.clk = clk
+	m.mu.Unlock()
+}
+
+// NoteDeadlockAbort records that a transaction was aborted because one of
+// its lock requests returned ErrDeadlock. The transaction layers call this
+// from their abort paths so the figure reports can distinguish denied
+// requests from actual victim aborts.
+func (m *Manager) NoteDeadlockAbort() {
+	m.mu.Lock()
+	m.stats.DeadlockAborts++
+	m.mu.Unlock()
 }
 
 // Stats returns a snapshot of the counters.
@@ -181,7 +220,11 @@ func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 			waited = true
 		}
 		h.waiters++
-		m.cond.Wait()
+		if m.clk != nil && m.clk.InProc() {
+			m.stats.BlockedTime += m.simQ.Wait(m.clk, &m.mu)
+		} else {
+			m.cond.Wait()
+		}
 		h.waiters--
 	}
 	delete(m.waitsFor, txn)
@@ -228,7 +271,15 @@ func (m *Manager) Unlock(txn TxnID, obj Object) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.releaseLocked(txn, obj)
+	m.wakeLocked()
+}
+
+// wakeLocked wakes every waiter on both wait paths. Caller must hold m.mu.
+func (m *Manager) wakeLocked() {
 	m.cond.Broadcast()
+	if m.clk != nil {
+		m.simQ.Broadcast(m.clk)
+	}
 }
 
 func (m *Manager) releaseLocked(txn TxnID, obj Object) {
@@ -267,7 +318,7 @@ func (m *Manager) ReleaseAll(txn TxnID) []Object {
 	}
 	delete(m.byTxn, txn)
 	delete(m.waitsFor, txn)
-	m.cond.Broadcast()
+	m.wakeLocked()
 	return written
 }
 

@@ -3,13 +3,17 @@
 // a deterministic simulated clock, a disk service-time model parameterised to
 // resemble the paper's DEC RZ55 SCSI drive, a CPU cost model for the
 // operating-system overheads the paper discusses (system calls, lock
-// operations, buffer-cache hits), and a small deterministic random number
-// generator used by the workloads.
+// operations, buffer-cache hits), a small deterministic random number
+// generator used by the workloads, and a discrete-event scheduler of
+// cooperatively scheduled virtual processes for multiprogramming runs.
 //
 // All elapsed-time results in the benchmark harness are measured in simulated
 // time: the disk model advances the clock for every I/O, and the cost model
 // advances it for every modelled CPU operation. With a multiprogramming level
-// of one (the paper's configuration) the simulation is fully deterministic.
+// of one (the paper's configuration) time accrues on a single cursor exactly
+// as in the original direct-advance design; at MPL > 1 each client runs as a
+// sim.Proc with its own virtual-time cursor and the Scheduler interleaves
+// them deterministically.
 package sim
 
 import (
@@ -19,39 +23,80 @@ import (
 )
 
 // Clock is a monotonically increasing simulated clock. The zero value is a
-// clock at time zero, ready to use.
+// clock at time zero, ready to use. While a Scheduler is attached and a
+// virtual process is running, Now and Advance operate on that proc's private
+// virtual-time cursor; otherwise they operate on the global cursor.
 type Clock struct {
-	mu  sync.Mutex
-	now time.Duration
+	mu     sync.Mutex
+	now    time.Duration
+	strict bool
+
+	sched *Scheduler
+	cur   *Proc
+	stall []func() bool
 }
 
 // NewClock returns a clock starting at time zero.
 func NewClock() *Clock { return &Clock{} }
 
-// Now returns the current simulated time.
+// Now returns the current simulated time: the running proc's cursor in proc
+// context, the global cursor otherwise.
 func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur != nil {
+		return c.cur.now
+	}
+	return c.now
+}
+
+// globalNow returns the global cursor regardless of proc context.
+func (c *Clock) globalNow() time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.now
 }
 
-// Advance moves the clock forward by d. Negative durations are ignored so a
-// buggy caller can never make time run backwards.
+// Advance moves the clock forward by d, charged to the running proc in proc
+// context. Negative durations are ignored so a buggy caller can never make
+// time run backwards — except in strict mode (SetStrict), where they panic
+// so scheduler bugs cannot masquerade as time standing still.
 func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	if d < 0 && c.strict {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("sim: negative clock advance %v", d))
+	}
 	if d <= 0 {
+		c.mu.Unlock()
 		return
 	}
-	c.mu.Lock()
-	c.now += d
+	if c.cur != nil {
+		c.cur.now += d
+	} else {
+		c.now += d
+	}
 	c.mu.Unlock()
 }
 
 // AdvanceTo moves the clock forward to t if t is later than the current time.
 func (c *Clock) AdvanceTo(t time.Duration) {
 	c.mu.Lock()
-	if t > c.now {
+	if c.cur != nil {
+		if t > c.cur.now {
+			c.cur.now = t
+		}
+	} else if t > c.now {
 		c.now = t
 	}
+	c.mu.Unlock()
+}
+
+// SetStrict toggles strict mode: negative Advance durations panic instead of
+// being ignored. Tests enable this so a miscomputed delay fails loudly.
+func (c *Clock) SetStrict(on bool) {
+	c.mu.Lock()
+	c.strict = on
 	c.mu.Unlock()
 }
 
@@ -65,4 +110,114 @@ func (c *Clock) Reset() {
 // String formats the current simulated time.
 func (c *Clock) String() string {
 	return fmt.Sprintf("sim.Clock(%v)", c.Now())
+}
+
+// attach binds a scheduler to the clock. Exactly one may be attached.
+func (c *Clock) attach(s *Scheduler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sched != nil {
+		panic("sim: clock already has a scheduler attached")
+	}
+	c.sched = s
+}
+
+// detach unbinds the scheduler when its Run completes.
+func (c *Clock) detach(s *Scheduler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sched == s {
+		c.sched = nil
+		c.cur = nil
+	}
+}
+
+// setCurrent records which proc is running; nil between dispatches.
+func (c *Clock) setCurrent(p *Proc) {
+	c.mu.Lock()
+	c.cur = p
+	c.mu.Unlock()
+}
+
+// currentProc returns the running proc, or nil outside proc context.
+func (c *Clock) currentProc() *Proc {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur
+}
+
+// InProc reports whether the caller is executing inside a virtual process.
+func (c *Clock) InProc() bool { return c.currentProc() != nil }
+
+// Yield is a cooperative scheduling point: if another runnable proc is
+// earlier in virtual time, the current proc parks and the scheduler resumes
+// the earlier one. Outside proc context, or when the current proc is still
+// the earliest, it is a no-op — so MPL=1 code paths are unaffected. Callers
+// must not hold any mutex across Yield: the parked proc cannot release it
+// and every other proc needing it would wedge the real goroutines.
+func (c *Clock) Yield() {
+	c.mu.Lock()
+	p, s := c.cur, c.sched
+	c.mu.Unlock()
+	if p == nil || !s.shouldPreempt(p) {
+		return
+	}
+	p.state = procRunnable
+	p.park()
+}
+
+// OtherRunnable reports whether a runnable proc other than the current one
+// exists — i.e. whether waiting for more work to batch could ever pay off.
+func (c *Clock) OtherRunnable() bool {
+	c.mu.Lock()
+	p, s := c.cur, c.sched
+	c.mu.Unlock()
+	if s == nil {
+		return false
+	}
+	for _, q := range s.procs {
+		if q != p && q.state == procRunnable {
+			return true
+		}
+	}
+	return false
+}
+
+// LiveProcs returns the number of unfinished procs of the attached
+// scheduler, or 0 when none is attached. Transaction layers use
+// LiveProcs() > 1 to gate multiprogramming-only behaviour (blocking group
+// commit) so MPL=1 remains the exact degenerate case.
+func (c *Clock) LiveProcs() int {
+	c.mu.Lock()
+	s := c.sched
+	c.mu.Unlock()
+	if s == nil {
+		return 0
+	}
+	return s.liveCount()
+}
+
+// OnStall registers a hook the scheduler calls when every live proc is
+// blocked. A hook returns true if it made progress (woke at least one
+// proc); it runs on the scheduler goroutine with no proc current, so it
+// must not advance the clock — typically it flags work as due and wakes a
+// waiter to perform it in proc context. This is the discrete-event
+// analogue of a group-commit timeout firing.
+func (c *Clock) OnStall(fn func() bool) {
+	c.mu.Lock()
+	c.stall = append(c.stall, fn)
+	c.mu.Unlock()
+}
+
+// fireStallHooks runs the registered hooks until one reports progress.
+func (c *Clock) fireStallHooks() bool {
+	c.mu.Lock()
+	hooks := append([]func() bool(nil), c.stall...)
+	c.mu.Unlock()
+	for _, fn := range hooks {
+		if fn() {
+			return true
+		}
+	}
+	return false
 }

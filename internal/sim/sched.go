@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// procState tracks where a virtual process is in its lifecycle.
+type procState int
+
+const (
+	procRunnable procState = iota
+	procBlocked
+	procDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case procRunnable:
+		return "runnable"
+	case procBlocked:
+		return "blocked"
+	case procDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Proc is a cooperatively scheduled virtual process. Each proc carries its
+// own virtual-time cursor: Clock.Now and Clock.Advance operate on the
+// running proc's cursor, so N procs accumulate simulated time independently
+// and the scheduler interleaves them by resuming whichever runnable proc is
+// earliest in virtual time. Procs are backed by goroutines, but exactly one
+// is ever unparked, so code running inside a proc needs no additional
+// synchronization against other procs — only against real concurrent
+// goroutines (the -race tests), which the existing mutexes already cover.
+type Proc struct {
+	id    int
+	name  string
+	sched *Scheduler
+	body  func()
+
+	now      time.Duration
+	state    procState
+	blocked  time.Duration // cumulative virtual time spent in procBlocked
+	resume   chan struct{}
+	panicV   any
+	didPanic bool
+}
+
+// ID returns the proc's spawn index (also its deterministic tie-break key).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the label given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the proc's virtual-time cursor.
+func (p *Proc) Now() time.Duration { return p.now }
+
+// BlockedTime returns the cumulative virtual time the proc spent suspended
+// on a WaitQueue.
+func (p *Proc) BlockedTime() time.Duration { return p.blocked }
+
+// park hands control back to the scheduler and waits to be resumed. Called
+// only from the proc's own goroutine.
+func (p *Proc) park() {
+	p.sched.parked <- struct{}{}
+	<-p.resume
+}
+
+// Scheduler runs a set of virtual processes to completion over a shared
+// Clock, advancing each proc's private virtual-time cursor and resuming the
+// runnable proc with the smallest (time, id) key — a deterministic
+// discrete-event loop. While the scheduler runs, the clock routes Now and
+// Advance to the current proc; when Run returns, the global clock has been
+// advanced to the latest proc finish time, so MPL=1 code observes exactly
+// the same final clock it did under the direct-advance regime.
+type Scheduler struct {
+	clock   *Clock
+	procs   []*Proc
+	parked  chan struct{}
+	started bool
+}
+
+// NewScheduler attaches a scheduler to the clock. Only one scheduler may be
+// attached at a time; it detaches when Run returns.
+func NewScheduler(clock *Clock) *Scheduler {
+	s := &Scheduler{clock: clock, parked: make(chan struct{})}
+	clock.attach(s)
+	return s
+}
+
+// Spawn registers a virtual process. All procs must be spawned before Run;
+// the spawn order fixes proc ids and therefore the deterministic tie-break.
+// The proc's virtual clock starts at the global clock's current time.
+func (s *Scheduler) Spawn(name string, body func()) *Proc {
+	if s.started {
+		panic("sim: Spawn after Scheduler.Run")
+	}
+	p := &Proc{
+		id:     len(s.procs),
+		name:   name,
+		sched:  s,
+		body:   body,
+		now:    s.clock.globalNow(),
+		resume: make(chan struct{}),
+	}
+	s.procs = append(s.procs, p)
+	return p
+}
+
+// Run executes all spawned procs to completion and returns. It panics if a
+// proc panics (re-raising the proc's panic value) or if every live proc is
+// blocked and no stall hook can make progress — a simulated deadlock the
+// transaction layers failed to resolve.
+func (s *Scheduler) Run() {
+	if s.started {
+		panic("sim: Scheduler.Run called twice")
+	}
+	s.started = true
+	defer s.clock.detach(s)
+
+	for _, p := range s.procs {
+		p := p
+		go func() {
+			<-p.resume
+			defer func() {
+				if r := recover(); r != nil {
+					p.panicV = r
+					p.didPanic = true
+				}
+				p.state = procDone
+				s.parked <- struct{}{}
+			}()
+			p.body()
+		}()
+	}
+
+	for {
+		p := s.pickRunnable()
+		if p == nil {
+			if s.liveCount() == 0 {
+				break
+			}
+			if !s.clock.fireStallHooks() || s.pickRunnable() == nil {
+				panic("sim: scheduler stalled with no runnable proc:\n" + s.dump())
+			}
+			continue
+		}
+		s.dispatch(p)
+		if p.didPanic {
+			panic(p.panicV)
+		}
+	}
+
+	var end time.Duration
+	for _, p := range s.procs {
+		if p.now > end {
+			end = p.now
+		}
+	}
+	s.clock.AdvanceTo(end)
+}
+
+// dispatch resumes p and waits for it to park again (yield, block, or exit).
+func (s *Scheduler) dispatch(p *Proc) {
+	s.clock.setCurrent(p)
+	p.resume <- struct{}{}
+	<-s.parked
+	s.clock.setCurrent(nil)
+}
+
+// pickRunnable returns the runnable proc with the smallest (now, id), or nil.
+func (s *Scheduler) pickRunnable() *Proc {
+	var best *Proc
+	for _, p := range s.procs {
+		if p.state != procRunnable {
+			continue
+		}
+		if best == nil || p.now < best.now {
+			best = p
+		}
+	}
+	return best
+}
+
+// liveCount returns the number of procs that have not finished.
+func (s *Scheduler) liveCount() int {
+	n := 0
+	for _, p := range s.procs {
+		if p.state != procDone {
+			n++
+		}
+	}
+	return n
+}
+
+// shouldPreempt reports whether another runnable proc is strictly earlier in
+// the (time, id) order than the current proc — i.e. whether a yield must
+// actually reschedule.
+func (s *Scheduler) shouldPreempt(cur *Proc) bool {
+	for _, p := range s.procs {
+		if p == cur || p.state != procRunnable {
+			continue
+		}
+		if p.now < cur.now || (p.now == cur.now && p.id < cur.id) {
+			return true
+		}
+	}
+	return false
+}
+
+// dump renders the proc table for the stall panic message.
+func (s *Scheduler) dump() string {
+	var b strings.Builder
+	for _, p := range s.procs {
+		fmt.Fprintf(&b, "  proc %d %q: %s at %v (blocked %v)\n", p.id, p.name, p.state, p.now, p.blocked)
+	}
+	return b.String()
+}
+
+// WaitQueue is a condition-variable analogue for virtual processes: Wait
+// suspends the calling proc (releasing the caller's mutex for the duration)
+// until Broadcast or WakeOne runs it again, and charges the wait to the
+// proc's blocked time. A waiter resumes at max(its own time, the waker's
+// time), preserving per-proc monotonicity. The zero value is ready to use.
+//
+// WaitQueue is for proc context only; callers that may also run on real
+// goroutines (the -race concurrency tests) must keep a sync.Cond alongside
+// and select the branch with Clock.InProc.
+type WaitQueue struct {
+	waiters []*Proc
+}
+
+// Empty reports whether no procs are waiting.
+func (q *WaitQueue) Empty() bool { return len(q.waiters) == 0 }
+
+// Wait suspends the current proc until woken, releasing mu while suspended
+// and re-acquiring it before returning. It returns the virtual time the
+// proc spent blocked. Must be called from proc context with mu held.
+func (q *WaitQueue) Wait(c *Clock, mu sync.Locker) time.Duration {
+	p := c.currentProc()
+	if p == nil {
+		panic("sim: WaitQueue.Wait outside proc context")
+	}
+	q.waiters = append(q.waiters, p)
+	start := p.now
+	p.state = procBlocked
+	mu.Unlock()
+	p.park()
+	mu.Lock()
+	return p.now - start
+}
+
+// wake marks p runnable at time at (or later, if p is already past it) and
+// accrues the blocked interval.
+func (p *Proc) wake(at time.Duration) {
+	if at > p.now {
+		p.blocked += at - p.now
+		p.now = at
+	}
+	p.state = procRunnable
+}
+
+// Broadcast wakes every waiter at the waker's current time. Safe to call
+// from proc context or from the scheduler's stall hooks.
+func (q *WaitQueue) Broadcast(c *Clock) {
+	if len(q.waiters) == 0 {
+		return
+	}
+	at := c.Now()
+	for _, p := range q.waiters {
+		p.wake(at)
+	}
+	q.waiters = q.waiters[:0]
+}
+
+// WakeOne wakes the earliest waiter by (time, id) at the waker's current
+// time and reports whether a waiter was woken.
+func (q *WaitQueue) WakeOne(c *Clock) bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	sort.SliceStable(q.waiters, func(i, j int) bool {
+		a, b := q.waiters[i], q.waiters[j]
+		if a.now != b.now {
+			return a.now < b.now
+		}
+		return a.id < b.id
+	})
+	p := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	p.wake(c.Now())
+	return true
+}

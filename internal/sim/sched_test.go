@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSchedulerOrdersByVirtualTime: procs interleave by virtual time, with
+// the lower id winning ties.
+func TestSchedulerOrdersByVirtualTime(t *testing.T) {
+	clk := NewClock()
+	s := NewScheduler(clk)
+	var trace []string
+	step := func(name string, d time.Duration) func() {
+		return func() {
+			for i := 0; i < 3; i++ {
+				clk.Yield()
+				trace = append(trace, fmt.Sprintf("%s@%v", name, clk.Now()))
+				clk.Advance(d)
+			}
+		}
+	}
+	s.Spawn("slow", step("slow", 30))
+	s.Spawn("fast", step("fast", 10))
+	s.Run()
+
+	want := []string{"slow@0s", "fast@0s", "fast@10ns", "fast@20ns", "slow@30ns", "slow@60ns"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace[%d] = %s, want %s (full: %v)", i, trace[i], want[i], trace)
+		}
+	}
+	if got := clk.Now(); got != 90 {
+		t.Fatalf("final clock %v, want 90ns (slowest proc's end)", got)
+	}
+}
+
+// TestSchedulerSingleProcDegenerate: one proc accrues time exactly as the
+// bare clock would, and yields are no-ops.
+func TestSchedulerSingleProcDegenerate(t *testing.T) {
+	clk := NewClock()
+	clk.Advance(5 * time.Millisecond)
+	s := NewScheduler(clk)
+	s.Spawn("only", func() {
+		for i := 0; i < 10; i++ {
+			clk.Yield()
+			clk.Advance(time.Millisecond)
+		}
+	})
+	s.Run()
+	if got, want := clk.Now(), 15*time.Millisecond; got != want {
+		t.Fatalf("clock = %v, want %v", got, want)
+	}
+}
+
+// TestWaitQueueBlockedTime: a waiter resumes at the waker's later time and
+// the difference is recorded as blocked time.
+func TestWaitQueueBlockedTime(t *testing.T) {
+	clk := NewClock()
+	s := NewScheduler(clk)
+	var mu sync.Mutex
+	var q WaitQueue
+	ready := false
+	var blocked time.Duration
+
+	waiter := s.Spawn("waiter", func() {
+		mu.Lock()
+		for !ready {
+			blocked += q.Wait(clk, &mu)
+		}
+		mu.Unlock()
+	})
+	s.Spawn("waker", func() {
+		clk.Advance(40 * time.Millisecond)
+		mu.Lock()
+		ready = true
+		q.Broadcast(clk)
+		mu.Unlock()
+	})
+	s.Run()
+
+	if blocked != 40*time.Millisecond {
+		t.Fatalf("blocked = %v, want 40ms", blocked)
+	}
+	if waiter.BlockedTime() != 40*time.Millisecond {
+		t.Fatalf("proc blocked time = %v, want 40ms", waiter.BlockedTime())
+	}
+	if got := clk.Now(); got != 40*time.Millisecond {
+		t.Fatalf("final clock = %v", got)
+	}
+}
+
+// TestStallHookResolves: when every proc is blocked, the registered hook
+// runs and can wake one to make progress.
+func TestStallHookResolves(t *testing.T) {
+	clk := NewClock()
+	var mu sync.Mutex
+	var q WaitQueue
+	released := false
+	clk.OnStall(func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		released = true
+		return q.WakeOne(clk)
+	})
+	s := NewScheduler(clk)
+	s.Spawn("sleeper", func() {
+		mu.Lock()
+		for !released {
+			q.Wait(clk, &mu)
+		}
+		mu.Unlock()
+	})
+	s.Run()
+	if !released {
+		t.Fatal("stall hook never ran")
+	}
+}
+
+// TestSchedulerStallPanics: an unresolvable stall (blocked proc, no hook)
+// panics with a proc dump instead of hanging.
+func TestSchedulerStallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unresolvable stall")
+		}
+	}()
+	clk := NewClock()
+	var mu sync.Mutex
+	var q WaitQueue
+	s := NewScheduler(clk)
+	s.Spawn("stuck", func() {
+		mu.Lock()
+		q.Wait(clk, &mu)
+		mu.Unlock()
+	})
+	s.Run()
+}
+
+// TestStrictNegativeAdvance: strict mode panics on negative durations; the
+// default silently ignores them (the historical contract).
+func TestStrictNegativeAdvance(t *testing.T) {
+	clk := NewClock()
+	clk.Advance(-time.Second)
+	if clk.Now() != 0 {
+		t.Fatalf("lenient clock moved to %v", clk.Now())
+	}
+	clk.SetStrict(true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on strict negative advance")
+		}
+	}()
+	clk.Advance(-time.Second)
+}
+
+// TestSchedulerDeterminism: two identical runs produce identical traces.
+func TestSchedulerDeterminism(t *testing.T) {
+	run := func() []string {
+		clk := NewClock()
+		s := NewScheduler(clk)
+		var trace []string
+		for c := 0; c < 4; c++ {
+			c := c
+			rng := NewRNG(uint64(100 + c))
+			s.Spawn(fmt.Sprintf("p%d", c), func() {
+				for i := 0; i < 20; i++ {
+					clk.Yield()
+					trace = append(trace, fmt.Sprintf("%d@%v", c, clk.Now()))
+					clk.Advance(time.Duration(rng.Intn(1000)) * time.Microsecond)
+				}
+			})
+		}
+		s.Run()
+		trace = append(trace, clk.Now().String())
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSpawnAfterRunPanics guards the fixed-proc-set invariant.
+func TestSpawnAfterRunPanics(t *testing.T) {
+	clk := NewClock()
+	s := NewScheduler(clk)
+	s.Spawn("a", func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Spawn after Run")
+		}
+	}()
+	s.Spawn("b", func() {})
+}
+
+// TestProcPanicPropagates: a panic inside a proc surfaces from Run.
+func TestProcPanicPropagates(t *testing.T) {
+	clk := NewClock()
+	s := NewScheduler(clk)
+	s.Spawn("boom", func() { panic("kaboom") })
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", r)
+		}
+	}()
+	s.Run()
+}

@@ -1,9 +1,11 @@
 package tpcb
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"repro/internal/lock"
 	"repro/internal/sim"
 )
 
@@ -11,12 +13,18 @@ import (
 type Result struct {
 	System  string
 	Txns    int
+	MPL     int           // multiprogramming level (0 = legacy single-client driver)
+	Retries int64         // deadlock-victim retries (MPL > 1 only)
 	Elapsed time.Duration // simulated time
 	TPS     float64
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("%-12s %6d txns in %8.1fs simulated → %6.2f TPS", r.System, r.Txns, r.Elapsed.Seconds(), r.TPS)
+	out := fmt.Sprintf("%-12s %6d txns in %8.1fs simulated → %6.2f TPS", r.System, r.Txns, r.Elapsed.Seconds(), r.TPS)
+	if r.MPL > 1 {
+		out += fmt.Sprintf(" (MPL %d, %d deadlock retries)", r.MPL, r.Retries)
+	}
+	return out
 }
 
 // RunBenchmark executes n transactions on sys, measuring simulated elapsed
@@ -47,6 +55,96 @@ func RunBenchmarkIdle(sys System, clock *sim.Clock, cfg Config, n int, idle func
 	}
 	elapsed := clock.Now() - start
 	res := Result{System: sys.Name(), Txns: n, Elapsed: elapsed}
+	if elapsed > 0 {
+		res.TPS = float64(n) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// RunBenchmarkMPL executes n transactions spread over mpl concurrent
+// clients, each a cooperatively scheduled virtual process with its own
+// deterministic transaction stream (ClientSeed). Clients contend for the
+// disk, the log tail, and page locks in simulated time; a client that loses
+// deadlock detection aborts, retries the same transaction, and the retry is
+// counted in Result.Retries. The idle hook (background cleaning) runs after
+// each transaction in the issuing client's context, as in RunBenchmarkIdle.
+//
+// MPL 1 runs through the same scheduler and reproduces the direct-driver
+// numbers exactly (client 0 keeps the base seed; a lone proc never queues,
+// never blocks, and accrues time exactly as the global clock did).
+func RunBenchmarkMPL(sys System, clock *sim.Clock, cfg Config, n, mpl int, idle func() error) (Result, error) {
+	if mpl < 1 {
+		mpl = 1
+	}
+	workers := make([]Worker, mpl)
+	if mc, ok := sys.(MultiClient); ok {
+		for c := range workers {
+			w, err := mc.NewWorker()
+			if err != nil {
+				return Result{}, err
+			}
+			workers[c] = w
+		}
+	} else if mpl == 1 {
+		workers[0] = sys
+	} else {
+		return Result{}, fmt.Errorf("tpcb: %s does not support MPL %d (no MultiClient)", sys.Name(), mpl)
+	}
+
+	sched := sim.NewScheduler(clock)
+	start := clock.Now()
+	errs := make([]error, mpl)
+	retries := make([]int64, mpl)
+	for c := 0; c < mpl; c++ {
+		c := c
+		gen := NewClientGenerator(cfg, c)
+		quota := n / mpl
+		if c < n%mpl {
+			quota++
+		}
+		sched.Spawn(fmt.Sprintf("client-%d", c), func() {
+			for i := 0; i < quota; i++ {
+				clock.Yield()
+				t := gen.Next()
+				for {
+					err := workers[c].Run(t)
+					if err == nil {
+						break
+					}
+					if errors.Is(err, lock.ErrDeadlock) {
+						// Deadlock victim: the transaction was aborted;
+						// retry it (its abort advanced this client's
+						// clock, so the retry happens strictly later).
+						retries[c]++
+						clock.Yield()
+						continue
+					}
+					errs[c] = fmt.Errorf("tpcb: client %d txn %d on %s: %w", c, i, sys.Name(), err)
+					return
+				}
+				if idle != nil {
+					if err := idle(); err != nil {
+						errs[c] = fmt.Errorf("tpcb: idle cleaning on %s client %d: %w", sys.Name(), c, err)
+						return
+					}
+				}
+			}
+		})
+	}
+	sched.Run()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if err := sys.Drain(); err != nil {
+		return Result{}, err
+	}
+	elapsed := clock.Now() - start
+	res := Result{System: sys.Name(), Txns: n, MPL: mpl, Elapsed: elapsed}
+	for _, r := range retries {
+		res.Retries += r
+	}
 	if elapsed > 0 {
 		res.TPS = float64(n) / elapsed.Seconds()
 	}

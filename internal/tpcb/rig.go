@@ -9,6 +9,7 @@ import (
 	"repro/internal/ffs"
 	"repro/internal/lfs"
 	"repro/internal/libtp"
+	"repro/internal/lock"
 	"repro/internal/sim"
 	"repro/internal/vfs"
 )
@@ -62,6 +63,24 @@ type Rig struct {
 // Run executes the benchmark on the rig, using the idle hook if present.
 func (r *Rig) Run(cfg Config, n int) (Result, error) {
 	return RunBenchmarkIdle(r.Sys, r.Clock, cfg, n, r.Idle)
+}
+
+// RunMPL executes the benchmark with mpl concurrent clients scheduled as
+// virtual processes (see RunBenchmarkMPL).
+func (r *Rig) RunMPL(cfg Config, n, mpl int) (Result, error) {
+	return RunBenchmarkMPL(r.Sys, r.Clock, cfg, n, mpl, r.Idle)
+}
+
+// LockStats returns the rig's lock-manager counters regardless of which
+// transaction system it carries.
+func (r *Rig) LockStats() lock.Stats {
+	if r.Env != nil {
+		return r.Env.LockStats()
+	}
+	if r.Core != nil {
+		return r.Core.LockStats()
+	}
+	return lock.Stats{}
 }
 
 // DiskModelFor returns the simulated disk geometry the rig builder would

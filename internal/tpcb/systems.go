@@ -219,6 +219,11 @@ func (s *UserSystem) Run(t Txn) error {
 	return txn.Commit()
 }
 
+// NewWorker implements MultiClient. The user-level system is stateless per
+// call — transactions address the shared DB handles through their own
+// transactional stores — so every client can share the System itself.
+func (s *UserSystem) NewWorker() (Worker, error) { return s, nil }
+
 // Drain implements System: force any batched commits and flush the cache
 // through a checkpoint.
 func (s *UserSystem) Drain() error {
@@ -304,14 +309,17 @@ func (s *EmbeddedSystem) Attach() error {
 	return nil
 }
 
-// Run implements System.
-func (s *EmbeddedSystem) Run(t Txn) error {
-	if err := s.proc.TxnBegin(); err != nil {
+// Run implements System, executing on the system's default process.
+func (s *EmbeddedSystem) Run(t Txn) error { return s.runWith(s.proc, t) }
+
+// runWith executes one transaction on the given kernel process.
+func (s *EmbeddedSystem) runWith(proc *core.Process, t Txn) error {
+	if err := proc.TxnBegin(); err != nil {
 		return err
 	}
 	update := func(f *core.File, id int64) error {
 		s.clock.Advance(s.costs.RecordOp)
-		tr, err := btree.Open(core.NewStore(s.proc, f))
+		tr, err := btree.Open(core.NewStore(proc, f))
 		if err != nil {
 			return err
 		}
@@ -324,28 +332,43 @@ func (s *EmbeddedSystem) Run(t Txn) error {
 		return tr.Put(Key(id), rec2)
 	}
 	if err := update(s.acc, t.Account); err != nil {
-		s.proc.TxnAbort()
+		proc.TxnAbort()
 		return err
 	}
 	if err := update(s.tel, t.Teller); err != nil {
-		s.proc.TxnAbort()
+		proc.TxnAbort()
 		return err
 	}
 	if err := update(s.brn, t.Branch); err != nil {
-		s.proc.TxnAbort()
+		proc.TxnAbort()
 		return err
 	}
 	s.clock.Advance(s.costs.RecordOp)
-	hf, err := recno.Open(core.NewStore(s.proc, s.hist))
+	hf, err := recno.Open(core.NewStore(proc, s.hist))
 	if err != nil {
-		s.proc.TxnAbort()
+		proc.TxnAbort()
 		return err
 	}
 	if _, err := hf.Append(HistoryRecord(t.Account, t.Teller, t.Branch, t.Amount, int64(s.clock.Now()))); err != nil {
-		s.proc.TxnAbort()
+		proc.TxnAbort()
 		return err
 	}
-	return s.proc.TxnCommit()
+	return proc.TxnCommit()
+}
+
+// embeddedWorker is one client's kernel process (the paper's restriction 3:
+// transactions may not span processes, so each client needs its own).
+type embeddedWorker struct {
+	s    *EmbeddedSystem
+	proc *core.Process
+}
+
+func (w *embeddedWorker) Run(t Txn) error { return w.s.runWith(w.proc, t) }
+
+// NewWorker implements MultiClient: a fresh kernel process sharing the open
+// relation files.
+func (s *EmbeddedSystem) NewWorker() (Worker, error) {
+	return &embeddedWorker{s: s, proc: s.m.NewProcess()}, nil
 }
 
 // Drain implements System.

@@ -124,6 +124,29 @@ func NewGenerator(cfg Config) *Generator {
 	return &Generator{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
 }
 
+// ClientSeed derives the deterministic RNG seed for one client of a
+// multiprogramming run. Client 0 keeps the base seed unchanged, so a
+// single-client run replays the historical MPL=1 transaction stream byte
+// for byte; every other client gets an independent stream from a
+// SplitMix64-style scramble of (seed, client).
+func ClientSeed(seed uint64, client int) uint64 {
+	if client == 0 {
+		return seed
+	}
+	z := seed + 0x9e3779b97f4a7c15*uint64(client)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewClientGenerator returns client's deterministic transaction stream for
+// a multiprogramming run.
+func NewClientGenerator(cfg Config, client int) *Generator {
+	c := cfg
+	c.Seed = ClientSeed(cfg.Seed, client)
+	return NewGenerator(c)
+}
+
 // Next returns the next transaction. Tellers map to branches by division,
 // as in the TPC-B hierarchy.
 func (g *Generator) Next() Txn {
@@ -154,6 +177,23 @@ type System interface {
 	ScanAccounts() (int64, error)
 	// Close releases resources.
 	Close() error
+}
+
+// Worker is one client's execution context in a multiprogramming run: it
+// executes transactions against the shared system state. A System is itself
+// a Worker (its Run method), which suffices at MPL = 1.
+type Worker interface {
+	// Run executes one TPC-B transaction.
+	Run(t Txn) error
+}
+
+// MultiClient is implemented by systems that can serve several concurrent
+// clients, each through its own Worker (its own kernel process, in the
+// embedded system's terms). RunBenchmarkMPL requires it at MPL > 1.
+type MultiClient interface {
+	// NewWorker returns a fresh per-client execution context sharing the
+	// system's database state.
+	NewWorker() (Worker, error)
 }
 
 // Validate checks a configuration.

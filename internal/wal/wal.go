@@ -238,6 +238,22 @@ func (m *Manager) LogCommit(txn uint64) (LSN, bool, error) {
 	return lsn, false, nil
 }
 
+// AppendCommit appends a commit record without forcing the log and without
+// touching the manager's own group-commit batching. The multiprogramming
+// commit path uses it: there the environment owns the batching policy,
+// blocking concurrent committers on a shared flush event, and calls Force
+// itself when the batch fills (or the scheduler's timeout arm fires).
+func (m *Manager) AppendCommit(txn uint64) (LSN, error) {
+	if m.closed {
+		return 0, ErrClosed
+	}
+	return m.append(&Record{Type: RecCommit, Txn: txn}), nil
+}
+
+// NoteAbsorbed counts a commit that joined a pending batch without forcing
+// the log, for callers that batch via AppendCommit.
+func (m *Manager) NoteAbsorbed() { m.stats.GroupCommits++ }
+
 // LogAbort appends an abort record (no force needed: undo was already
 // applied from in-memory state, and the abort record only speeds recovery).
 func (m *Manager) LogAbort(txn uint64) (LSN, error) {
