@@ -1,0 +1,86 @@
+// Command simlint statically enforces the simulator's determinism
+// invariants across the repository: no wall-clock time outside internal/sim
+// (walltime), no global math/rand source (globalrand), no order-sensitive
+// map iteration in simulation packages (mapiter), and no raw goroutines in
+// simulation packages (rawgo).
+//
+// Usage:
+//
+//	go run ./cmd/simlint ./...
+//
+// It exits non-zero if any diagnostic is reported; CI runs it alongside the
+// tier-1 build and tests. See DESIGN.md, "Determinism invariants", for the
+// rules and the //simlint:ordered escape hatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/simlint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [packages]\n\nEnforces the determinism invariants (walltime, globalrand, mapiter, rawgo).\nPackages default to ./...\n")
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	type finding struct {
+		pos      string
+		line     int
+		analyzer string
+		msg      string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, check := range simlint.Suite() {
+			if !check.Applies(pkg.Types.Path()) {
+				continue
+			}
+			check := check
+			pass := &analysis.Pass{
+				Analyzer:  check.Analyzer,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report: func(d analysis.Diagnostic) {
+					p := pkg.Fset.Position(d.Pos)
+					findings = append(findings, finding{
+						pos:      p.String(),
+						line:     p.Line,
+						analyzer: check.Analyzer.Name,
+						msg:      d.Message,
+					})
+				},
+			}
+			if _, err := check.Analyzer.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "simlint: %s on %s: %v\n", check.Analyzer.Name, pkg.ImportPath, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		fmt.Printf("%s: %s (%s)\n", f.pos, f.msg, f.analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d determinism violation(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+// Package globalrand defines a simlint analyzer that forbids the global
+// math/rand source in simulation code.
+//
+// The top-level math/rand (and math/rand/v2) functions draw from a
+// process-global source that is randomly seeded, shared across goroutines,
+// and therefore different on every run — exactly the variance the paper's
+// methodology (§5.1) controls away and the repository's two-run determinism
+// tests pin. Randomness must come from internal/sim's SplitMix64 streams
+// (sim.RNG, sim/rng.go), which give every client an independent,
+// reproducible sequence derived from the benchmark seed.
+//
+// Explicitly seeded sources remain legal: rand.New(rand.NewSource(seed))
+// and the v2 constructors (NewPCG, NewChaCha8) take their seeds from the
+// caller, so determinism is the caller's visible responsibility; methods on
+// a *rand.Rand value are likewise untouched. Only the package-level
+// functions — which hide the unseeded global source — are flagged.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// allowedCtors construct explicitly seeded sources/generators.
+var allowedCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// Analyzer flags top-level math/rand and math/rand/v2 functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid the global math/rand source in non-test code; use sim.RNG's seeded SplitMix64 streams",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil { // methods on *rand.Rand are caller-seeded
+				return true
+			}
+			if allowedCtors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "rand.%s uses the global, unseeded math/rand source; use sim.RNG (seeded SplitMix64 streams) so runs stay reproducible", fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,20 @@
+// Package a seeds globalrand violations: the process-global, unseeded
+// math/rand source.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func bad() int {
+	n := rand.Intn(10)                 // want `rand\.Intn uses the global, unseeded math/rand source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle uses the global, unseeded math/rand source`
+	return n + randv2.Int()            // want `rand\.Int uses the global, unseeded math/rand source`
+}
+
+func good() int {
+	r := rand.New(rand.NewSource(42)) // explicitly seeded: determinism is visible
+	p := randv2.New(randv2.NewPCG(1, 2))
+	return r.Intn(10) + p.IntN(10)
+}

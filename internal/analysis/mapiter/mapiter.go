@@ -1,0 +1,337 @@
+// Package mapiter defines a simlint analyzer that flags order-sensitive
+// iteration over Go maps in the simulation packages.
+//
+// Go randomizes map iteration order per run. That is harmless when the loop
+// body commutes (counting, summing, copying into a map keyed by the loop
+// variable) but catastrophic in a deterministic simulation when the body
+// lets the order escape: appending keys to a slice, selecting a min/max/
+// victim, issuing calls into sim/disk/lock (whose state observes the call
+// sequence), or exiting the loop early. Such loops make two runs of the same
+// seed diverge — the exact failure mode the repository's determinism tests
+// exist to prevent.
+//
+// The fix is to iterate sorted keys (detsort.Keys / detsort.KeysFunc) or,
+// when the body is genuinely order-insensitive in a way the heuristic cannot
+// see, to annotate the loop:
+//
+//	//simlint:ordered <justification>
+//	for k := range m { ... }
+//
+// The annotation may sit on the line above the `for` or at the end of the
+// same line. A justification is expected; review it like any other
+// invariant-suppressing comment.
+package mapiter
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags order-sensitive map iteration in simulation packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag order-sensitive `range` over maps in simulation packages; iterate sorted keys or annotate //simlint:ordered",
+	Run:  run,
+}
+
+// sensitivePkgRE matches packages whose state observes call order: the
+// simulation core, the disk model, and the lock manager.
+var sensitivePkgRE = regexp.MustCompile(`(^|/)(sim|disk|lock)$`)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		suppressed := suppressedLines(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			line := pass.Fset.Position(rs.For).Line
+			if suppressed[line] || suppressed[line-1] {
+				return true
+			}
+			c := &classifier{pass: pass, rs: rs, loopVars: loopVarObjs(pass, rs)}
+			c.classify()
+			if len(c.reasons) > 0 {
+				pass.Reportf(rs.For, "map iteration order is observable here: %s; iterate sorted keys (detsort.Keys) or annotate //simlint:ordered with a justification",
+					strings.Join(c.reasons, "; "))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// suppressedLines returns the lines carrying a //simlint:ordered annotation.
+func suppressedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "simlint:ordered") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// loopVarObjs collects the objects of the range statement's key and value
+// variables; writes keyed by them commute across iteration orders.
+func loopVarObjs(pass *analysis.Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if o := pass.TypesInfo.Defs[id]; o != nil {
+			objs[o] = true
+		} else if o := pass.TypesInfo.Uses[id]; o != nil {
+			objs[o] = true
+		}
+	}
+	return objs
+}
+
+// classifier walks one map-range body and accumulates the ways iteration
+// order escapes it.
+type classifier struct {
+	pass     *analysis.Pass
+	rs       *ast.RangeStmt
+	loopVars map[types.Object]bool
+	reasons  []string
+}
+
+func (c *classifier) add(reason string) {
+	for _, r := range c.reasons {
+		if r == reason {
+			return
+		}
+	}
+	c.reasons = append(c.reasons, reason)
+}
+
+func (c *classifier) classify() {
+	var exits []ast.Node
+	ast.Inspect(c.rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			c.assign(s)
+		case *ast.CallExpr:
+			c.call(s)
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK || s.Tok == token.GOTO {
+				exits = append(exits, s)
+			}
+		case *ast.ReturnStmt:
+			exits = append(exits, s)
+		}
+		return true
+	})
+	for _, ex := range exits {
+		c.exit(ex)
+	}
+}
+
+// exit decides whether a break/goto/return actually leaves the map range
+// early (as opposed to an inner loop/switch or an enclosed function literal).
+func (c *classifier) exit(ex ast.Node) {
+	path := pathTo(c.rs.Body, ex)
+	depth := 0
+	for _, n := range path[:len(path)-1] {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return // the literal's control flow is its own
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			depth++
+		}
+	}
+	switch s := ex.(type) {
+	case *ast.ReturnStmt:
+		c.add("returns out of the loop early, so which elements were visited depends on map order")
+	case *ast.BranchStmt:
+		if s.Tok == token.BREAK && s.Label == nil && depth > 0 {
+			return // breaks an inner construct, not this loop
+		}
+		c.add("breaks out of the loop early")
+	}
+}
+
+// assign flags writes that let iteration order escape: appends and
+// last-write-wins / selection assignments to state declared outside the
+// loop. Commutative accumulation (+=, |=, ...) and writes keyed by the loop
+// variable pass.
+func (c *classifier) assign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+		return // commutative accumulation
+	}
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+		c.lhs(lhs, rhs)
+	}
+}
+
+func (c *classifier) lhs(e, rhs ast.Expr) {
+	switch l := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := c.pass.TypesInfo.Uses[l] // := definitions land in Defs and are loop-local
+		if obj == nil || c.within(obj) {
+			return
+		}
+		if isAppend(c.pass, rhs) {
+			c.add(fmt.Sprintf("appends to %q, whose element order then follows the map order", l.Name))
+			return
+		}
+		c.add(fmt.Sprintf("assigns %q declared outside the loop, so the surviving value depends on map order", l.Name))
+	case *ast.IndexExpr:
+		if c.usesLoopVar(l.Index) {
+			return // keyed by the loop variable: commutes
+		}
+		if id := rootIdent(l.X); id != nil {
+			if obj := c.objOf(id); obj == nil || c.within(obj) {
+				return
+			}
+			c.add(fmt.Sprintf("writes a loop-independent key of %q each iteration (last write wins)", id.Name))
+			return
+		}
+		c.add("writes a loop-independent indexed location each iteration (last write wins)")
+	case *ast.SelectorExpr:
+		if id := rootIdent(l.X); id != nil {
+			if obj := c.objOf(id); obj == nil || c.within(obj) {
+				return
+			}
+			c.add(fmt.Sprintf("assigns %s.%s declared outside the loop (last write wins)", id.Name, l.Sel.Name))
+			return
+		}
+		c.add("assigns a field of an outer value (last write wins)")
+	case *ast.StarExpr:
+		c.add("writes through a pointer that outlives the iteration (last write wins)")
+	}
+}
+
+// call flags calls into the order-observing subsystems (sim, disk, lock):
+// their clocks, queues, and tables record the sequence of operations, so the
+// iteration order becomes simulated state.
+func (c *classifier) call(s *ast.CallExpr) {
+	var id *ast.Ident
+	switch f := ast.Unparen(s.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return
+	}
+	fn, ok := c.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sensitivePkgRE.MatchString(fn.Pkg().Path()) {
+		c.add(fmt.Sprintf("calls %s.%s, letting the simulated subsystem observe the iteration order", fn.Pkg().Name(), fn.Name()))
+	}
+}
+
+func (c *classifier) objOf(id *ast.Ident) types.Object {
+	if o := c.pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return c.pass.TypesInfo.Defs[id]
+}
+
+// within reports whether obj is declared inside the range statement.
+func (c *classifier) within(obj types.Object) bool {
+	return obj.Pos() >= c.rs.Pos() && obj.Pos() <= c.rs.End()
+}
+
+// usesLoopVar reports whether expr mentions one of the loop variables.
+func (c *classifier) usesLoopVar(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.loopVars[c.pass.TypesInfo.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isAppend reports whether rhs is a call to the append builtin.
+func isAppend(pass *analysis.Pass, rhs ast.Expr) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootIdent returns the leftmost identifier of a selector/index/star chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// pathTo returns the node chain from root down to target, inclusive.
+func pathTo(root, target ast.Node) []ast.Node {
+	var stack []ast.Node
+	var path []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if path != nil {
+			return false
+		}
+		stack = append(stack, n)
+		if n == target {
+			path = append([]ast.Node(nil), stack...)
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+	return path
+}

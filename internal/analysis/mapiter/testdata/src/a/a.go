@@ -1,0 +1,92 @@
+// Package a seeds mapiter violations — loop bodies that let Go's randomized
+// map order escape — alongside order-insensitive bodies that must pass.
+package a
+
+import (
+	"sort"
+
+	"sim"
+)
+
+func collect(m map[int]string) []int {
+	var keys []int
+	for k := range m { // want `appends to "keys"`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func victim(m map[int]string) int {
+	best := -1
+	for k := range m { // want `assigns "best" declared outside the loop`
+		if best == -1 || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+func first(m map[int]string) (int, bool) {
+	for k := range m { // want `returns out of the loop early`
+		return k, true
+	}
+	return 0, false
+}
+
+func drainSome(m map[int]string) {
+	n := 0
+	for k := range m { // want `breaks out of the loop early`
+		delete(m, k)
+		n++
+		if n == 3 {
+			break
+		}
+	}
+}
+
+func replay(m map[int]int) {
+	for k := range m { // want `calls sim\.Do`
+		sim.Do(k)
+	}
+}
+
+// The bodies below commute across iteration orders and must not be flagged.
+
+func copyMap(m map[int]string) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m { // writes keyed by the loop variable commute
+		out[k] = v
+	}
+	return out
+}
+
+func tally(m map[int]int) (n, sum int) {
+	for _, v := range m { // counters and += accumulate commutatively
+		n++
+		sum += v
+	}
+	return n, sum
+}
+
+func sortedKeys(m map[int]string) []int {
+	var keys []int
+	//simlint:ordered fully sorted immediately below, so collection order is unobservable
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func innerBreak(m map[int][]int) int {
+	n := 0
+	for _, vs := range m { // the break exits the inner slice loop, not this one
+		for _, v := range vs {
+			if v < 0 {
+				break
+			}
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,8 @@
+// Package sim stands in for the simulation core: its state observes the
+// order of incoming calls.
+package sim
+
+var trace []int
+
+// Do records one event; the call sequence is simulated state.
+func Do(x int) { trace = append(trace, x) }

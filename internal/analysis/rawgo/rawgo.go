@@ -1,0 +1,39 @@
+// Package rawgo defines a simlint analyzer that forbids raw `go` statements
+// in simulation packages.
+//
+// Inside the simulation, concurrency must be expressed as sim.Proc virtual
+// processes on sim.Scheduler, whose min-(virtual-time, id) dispatch makes
+// interleavings a deterministic function of the seed. A raw goroutine hands
+// ordering decisions to the Go runtime scheduler instead, so two identical
+// runs can observe different lock-acquisition and disk-queue orders.
+// _test.go files are exempt: tests use goroutines to exercise the real
+// blocking paths of the lock manager and buffer pool.
+package rawgo
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags go statements in simulation packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "rawgo",
+	Doc:  "forbid raw `go` statements in simulation packages; spawn sim.Procs on sim.Scheduler instead",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "raw goroutine bypasses sim.Scheduler's deterministic dispatch; express concurrency as a sim.Proc")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

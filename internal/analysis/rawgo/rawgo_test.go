@@ -1,0 +1,12 @@
+package rawgo_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/rawgo"
+)
+
+func TestRawgo(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), rawgo.Analyzer, "a")
+}

@@ -1,0 +1,11 @@
+// Package a seeds a rawgo violation: a raw goroutine in simulation code.
+package a
+
+var done = make(chan struct{})
+
+func work() { close(done) }
+
+func bad() {
+	go work() // want `raw goroutine bypasses sim\.Scheduler`
+	<-done
+}

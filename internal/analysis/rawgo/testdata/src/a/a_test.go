@@ -1,0 +1,7 @@
+package a
+
+// Tests exercise real blocking paths with goroutines; _test.go is exempt.
+func spawnInTest() {
+	go work()
+	<-done
+}

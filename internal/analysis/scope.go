@@ -1,0 +1,30 @@
+package analysis
+
+import "regexp"
+
+// Package scoping for the simlint suite. The determinism invariants do not
+// bind every package equally:
+//
+//   - internal/sim IS the simulated time/randomness source, so the walltime
+//     analyzer exempts it (it is also where a real-time escape would be
+//     deliberate and reviewed);
+//   - the map-iteration and raw-goroutine rules apply to the packages that
+//     execute inside the simulation, where iteration order or OS scheduling
+//     would leak into simulated-time results.
+//
+// The matchers accept both full module paths (repro/internal/sim) and bare
+// final elements (sim), so analyzer golden tests can model scoped packages
+// with short testdata import paths.
+var (
+	simCoreRE   = regexp.MustCompile(`(^|/)sim$`)
+	simScopedRE = regexp.MustCompile(`(^|/)internal/(lock|wal|lfs|ffs|core|libtp|buffer|disk|tpcb|figures)(/|$)|^(lock|wal|lfs|ffs|core|libtp|buffer|disk|tpcb|figures)$`)
+)
+
+// IsSimCore reports whether pkgPath is the simulation core (internal/sim),
+// the one package allowed to touch wall-clock primitives.
+func IsSimCore(pkgPath string) bool { return simCoreRE.MatchString(pkgPath) }
+
+// IsSimScoped reports whether pkgPath is one of the simulation packages the
+// mapiter and rawgo analyzers bind: internal/{lock,wal,lfs,ffs,core,libtp,
+// buffer,disk,tpcb,figures}.
+func IsSimScoped(pkgPath string) bool { return simScopedRE.MatchString(pkgPath) }

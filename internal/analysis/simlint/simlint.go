@@ -1,0 +1,38 @@
+// Package simlint assembles the determinism-invariant analyzer suite and
+// its package-scoping policy. cmd/simlint is the thin driver around it.
+//
+// The four rules (see DESIGN.md, "Determinism invariants"):
+//
+//	walltime   — no wall-clock time outside internal/sim
+//	globalrand — no global math/rand source anywhere
+//	mapiter    — no order-sensitive map iteration in simulation packages
+//	rawgo      — no raw goroutines in simulation packages
+package simlint
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/globalrand"
+	"repro/internal/analysis/mapiter"
+	"repro/internal/analysis/rawgo"
+	"repro/internal/analysis/walltime"
+)
+
+// A Check pairs an analyzer with the packages it binds.
+type Check struct {
+	Analyzer *analysis.Analyzer
+	// Applies reports whether the analyzer runs on the package. (The
+	// analyzers additionally skip _test.go files themselves, and walltime
+	// re-checks the sim-core exemption internally.)
+	Applies func(pkgPath string) bool
+}
+
+// Suite returns the simlint checks in reporting order.
+func Suite() []Check {
+	everywhere := func(string) bool { return true }
+	return []Check{
+		{walltime.Analyzer, func(p string) bool { return !analysis.IsSimCore(p) }},
+		{globalrand.Analyzer, everywhere},
+		{mapiter.Analyzer, analysis.IsSimScoped},
+		{rawgo.Analyzer, analysis.IsSimScoped},
+	}
+}

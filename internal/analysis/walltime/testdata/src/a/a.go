@@ -1,0 +1,19 @@
+// Package a seeds walltime violations: non-test simulation code reading or
+// waiting on the host clock.
+package a
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Second)    // want `time\.After reads the wall clock`
+	t := time.Now()              // want `time\.Now reads the wall clock`
+	_ = time.Since(t)            // want `time\.Since reads the wall clock`
+	return t
+}
+
+func good() time.Duration {
+	const tick = 50 * time.Microsecond // durations and arithmetic are fine
+	var d time.Duration = 3 * tick
+	return d.Round(time.Millisecond)
+}

@@ -1,0 +1,9 @@
+package a
+
+import "time"
+
+// Tests legitimately time out in real time; _test.go files are exempt.
+func timeout() <-chan time.Time {
+	time.Sleep(time.Millisecond)
+	return time.After(time.Second)
+}

@@ -1,0 +1,7 @@
+// Package sim models the simulation core, the one package allowed to touch
+// the wall clock (e.g. to timestamp trace files).
+package sim
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,68 @@
+// Package walltime defines a simlint analyzer that forbids wall-clock time
+// in simulation code.
+//
+// Every figure the repository reproduces is an exact-nanosecond claim on a
+// simulated clock; a single time.Now or time.Sleep couples results to the
+// host machine and silently breaks two-run determinism. Simulated time must
+// flow through sim.Clock / sim.Scheduler. The analyzer exempts _test.go
+// files (tests legitimately time out in real time) and the internal/sim
+// package itself, the one place a wall-clock escape would be deliberate.
+//
+// time.Duration values and arithmetic are fine — only the functions that
+// read or wait on the host clock are banned.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// banned are the time-package functions that observe or wait on the host
+// clock. The issue list (Now/Since/Sleep/After/Tick/NewTimer/NewTicker) is
+// extended with Until and AfterFunc, which leak wall time the same way.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Analyzer flags wall-clock time primitives outside internal/sim.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock time (time.Now, time.Sleep, ...) in non-test simulation code; use sim.Clock",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if analysis.IsSimCore(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == "time" && banned[fn.Name()] {
+				pass.Reportf(id.Pos(), "time.%s reads the wall clock; simulated time must flow through sim.Clock/sim.Scheduler", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -13,6 +13,7 @@
 package buffer
 
 import (
+	"cmp"
 	"container/list"
 	"errors"
 	"fmt"
@@ -29,6 +30,16 @@ type BlockID struct {
 }
 
 func (id BlockID) String() string { return fmt.Sprintf("(%d,%d)", id.File, id.Block) }
+
+// CompareBlockID orders block IDs by (file, block). Callers iterating
+// BlockID-keyed maps use it (via detsort.KeysFunc) to keep flush and abort
+// orders independent of Go's randomized map iteration.
+func CompareBlockID(a, b BlockID) int {
+	if c := cmp.Compare(a.File, b.File); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Block, b.Block)
+}
 
 // Fetch loads the contents of a block into dst on a cache miss.
 type Fetch func(id BlockID, dst []byte) error

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/buffer"
+	"repro/internal/detsort"
 	"repro/internal/lfs"
 	"repro/internal/lock"
 	"repro/internal/sim"
@@ -275,11 +276,7 @@ func (m *Manager) flushPendingLocked() error {
 			fileSet[f] = true
 		}
 	}
-	files := make([]vfs.FileID, 0, len(fileSet))
-	for f := range fileSet {
-		files = append(files, f)
-	}
-	if err := m.fs.FlushFiles(files); err != nil {
+	if err := m.fs.FlushFiles(detsort.Keys(fileSet)); err != nil {
 		return err
 	}
 	for _, t := range m.pending {
@@ -329,7 +326,7 @@ func (p *Process) TxnAbort() error {
 			return err
 		}
 	}
-	for id := range t.pages {
+	for _, id := range detsort.KeysFunc(t.pages, buffer.CompareBlockID) {
 		m.heldBy[id]--
 		if m.heldBy[id] == 0 {
 			delete(m.heldBy, id)

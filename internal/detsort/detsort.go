@@ -1,0 +1,40 @@
+// Package detsort provides deterministic iteration order over Go maps.
+//
+// Go randomizes map iteration order on purpose; the simulation packages must
+// never let that order reach anything observable (victim selection, disk
+// request sequences, replay order), or two runs of the same seed diverge.
+// The simlint mapiter analyzer (internal/analysis/mapiter) flags
+// order-sensitive map loops in those packages; the canonical fix is to
+// iterate detsort.Keys/KeysFunc instead of ranging the map directly.
+//
+// This package is deliberately outside the simlint simulation-package scope:
+// the key-collection loop below is the one place raw map iteration is
+// allowed, because sorting erases the order before it escapes.
+package detsort
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Keys returns the keys of m sorted ascending.
+func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// KeysFunc returns the keys of m sorted by the comparison function compare,
+// which follows the slices.SortFunc contract (negative when a < b). compare
+// must induce a total order for the result to be deterministic.
+func KeysFunc[M ~map[K]V, K comparable, V any](m M, compare func(a, b K) int) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, compare)
+	return keys
+}

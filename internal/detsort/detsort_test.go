@@ -1,0 +1,38 @@
+package detsort
+
+import (
+	"cmp"
+	"reflect"
+	"testing"
+)
+
+func TestKeys(t *testing.T) {
+	m := map[uint64]string{7: "g", 1: "a", 3: "c", 2: "b"}
+	for i := 0; i < 50; i++ {
+		got := Keys(m)
+		if want := []uint64{1, 2, 3, 7}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+	if got := Keys(map[int]int(nil)); len(got) != 0 {
+		t.Fatalf("Keys(nil) = %v", got)
+	}
+}
+
+func TestKeysFunc(t *testing.T) {
+	type pt struct{ X, Y int }
+	m := map[pt]bool{{2, 1}: true, {1, 9}: true, {2, 0}: true, {1, 2}: true}
+	compare := func(a, b pt) int {
+		if c := cmp.Compare(a.X, b.X); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Y, b.Y)
+	}
+	for i := 0; i < 50; i++ {
+		got := KeysFunc(m, compare)
+		want := []pt{{1, 2}, {1, 9}, {2, 0}, {2, 1}}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("KeysFunc = %v, want %v", got, want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/buffer"
+	"repro/internal/detsort"
 	"repro/internal/disk"
 	"repro/internal/sim"
 	"repro/internal/vfs"
@@ -447,8 +448,8 @@ func (fs *FS) syncLocked() error {
 	if err := fs.flushDirtyLocked(nil); err != nil {
 		return err
 	}
-	for _, in := range fs.inodes {
-		if in.dirty {
+	for _, ino := range detsort.Keys(fs.inodes) {
+		if in := fs.inodes[ino]; in.dirty {
 			if err := fs.storeInodeLocked(in); err != nil {
 				return err
 			}

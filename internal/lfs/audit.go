@@ -1,5 +1,7 @@
 package lfs
 
+import "repro/internal/detsort"
+
 // AuditUsage recomputes live block counts from the imap and compares them
 // with the maintained segment usage table. Inode pack blocks are shared by
 // several inodes and counted once. Used by tests and the lfsdump inspector
@@ -14,8 +16,8 @@ func (fs *FS) AuditUsage() (maintained, actual int64, perSegDiff map[int64][2]in
 		}
 	}
 	packSeen := map[int64]bool{}
-	for ino, addr := range fs.imap {
-		if !packSeen[addr] {
+	for _, ino := range detsort.Keys(fs.imap) {
+		if addr := fs.imap[ino]; !packSeen[addr] {
 			packSeen[addr] = true
 			mark(addr)
 		}
@@ -55,8 +57,8 @@ func (fs *FS) auditLocked() (int64, int64, map[int64][2]int64, error) {
 		}
 	}
 	packSeen := map[int64]bool{}
-	for ino, addr := range fs.imap {
-		if !packSeen[addr] {
+	for _, ino := range detsort.Keys(fs.imap) {
+		if addr := fs.imap[ino]; !packSeen[addr] {
 			packSeen[addr] = true
 			mark(addr)
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/buffer"
+	"repro/internal/detsort"
 	"repro/internal/disk"
 )
 
@@ -639,7 +640,7 @@ func (fs *FS) cleanFailureLocked(victim int64) error {
 		Addr int64
 	}
 	var refs []ref
-	for ino := range fs.imap {
+	for _, ino := range detsort.Keys(fs.imap) {
 		if fs.segOf(fs.imap[ino]) == victim {
 			refs = append(refs, ref{ino, kindInodePack, 0, fs.imap[ino]})
 		}

@@ -3,7 +3,8 @@ package lfs
 import (
 	"fmt"
 	"io"
-	"sort"
+
+	"repro/internal/detsort"
 )
 
 // Dump writes a human-readable description of the file system's on-disk and
@@ -30,12 +31,7 @@ func (fs *FS) Dump(w io.Writer) error {
 	}
 
 	fmt.Fprintf(w, "\ninode map (%d files):\n", len(fs.imap))
-	inos := make([]Ino, 0, len(fs.imap))
-	for ino := range fs.imap {
-		inos = append(inos, ino)
-	}
-	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
-	for _, ino := range inos {
+	for _, ino := range detsort.Keys(fs.imap) {
 		in, err := fs.loadInode(ino)
 		if err != nil {
 			fmt.Fprintf(w, "  ino %4d @%d: <%v>\n", ino, fs.imap[ino], err)

@@ -2,6 +2,8 @@ package lfs
 
 import (
 	"fmt"
+
+	"repro/internal/detsort"
 )
 
 // FsckReport summarizes a structural check of the file system.
@@ -106,7 +108,7 @@ func (fs *FS) Fsck() (*FsckReport, error) {
 	}
 
 	// 3. Orphan inodes: in the imap but unreachable.
-	for ino := range fs.imap {
+	for _, ino := range detsort.Keys(fs.imap) {
 		if !reachable[ino] {
 			rep.OrphanInodes = append(rep.OrphanInodes, ino)
 			rep.problemf("inode %d: unreachable from the root", ino)
@@ -115,7 +117,7 @@ func (fs *FS) Fsck() (*FsckReport, error) {
 
 	// 4. Cross-link and bounds check over every block of every file.
 	owner := map[int64]Ino{}
-	for ino := range fs.imap {
+	for _, ino := range detsort.Keys(fs.imap) {
 		in, err := fs.loadInode(ino)
 		if err != nil {
 			continue // reported above

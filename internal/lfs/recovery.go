@@ -4,9 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"sort"
 
 	"repro/internal/buffer"
+	"repro/internal/detsort"
 	"repro/internal/disk"
 	"repro/internal/sim"
 )
@@ -39,12 +39,7 @@ func (cp *checkpoint) encode() []byte {
 	}
 	le.PutUint64(b[off:], uint64(len(cp.Imap)))
 	off += 8
-	inos := make([]Ino, 0, len(cp.Imap))
-	for ino := range cp.Imap {
-		inos = append(inos, ino)
-	}
-	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
-	for _, ino := range inos {
+	for _, ino := range detsort.Keys(cp.Imap) {
 		le.PutUint64(b[off:], uint64(ino))
 		le.PutUint64(b[off+8:], uint64(cp.Imap[ino]))
 		off += 16
@@ -347,7 +342,23 @@ func (fs *FS) rollForwardLocked() error {
 	// Direct-range entries are redundant with the inode pack contents
 	// (setting them again is idempotent); indirect-range entries restore
 	// pointer-block updates that were never written before the crash.
-	for k, addr := range pendingPtr {
+	ptrOrder := detsort.KeysFunc(pendingPtr, func(a, b ptrKey) int {
+		if a.ino != b.ino {
+			if a.ino < b.ino {
+				return -1
+			}
+			return 1
+		}
+		if a.lbn != b.lbn {
+			if a.lbn < b.lbn {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	for _, k := range ptrOrder {
+		addr := pendingPtr[k]
 		if k.lbn < NDirect {
 			continue // direct pointers live in the inode pack, which is authoritative
 		}
@@ -389,7 +400,8 @@ func (fs *FS) rebuildUsageLocked() error {
 	// Inode pack blocks are shared: count each pack block once and rebuild
 	// the reference counts from the imap.
 	fs.packRefs = make(map[int64]int)
-	for ino, addr := range fs.imap {
+	for _, ino := range detsort.Keys(fs.imap) {
+		addr := fs.imap[ino]
 		if fs.packRefs[addr] == 0 {
 			mark(addr)
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/buffer"
+	"repro/internal/detsort"
 )
 
 // dataItem is one dirty file block awaiting a log address.
@@ -95,6 +96,7 @@ func (fs *FS) gatherLocked(only map[Ino]bool, deferPtr bool) ([]dataItem, []Ino,
 		}
 		items = append(items, dataItem{id: b.ID, buf: b, data: b.Data})
 	}
+	//simlint:ordered items are fully sorted by (file, block) below; orphan deletes are keyed by the loop variable
 	for id, data := range fs.orphans {
 		if !want(Ino(id.File)) {
 			continue
@@ -138,7 +140,7 @@ func (fs *FS) gatherLocked(only map[Ino]bool, deferPtr bool) ([]dataItem, []Ino,
 		}
 	}
 	var metaOnly []Ino
-	for ino := range fileSet {
+	for _, ino := range detsort.Keys(fileSet) {
 		found := false
 		for _, it := range items {
 			if Ino(it.id.File) == ino {
@@ -150,7 +152,6 @@ func (fs *FS) gatherLocked(only map[Ino]bool, deferPtr bool) ([]dataItem, []Ino,
 			metaOnly = append(metaOnly, ino)
 		}
 	}
-	sort.Slice(metaOnly, func(i, j int) bool { return metaOnly[i] < metaOnly[j] })
 	return items, metaOnly, nil
 }
 
@@ -160,8 +161,9 @@ func (fs *FS) gatherLocked(only map[Ino]bool, deferPtr bool) ([]dataItem, []Ino,
 // affected files. Scoping matters: the cleaner runs when segments are
 // scarce, so its flushes must not drag the entire dirty pool along.
 func (fs *FS) gatherRelocLocked(ids map[buffer.BlockID]bool, inos map[Ino]bool) ([]dataItem, []Ino) {
+	// Sorted by (file, block), so items needs no further ordering.
 	var items []dataItem
-	for id := range ids {
+	for _, id := range detsort.KeysFunc(ids, buffer.CompareBlockID) {
 		if b := fs.pool.Lookup(id); b != nil && b.Dirty() && !b.Held() {
 			delete(fs.orphans, id)
 			items = append(items, dataItem{id: id, buf: b, data: b.Data})
@@ -171,12 +173,6 @@ func (fs *FS) gatherRelocLocked(ids map[buffer.BlockID]bool, inos map[Ino]bool) 
 			items = append(items, dataItem{id: id, data: data})
 		}
 	}
-	sort.Slice(items, func(i, j int) bool {
-		if items[i].id.File != items[j].id.File {
-			return items[i].id.File < items[j].id.File
-		}
-		return items[i].id.Block < items[j].id.Block
-	})
 	fileSet := make(map[Ino]bool, len(inos))
 	for ino := range inos {
 		fileSet[ino] = true
@@ -185,10 +181,9 @@ func (fs *FS) gatherRelocLocked(ids map[buffer.BlockID]bool, inos map[Ino]bool) 
 		delete(fileSet, Ino(it.id.File))
 	}
 	var metaOnly []Ino
-	for ino := range fileSet {
+	for _, ino := range detsort.Keys(fileSet) {
 		metaOnly = append(metaOnly, ino)
 	}
-	sort.Slice(metaOnly, func(i, j int) bool { return metaOnly[i] < metaOnly[j] })
 	return items, metaOnly
 }
 
@@ -223,6 +218,7 @@ func (fs *FS) inodeMetaDirty(in *inode) bool {
 	if in.dind != nil && in.dind.dirty {
 		return true
 	}
+	//simlint:ordered pure existence predicate: any iteration order yields the same answer
 	for _, c := range in.dchild {
 		if c.dirty {
 			return true
@@ -270,14 +266,14 @@ func (fs *FS) metaCostLocked(in *inode, lbns []int64) int {
 // pointer blocks + inode pack blocks.
 func (fs *FS) partialCostLocked(perFile map[Ino][]int64, deferPtr bool) (int, error) {
 	total := 1 // summary
-	for ino, lbns := range perFile {
+	for _, ino := range detsort.Keys(perFile) {
 		in, err := fs.loadInode(ino)
 		if err != nil {
 			return 0, err
 		}
-		total += len(lbns)
+		total += len(perFile[ino])
 		if !deferPtr {
-			total += fs.metaCostLocked(in, lbns)
+			total += fs.metaCostLocked(in, perFile[ino])
 		}
 	}
 	packCap := maxInodesPerPack(fs.blockSize)
@@ -408,13 +404,8 @@ func (fs *FS) writePartialLocked(chunk []dataItem, metaOnly []Ino, deferPtr bool
 	// children first (their addresses go into the double indirect block),
 	// then the single and double indirect blocks (addresses go into the
 	// inode), then the inode itself (address goes into the imap).
-	inos := make([]Ino, 0, len(fileSet))
-	for ino := range fileSet {
-		inos = append(inos, ino)
-	}
-	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
 	var packed []*inode
-	for _, ino := range inos {
+	for _, ino := range detsort.Keys(fileSet) {
 		in, err := fs.loadInode(ino)
 		if err != nil {
 			return err
@@ -426,15 +417,11 @@ func (fs *FS) writePartialLocked(chunk []dataItem, metaOnly []Ino, deferPtr bool
 			packed = append(packed, in)
 			continue
 		}
-		var slots []int64
-		for slot, c := range in.dchild {
-			if c.dirty {
-				slots = append(slots, slot)
-			}
-		}
-		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
-		for _, slot := range slots {
+		for _, slot := range detsort.Keys(in.dchild) {
 			c := in.dchild[slot]
+			if !c.dirty {
+				continue
+			}
 			dind, err := fs.loadDInd(in)
 			if err != nil {
 				return err

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/buffer"
+	"repro/internal/detsort"
 	"repro/internal/lock"
 	"repro/internal/pagestore"
 	"repro/internal/sim"
@@ -446,8 +447,8 @@ func (e *Env) Checkpoint() error {
 	if err := e.pool.FlushAll(); err != nil {
 		return err
 	}
-	for _, f := range e.files {
-		if err := f.Sync(); err != nil {
+	for _, id := range detsort.Keys(e.files) {
+		if err := e.files[id].Sync(); err != nil {
 			return err
 		}
 	}
@@ -505,8 +506,8 @@ func RecoverPaths(fsys vfs.FileSystem, clock *sim.Clock, opts Options, dbPaths [
 		return nil, nil, err
 	}
 	// Recovered pages must reach the files before the log is truncated.
-	for _, f := range env.files {
-		if err := f.Sync(); err != nil {
+	for _, id := range detsort.Keys(env.files) {
+		if err := env.files[id].Sync(); err != nil {
 			return nil, nil, err
 		}
 	}

@@ -6,11 +6,13 @@
 package lock
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/detsort"
 	"repro/internal/sim"
 )
 
@@ -40,6 +42,17 @@ type Object struct {
 }
 
 func (o Object) String() string { return fmt.Sprintf("(%d,%d)", o.File, o.Block) }
+
+// compareObject orders objects by (file, block) for deterministic iteration
+// over object-keyed maps: victim selection, release order, and the write
+// sets handed to abort processing must not depend on Go's randomized map
+// order, or identically seeded runs diverge.
+func compareObject(a, b Object) int {
+	if c := cmp.Compare(a.File, b.File); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Block, b.Block)
+}
 
 // TxnID identifies a lock owner.
 type TxnID uint64
@@ -90,6 +103,11 @@ type Manager struct {
 	// simulated time on simQ instead of parking their goroutine on cond.
 	clk  *sim.Clock
 	simQ sim.WaitQueue
+
+	// waitHook, when non-nil, is invoked (with mu held) each time a request
+	// is about to park. Tests use it to synchronize on "the waiter is
+	// blocked" without wall-clock sleeps; see lock_test.go.
+	waitHook func()
 }
 
 // NewManager returns an empty lock manager.
@@ -156,21 +174,20 @@ func (m *Manager) Holders(obj Object) []TxnID {
 	if h == nil {
 		return nil
 	}
-	out := make([]TxnID, 0, len(h.holders))
-	for t := range h.holders {
-		out = append(out, t)
-	}
-	return out
+	return detsort.Keys(h.holders)
 }
 
-// conflicts reports the set of other holders blocking txn's request.
+// conflicts reports the set of other holders blocking txn's request, in
+// ascending transaction order. The order matters: it fixes the waits-for
+// edges and therefore which transaction a deadlock search reaches first, so
+// victim choice is stable across identically seeded runs.
 func (h *head) conflicts(txn TxnID, mode Mode) []TxnID {
 	var out []TxnID
-	for other, held := range h.holders {
+	for _, other := range detsort.Keys(h.holders) {
 		if other == txn {
 			continue
 		}
-		if mode == Write || held == Write {
+		if mode == Write || h.holders[other] == Write {
 			out = append(out, other)
 		}
 	}
@@ -220,6 +237,9 @@ func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 			waited = true
 		}
 		h.waiters++
+		if m.waitHook != nil {
+			m.waitHook()
+		}
 		if m.clk != nil && m.clk.InProc() {
 			m.stats.BlockedTime += m.simQ.Wait(m.clk, &m.mu)
 		} else {
@@ -243,12 +263,14 @@ func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 
 // cycleLocked reports whether txn is part of a waits-for cycle. Holder
 // relations are implied by waitsFor edges; a cycle exists when following
-// edges from txn reaches txn again.
+// edges from txn reaches txn again. The DFS visits edges in ascending
+// transaction order so the search (and the victim it implies) is identical
+// across runs.
 func (m *Manager) cycleLocked(start TxnID) bool {
 	seen := map[TxnID]bool{}
 	var dfs func(t TxnID) bool
 	dfs = func(t TxnID) bool {
-		for next := range m.waitsFor[t] {
+		for _, next := range detsort.Keys(m.waitsFor[t]) {
 			if next == start {
 				return true
 			}
@@ -299,14 +321,15 @@ func (m *Manager) releaseLocked(txn TxnID, obj Object) {
 
 // ReleaseAll releases every lock txn holds (commit or abort: "the kernel
 // locates the lock chain for the transaction ... traverses the lock chain,
-// releasing locks", §4.3). It returns the objects that were write-locked,
-// which abort processing uses to invalidate dirty buffers.
+// releasing locks", §4.3). Locks release in ascending (file, block) order —
+// a stable order across runs — and the returned write set, which abort
+// processing uses to invalidate dirty buffers, inherits it.
 func (m *Manager) ReleaseAll(txn TxnID) []Object {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var written []Object
-	for obj, mode := range m.byTxn[txn] {
-		if mode == Write {
+	for _, obj := range detsort.KeysFunc(m.byTxn[txn], compareObject) {
+		if m.byTxn[txn][obj] == Write {
 			written = append(written, obj)
 		}
 		if h := m.table[obj]; h != nil {
@@ -322,13 +345,14 @@ func (m *Manager) ReleaseAll(txn TxnID) []Object {
 	return written
 }
 
-// WriteLocked returns the objects txn holds write locks on.
+// WriteLocked returns the objects txn holds write locks on, in ascending
+// (file, block) order.
 func (m *Manager) WriteLocked(txn TxnID) []Object {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var out []Object
-	for obj, mode := range m.byTxn[txn] {
-		if mode == Write {
+	for _, obj := range detsort.KeysFunc(m.byTxn[txn], compareObject) {
+		if m.byTxn[txn][obj] == Write {
 			out = append(out, obj)
 		}
 	}

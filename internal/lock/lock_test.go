@@ -9,6 +9,21 @@ import (
 
 func obj(b int64) Object { return Object{File: 1, Block: b} }
 
+// armWaitHook makes m signal ch each time a request parks, so tests can wait
+// for "the other goroutine is blocked" without wall-clock sleeps. Must be
+// called before any goroutine uses m. The send never blocks: the buffer
+// absorbs the signals a test consumes, extra wake-ups are dropped.
+func armWaitHook(m *Manager) chan struct{} {
+	ch := make(chan struct{}, 16)
+	m.waitHook = func() {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	return ch
+}
+
 func TestSharedReaders(t *testing.T) {
 	m := NewManager()
 	for txn := TxnID(1); txn <= 3; txn++ {
@@ -112,6 +127,7 @@ func TestUpgradeSoleReader(t *testing.T) {
 
 func TestDeadlockDetection(t *testing.T) {
 	m := NewManager()
+	blocked := armWaitHook(m)
 	if err := m.Lock(1, obj(0), Write); err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +137,7 @@ func TestDeadlockDetection(t *testing.T) {
 	// Txn 1 waits for obj 1 (held by 2).
 	errCh := make(chan error, 1)
 	go func() { errCh <- m.Lock(1, obj(1), Write) }()
-	time.Sleep(20 * time.Millisecond)
+	<-blocked
 	// Txn 2 requesting obj 0 closes the cycle: one of the two must get
 	// ErrDeadlock.
 	err2 := m.Lock(2, obj(0), Write)
@@ -148,11 +164,12 @@ func TestUpgradeDeadlock(t *testing.T) {
 	// Two readers both trying to upgrade is the classic conversion
 	// deadlock; the second requester must be told.
 	m := NewManager()
+	blocked := armWaitHook(m)
 	m.Lock(1, obj(0), Read)
 	m.Lock(2, obj(0), Read)
 	errCh := make(chan error, 1)
 	go func() { errCh <- m.Lock(1, obj(0), Write) }()
-	time.Sleep(20 * time.Millisecond)
+	<-blocked
 	err2 := m.Lock(2, obj(0), Write)
 	if err2 == nil {
 		if err1 := <-errCh; !errors.Is(err1, ErrDeadlock) {
@@ -242,13 +259,14 @@ func TestManyConcurrentTxns(t *testing.T) {
 
 func TestStatsWaits(t *testing.T) {
 	m := NewManager()
+	blocked := armWaitHook(m)
 	m.Lock(1, obj(0), Write)
 	done := make(chan struct{})
 	go func() {
 		m.Lock(2, obj(0), Write)
 		close(done)
 	}()
-	time.Sleep(20 * time.Millisecond)
+	<-blocked
 	m.ReleaseAll(1)
 	<-done
 	st := m.Stats()

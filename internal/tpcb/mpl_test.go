@@ -1,8 +1,11 @@
 package tpcb
 
 import (
+	"reflect"
 	"testing"
 	"time"
+
+	"repro/internal/lock"
 )
 
 // mplKinds are the three measured configurations of Figure 4.
@@ -133,6 +136,66 @@ func TestMPLDeterminism(t *testing.T) {
 				t.Fatalf("lock stats differ:\n%+v\n%+v", a.lock, b.lock)
 			}
 			if a.disk != b.disk {
+				t.Fatalf("disk stats differ:\n%+v\n%+v", a.disk, b.disk)
+			}
+		})
+	}
+}
+
+// TestMPLCleanerDeterminism: two identical MPL=8 runs with the idle
+// background cleaner enabled must stay byte-for-byte identical — the
+// cleaner's victim selection, relocation writes, and idle-window scheduling
+// all have to be deterministic functions of the seed, on top of everything
+// TestMPLDeterminism already pins. The disk is sized so the log wraps and
+// cleaning genuinely runs.
+func TestMPLCleanerDeterminism(t *testing.T) {
+	const txns, mpl = 600, 8
+	for _, kind := range []string{"user-lfs", "kernel-lfs"} {
+		t.Run(kind, func(t *testing.T) {
+			type snapshot struct {
+				res  Result
+				lock lock.Stats
+				lfs  interface{}
+				disk interface{}
+			}
+			run := func() snapshot {
+				// The shrunken disk and raised trigger make the log wrap
+				// within 600 transactions on both rig kinds, so the run
+				// exercises real cleaning, not an idle no-op.
+				rig, err := BuildRig(RigOptions{
+					Kind:             kind,
+					Config:           smallCfg(),
+					ExpectedTxns:     txns,
+					GroupCommit:      4,
+					CleanerMode:      "idle",
+					CleanBatch:       4,
+					DiskScale:        0.7,
+					IdleCleanTrigger: 10,
+				})
+				if err != nil {
+					t.Fatalf("BuildRig(%s): %v", kind, err)
+				}
+				rig.Clock.SetStrict(true)
+				res, err := rig.RunMPL(smallCfg(), txns, mpl)
+				if err != nil {
+					t.Fatalf("RunMPL: %v", err)
+				}
+				if cl := rig.LFS.Stats().Cleaner; cl.Runs == 0 || cl.SegmentsCleaned == 0 {
+					t.Fatalf("background cleaner never ran (%+v); the test is not exercising cleaning", cl)
+				}
+				return snapshot{res: res, lock: rig.LockStats(), lfs: rig.LFS.Stats(), disk: rig.Dev.Stats()}
+			}
+			a, b := run(), run()
+			if a.res != b.res {
+				t.Fatalf("results differ:\n%+v\n%+v", a.res, b.res)
+			}
+			if a.lock != b.lock {
+				t.Fatalf("lock stats differ:\n%+v\n%+v", a.lock, b.lock)
+			}
+			if !reflect.DeepEqual(a.lfs, b.lfs) {
+				t.Fatalf("lfs stats differ:\n%+v\n%+v", a.lfs, b.lfs)
+			}
+			if !reflect.DeepEqual(a.disk, b.disk) {
 				t.Fatalf("disk stats differ:\n%+v\n%+v", a.disk, b.disk)
 			}
 		})

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"repro/internal/detsort"
 	"repro/internal/vfs"
 )
 
@@ -380,7 +381,7 @@ func (m *Manager) Recover(apply func(file uint64, block int64, offset uint32, da
 		}
 	}
 	w, l := 0, 0
-	for txn := range seen {
+	for _, txn := range detsort.Keys(seen) {
 		if committed[txn] {
 			w++
 		} else {

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -384,5 +385,54 @@ func TestLogRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRecoverDeterministic(t *testing.T) {
+	// Recovery must be a pure function of the log: two runs over the same
+	// records produce identical apply traces, identical page state, and
+	// identical winner/loser counts. A committed winner, an aborted
+	// transaction with a compensating after-image, and an in-flight loser
+	// exercise all three classification paths.
+	m, _ := newLog(t)
+	m.LogUpdate(1, 7, 0, 0, []byte("aaaa"), []byte("wwww"))
+	m.LogCommit(1)
+	m.LogUpdate(2, 7, 1, 8, []byte("bbbb"), []byte("cccc"))
+	m.LogAbort(2)
+	m.LogUpdate(3, 8, 2, 16, []byte("dddd"), []byte("eeee"))
+	m.LogUpdate(3, 7, 0, 4, []byte("ffff"), []byte("gggg"))
+	m.Force() // txn 3 never resolves: in-flight loser
+
+	type applied struct {
+		File   uint64
+		Block  int64
+		Offset uint32
+		Data   string
+	}
+	run := func() ([]applied, pageStore, int, int) {
+		var trace []applied
+		store := pageStore{}
+		w, l, err := m.Recover(func(file uint64, block int64, offset uint32, data []byte) error {
+			trace = append(trace, applied{file, block, offset, string(data)})
+			return store.apply(file, block, offset, data)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace, store, w, l
+	}
+	trace1, store1, w1, l1 := run()
+	trace2, store2, w2, l2 := run()
+	if w1 != 1 || l1 != 2 {
+		t.Fatalf("winners=%d losers=%d, want 1 and 2", w1, l1)
+	}
+	if w1 != w2 || l1 != l2 {
+		t.Fatalf("counts diverged across runs: (%d,%d) vs (%d,%d)", w1, l1, w2, l2)
+	}
+	if !reflect.DeepEqual(trace1, trace2) {
+		t.Fatalf("apply traces diverged:\nrun1: %v\nrun2: %v", trace1, trace2)
+	}
+	if !reflect.DeepEqual(store1, store2) {
+		t.Fatal("post-recovery page state diverged between identical runs")
 	}
 }
