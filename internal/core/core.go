@@ -251,9 +251,13 @@ func (m *Manager) groupCommitStall() bool {
 	return true
 }
 
-// flushPendingLocked performs the (group) commit flush: unhold every pending
-// transaction's buffers, force them to the log in one partial-segment
-// stream, then release all pending locks.
+// flushPendingLocked performs the (group) commit flush: force every pending
+// transaction's buffers to the log in one partial-segment stream, then
+// release the holds and all pending locks. The holds are released only
+// AFTER the flush succeeds: the flush itself gathers held pages explicitly
+// (FlushFiles), and any cleaner pass the flush triggers on entry still sees
+// the pages as held — so it relocates the on-disk before-images instead of
+// stealing the uncommitted contents into the log ahead of the commit record.
 func (m *Manager) flushPendingLocked() error {
 	if len(m.pending) == 0 {
 		return nil
@@ -261,6 +265,15 @@ func (m *Manager) flushPendingLocked() error {
 	pool := m.fs.Pool()
 	fileSet := make(map[vfs.FileID]bool)
 	pages := 0
+	for _, t := range m.pending {
+		pages += len(t.pages)
+		for f := range t.files {
+			fileSet[f] = true
+		}
+	}
+	if err := m.fs.FlushFiles(detsort.Keys(fileSet)); err != nil {
+		return err
+	}
 	for _, t := range m.pending {
 		for id := range t.pages {
 			m.heldBy[id]--
@@ -270,14 +283,7 @@ func (m *Manager) flushPendingLocked() error {
 					pool.SetHold(b, false)
 				}
 			}
-			pages++
 		}
-		for f := range t.files {
-			fileSet[f] = true
-		}
-	}
-	if err := m.fs.FlushFiles(detsort.Keys(fileSet)); err != nil {
-		return err
 	}
 	for _, t := range m.pending {
 		m.locks.ReleaseAll(lock.TxnID(t.id))

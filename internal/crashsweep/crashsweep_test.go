@@ -1,0 +1,110 @@
+package crashsweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/tpcb"
+)
+
+func smallOpts(system string, torn bool) Options {
+	return Options{
+		System:    system,
+		Config:    tpcb.Config{Accounts: 400, Tellers: 5, Branches: 1, Seed: 11},
+		Txns:      60,
+		Seed:      7,
+		Torn:      torn,
+		MaxPoints: 48,
+		DiskScale: 0.7,
+	}
+}
+
+func runSweep(t *testing.T, system string, torn bool) *Report {
+	t.Helper()
+	rep, err := Run(smallOpts(system, torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Points == 0 {
+		t.Fatal("sweep sampled no crash points")
+	}
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Errorf("write op %d (stage %s, %d committed): %s", v.WriteOp, v.Stage, v.Committed, v.Err)
+		}
+		t.Fatalf("%d/%d crash points failed", len(rep.Violations), rep.Points)
+	}
+	if rep.Survived != rep.Points {
+		t.Fatalf("survived %d of %d with no violations recorded", rep.Survived, rep.Points)
+	}
+	if rep.MeanRecovery <= 0 {
+		t.Fatalf("recovery should charge simulated time, mean = %v", rep.MeanRecovery)
+	}
+	return rep
+}
+
+func TestSweepKernelLFS(t *testing.T)     { runSweep(t, "kernel-lfs", false) }
+func TestSweepKernelLFSTorn(t *testing.T) { runSweep(t, "kernel-lfs", true) }
+func TestSweepUserLFSTorn(t *testing.T)   { runSweep(t, "user-lfs", true) }
+func TestSweepUserFFSTorn(t *testing.T)   { runSweep(t, "user-ffs", true) }
+
+// TestSweepSamplingCoversCheckpoints checks the dense sampler actually put
+// points inside checkpoint processing, not just at commit boundaries.
+func TestSweepSamplingCoversCheckpoints(t *testing.T) {
+	opts := smallOpts("kernel-lfs", true)
+	if err := opts.fill(); err != nil {
+		t.Fatal(err)
+	}
+	_, spans, loadOps, err := goldenRun(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawCheckpoint bool
+	for _, s := range spans {
+		if s.From < loadOps {
+			t.Fatalf("span %+v starts before the load finished (op %d)", s, loadOps)
+		}
+		if s.Stage == "checkpoint" {
+			sawCheckpoint = true
+		}
+	}
+	if !sawCheckpoint {
+		t.Fatal("golden run recorded no checkpoint span")
+	}
+	points, dense := samplePoints(spans, 0)
+	if dense == 0 || len(points) < dense {
+		t.Fatalf("sampling looks wrong: %d points, %d dense", len(points), dense)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i] <= points[i-1] {
+			t.Fatal("points not strictly increasing")
+		}
+	}
+	// A bounded sample must honor the cap and stay sorted.
+	capped, _ := samplePoints(spans, 10)
+	if len(capped) > 10 {
+		t.Fatalf("cap ignored: %d points", len(capped))
+	}
+}
+
+// TestSweepDeterministic requires byte-identical reports from identical
+// options — the property the CI job and EXPERIMENTS numbers rest on.
+func TestSweepDeterministic(t *testing.T) {
+	opts := smallOpts("user-lfs", true)
+	opts.Txns = 40
+	opts.MaxPoints = 24
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("reports differ:\n%s\n%s", ja, jb)
+	}
+}

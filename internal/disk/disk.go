@@ -24,6 +24,9 @@ import (
 var (
 	ErrOutOfRange = errors.New("disk: block address out of range")
 	ErrBadSize    = errors.New("disk: buffer size does not match block size")
+	// ErrCrashed is returned by every access once a scheduled crash point
+	// has fired (see CrashAfter), until ClearCrash re-enables the device.
+	ErrCrashed = errors.New("disk: device crashed")
 )
 
 // Stats accumulates device activity counters.
@@ -61,9 +64,10 @@ const (
 )
 
 // FaultFn can be installed with SetFault to inject I/O errors: it is called
-// before every access with the operation ("read" or "write") and the first
-// block address; a non-nil return aborts the access with that error. Used by
-// tests to exercise error paths.
+// before every access with the operation ("read" or "write") and, for
+// multi-block runs, once per block in the run; a non-nil return aborts the
+// whole access with that error before any side effects. Used by tests to
+// exercise error paths.
 type FaultFn func(op string, block int64) error
 
 // Device is a simulated block device. All methods are safe for concurrent
@@ -81,6 +85,17 @@ type Device struct {
 	idleCredit time.Duration // foreground idle time not yet spent on background work
 	lastEnd    time.Duration // clock time when the last request finished
 	busyUntil  time.Duration // virtual time the spindle finishes its current foreground request
+
+	// Crash model (see CrashAfter). writeOps counts write operations
+	// (Write and WriteRun each count as one); when it reaches crashAt the
+	// device "loses power": the crashing write persists nothing — or, in
+	// torn mode, a deterministic prefix of its blocks — and every access
+	// from then on fails with ErrCrashed until ClearCrash.
+	writeOps  int64
+	crashAt   int64 // 1-based op index to crash on; 0 = disabled
+	crashTorn bool
+	crashSeed uint64
+	crashed   bool
 }
 
 // SetFault installs (or clears, with nil) a fault-injection hook.
@@ -96,6 +111,83 @@ func (d *Device) checkFault(op string, block int64) error {
 		return nil
 	}
 	return d.fault(op, block)
+}
+
+// checkFaultRun consults the injection hook for every block of a run, so
+// per-block fault rules cannot be bypassed by multi-block transfers. Any
+// non-nil return aborts the whole run before any side effects. Caller must
+// hold d.mu.
+func (d *Device) checkFaultRun(op string, start int64, n int) error {
+	if d.fault == nil {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := d.fault(op, start+int64(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CrashAfter schedules a crash on the n-th write operation from the device's
+// creation (1-based; Write and WriteRun each count as one operation — see
+// WriteOps). The crashing operation persists none of its blocks, unless torn
+// is set, in which case a deterministic prefix of the run — chosen by a RNG
+// seeded with seed, possibly empty and possibly the whole run (the
+// "acknowledgement lost" case) — reaches the media before power fails. The
+// crashing write and every subsequent access return ErrCrashed until
+// ClearCrash. No simulated time is charged for accesses after the crash.
+func (d *Device) CrashAfter(n int64, torn bool, seed uint64) {
+	d.mu.Lock()
+	d.crashAt = n
+	d.crashTorn = torn
+	d.crashSeed = seed
+	d.mu.Unlock()
+}
+
+// ClearCrash lifts a fired (or still pending) crash so the device can be
+// remounted, modelling the post-crash reboot. Stored contents are exactly
+// what was durable at the crash point.
+func (d *Device) ClearCrash() {
+	d.mu.Lock()
+	d.crashed = false
+	d.crashAt = 0
+	d.mu.Unlock()
+}
+
+// Crashed reports whether a scheduled crash point has fired.
+func (d *Device) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// WriteOps returns the number of write operations issued so far — the
+// coordinate system CrashAfter addresses.
+func (d *Device) WriteOps() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writeOps
+}
+
+// noteWrite advances the write-op counter and fires a scheduled crash,
+// persisting a deterministic prefix of bufs in torn mode. It reports whether
+// the write may proceed normally. Caller must hold d.mu.
+func (d *Device) noteWrite(start int64, bufs [][]byte) bool {
+	d.writeOps++
+	if d.crashAt == 0 || d.writeOps < d.crashAt {
+		return true
+	}
+	d.crashed = true
+	if d.crashTorn {
+		// The media wrote blocks strictly in order until power failed, so
+		// what survives is a prefix — anywhere from nothing to the full run.
+		k := sim.NewRNG(d.crashSeed).Intn(len(bufs) + 1)
+		for i := 0; i < k; i++ {
+			d.store(start+int64(i), bufs[i])
+		}
+	}
+	return false
 }
 
 // New creates a device with the given model, advancing the given clock on
@@ -229,6 +321,9 @@ func (d *Device) Read(block int64, buf []byte) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
 	if err := d.checkFault("read", block); err != nil {
 		return err
 	}
@@ -255,8 +350,14 @@ func (d *Device) Write(block int64, buf []byte) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
 	if err := d.checkFault("write", block); err != nil {
 		return err
+	}
+	if !d.noteWrite(block, [][]byte{buf}) {
+		return ErrCrashed
 	}
 	d.charge(block, 1)
 	d.stats.Writes++
@@ -292,8 +393,14 @@ func (d *Device) WriteRun(start int64, bufs [][]byte) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.checkFault("write", start); err != nil {
+	if d.crashed {
+		return ErrCrashed
+	}
+	if err := d.checkFaultRun("write", start, len(bufs)); err != nil {
 		return err
+	}
+	if !d.noteWrite(start, bufs) {
+		return ErrCrashed
 	}
 	d.charge(start, len(bufs))
 	d.stats.Writes++
@@ -320,7 +427,10 @@ func (d *Device) ReadRun(start int64, bufs [][]byte) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.checkFault("read", start); err != nil {
+	if d.crashed {
+		return ErrCrashed
+	}
+	if err := d.checkFaultRun("read", start, len(bufs)); err != nil {
 		return err
 	}
 	d.charge(start, len(bufs))

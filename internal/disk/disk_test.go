@@ -550,3 +550,138 @@ func TestResetIdleCreditForgetsBudget(t *testing.T) {
 		t.Errorf("clock advanced %v, BgStallTime %v", advanced, st.BgStallTime)
 	}
 }
+
+// TestFaultInjectionMidRun is the regression test for the bug where WriteRun
+// and ReadRun consulted the fault hook only for the run's first block: a
+// per-block fault rule targeting a mid-run block must abort the whole run
+// before any side effects.
+func TestFaultInjectionMidRun(t *testing.T) {
+	dev, _ := newTestDevice()
+	boom := errors.New("media error")
+	dev.SetFault(func(op string, block int64) error {
+		if block == 12 {
+			return boom
+		}
+		return nil
+	})
+	bufs := [][]byte{block(dev, 1), block(dev, 2), block(dev, 3)}
+	// Run 10..12: block 12 is mid-run (not the first block).
+	if err := dev.WriteRun(10, bufs); !errors.Is(err, boom) {
+		t.Fatalf("WriteRun over a faulted mid-run block: got %v, want injected fault", err)
+	}
+	// No side effects: none of the run's blocks were stored.
+	for addr := int64(10); addr <= 12; addr++ {
+		got, err := dev.Peek(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range got {
+			if b != 0 {
+				t.Fatalf("block %d partially written by an aborted run", addr)
+			}
+		}
+	}
+	if st := dev.Stats(); st.Writes != 0 || st.BlocksWrit != 0 {
+		t.Fatalf("aborted run counted in stats: %+v", st)
+	}
+	rd := [][]byte{block(dev, 0), block(dev, 0), block(dev, 0)}
+	if err := dev.ReadRun(10, rd); !errors.Is(err, boom) {
+		t.Fatalf("ReadRun over a faulted mid-run block: got %v, want injected fault", err)
+	}
+	dev.SetFault(nil)
+	if err := dev.WriteRun(10, bufs); err != nil {
+		t.Fatalf("fault cleared: %v", err)
+	}
+}
+
+func TestCrashAfterStopsTheDevice(t *testing.T) {
+	dev, _ := newTestDevice()
+	dev.CrashAfter(3, false, 1)
+	if err := dev.Write(0, block(dev, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.WriteRun(1, [][]byte{block(dev, 2), block(dev, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.WriteOps(); got != 2 {
+		t.Fatalf("WriteOps = %d, want 2", got)
+	}
+	// Third write op crashes; nothing from it is durable (non-torn mode).
+	if err := dev.WriteRun(3, [][]byte{block(dev, 4), block(dev, 5)}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashing write: got %v, want ErrCrashed", err)
+	}
+	if !dev.Crashed() {
+		t.Fatal("device should report crashed")
+	}
+	buf := block(dev, 0)
+	if err := dev.Read(0, buf); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: got %v, want ErrCrashed", err)
+	}
+	if err := dev.Write(9, block(dev, 9)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: got %v, want ErrCrashed", err)
+	}
+	// Reboot: earlier writes intact, crashing write absent.
+	dev.ClearCrash()
+	if err := dev.Read(0, buf); err != nil || buf[0] != 1 {
+		t.Fatalf("block 0 after reboot: err=%v fill=%d", err, buf[0])
+	}
+	for addr, want := range map[int64]byte{1: 2, 2: 3, 3: 0, 4: 0} {
+		got, err := dev.Peek(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != want {
+			t.Fatalf("block %d after reboot = %d, want %d", addr, got[0], want)
+		}
+	}
+}
+
+// TestCrashTornWriteIsDeterministicPrefix checks torn-mode semantics: the
+// crashing run persists a prefix of its blocks chosen by the crash seed, and
+// the same seed always yields the same prefix.
+func TestCrashTornWriteIsDeterministicPrefix(t *testing.T) {
+	run := func(seed uint64) []byte {
+		dev, _ := newTestDevice()
+		dev.CrashAfter(1, true, seed)
+		bufs := make([][]byte, 8)
+		for i := range bufs {
+			bufs[i] = block(dev, byte(i+1))
+		}
+		if err := dev.WriteRun(0, bufs); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("torn crash: got %v, want ErrCrashed", err)
+		}
+		dev.ClearCrash()
+		fills := make([]byte, 8)
+		for i := range fills {
+			got, err := dev.Peek(int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fills[i] = got[0]
+		}
+		return fills
+	}
+	seen := map[int]bool{}
+	for seed := uint64(0); seed < 32; seed++ {
+		a, b := run(seed), run(seed)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: torn prefix not deterministic: %v vs %v", seed, a, b)
+		}
+		// Survivors must be a prefix: once a block is zero, all later ones are.
+		k := 0
+		for k < len(a) && a[k] == byte(k+1) {
+			k++
+		}
+		for i := k; i < len(a); i++ {
+			if a[i] != 0 {
+				t.Fatalf("seed %d: non-prefix survival %v", seed, a)
+			}
+		}
+		seen[k] = true
+	}
+	// Across seeds the prefix length should actually vary (including
+	// possibly 0 and the full run).
+	if len(seen) < 3 {
+		t.Fatalf("torn prefix lengths show no variety across seeds: %v", seen)
+	}
+}

@@ -37,6 +37,12 @@ const (
 	summaryMagic = 0x4c465353 // "LFSS"
 	inodeMagic   = 0x4c465349 // "LFSI"
 
+	// formatVersion is the on-disk format version. Version 2 added the
+	// payload CRC to segment summaries (a summary vouches for the blocks it
+	// describes, so roll-forward can detect a torn multi-block segment
+	// write) and the version field itself to the superblock.
+	formatVersion = 2
+
 	// NDirect is the number of direct block pointers in an inode.
 	NDirect = 12
 
@@ -72,6 +78,7 @@ var (
 // superblock is the static description of the file system, stored at block 0.
 type superblock struct {
 	Magic         uint32
+	Version       uint32
 	BlockSize     uint32
 	TotalBlocks   int64
 	SegmentBlocks int64
@@ -90,17 +97,18 @@ func (sb *superblock) encode(blockSize int) []byte {
 	le.PutUint64(b[24:], uint64(sb.CPBlocks))
 	le.PutUint64(b[32:], uint64(sb.SegStart))
 	le.PutUint64(b[40:], uint64(sb.NumSegments))
-	le.PutUint32(b[48:], crc32.ChecksumIEEE(b[0:48]))
+	le.PutUint32(b[48:], sb.Version)
+	le.PutUint32(b[52:], crc32.ChecksumIEEE(b[0:52]))
 	return b
 }
 
 func decodeSuperblock(b []byte) (superblock, error) {
 	var sb superblock
-	if len(b) < 52 {
+	if len(b) < 56 {
 		return sb, fmt.Errorf("%w: short superblock", ErrCorrupt)
 	}
 	le := binary.LittleEndian
-	if le.Uint32(b[48:]) != crc32.ChecksumIEEE(b[0:48]) {
+	if le.Uint32(b[52:]) != crc32.ChecksumIEEE(b[0:52]) {
 		return sb, fmt.Errorf("%w: superblock checksum", ErrCorrupt)
 	}
 	sb.Magic = le.Uint32(b[0:])
@@ -113,6 +121,10 @@ func decodeSuperblock(b []byte) (superblock, error) {
 	sb.CPBlocks = int64(le.Uint64(b[24:]))
 	sb.SegStart = int64(le.Uint64(b[32:]))
 	sb.NumSegments = int64(le.Uint64(b[40:]))
+	sb.Version = le.Uint32(b[48:])
+	if sb.Version != formatVersion {
+		return sb, fmt.Errorf("%w: format version %d, want %d", ErrCorrupt, sb.Version, formatVersion)
+	}
 	return sb, nil
 }
 
@@ -172,7 +184,20 @@ const summaryEntrySize = 8 + 1 + 8 // ino + kind + index
 //	nEntries uint32   (summary entries, = nBlocks + deletion records)
 //	ageStamp uint64   (age of the youngest block; fresh writes use seq, the
 //	                   cleaner carries the age of relocated blocks forward)
-const summaryHeaderSize = 4 + 4 + 8 + 8 + 8 + 4 + 4 + 8
+//	payloadCRC uint32 (CRC32 over the nBlocks described blocks, in order —
+//	                   lets roll-forward detect a torn multi-block segment
+//	                   write whose summary block survived)
+//	flags    uint32   (sumFlagCont: this partial does not complete its flush
+//	                   batch; roll-forward must withhold the whole chain
+//	                   until the terminating partial is seen intact)
+const summaryHeaderSize = 4 + 4 + 8 + 8 + 8 + 4 + 4 + 8 + 4 + 4
+
+// sumFlagCont marks a partial segment whose flush batch continues in the
+// next partial. A commit force writes all of a transaction's dirty pages in
+// one flushLocked call; when they do not fit a single partial segment, every
+// partial but the last carries this flag so recovery can treat the batch
+// atomically — applying a prefix would expose a half-committed transaction.
+const sumFlagCont = 1
 
 // maxSummaryEntries is how many entries fit in one summary block.
 func maxSummaryEntries(blockSize int) int {
@@ -180,12 +205,14 @@ func maxSummaryEntries(blockSize int) int {
 }
 
 type summary struct {
-	Seq      uint64
-	SelfAddr int64
-	NextSeg  int64
-	NBlocks  int
-	AgeStamp uint64
-	Entries  []summaryEntry
+	Seq        uint64
+	SelfAddr   int64
+	NextSeg    int64
+	NBlocks    int
+	AgeStamp   uint64
+	PayloadCRC uint32
+	Flags      uint32
+	Entries    []summaryEntry
 }
 
 func (s *summary) encode(blockSize int) ([]byte, error) {
@@ -201,6 +228,8 @@ func (s *summary) encode(blockSize int) ([]byte, error) {
 	le.PutUint32(b[32:], uint32(s.NBlocks))
 	le.PutUint32(b[36:], uint32(len(s.Entries)))
 	le.PutUint64(b[40:], s.AgeStamp)
+	le.PutUint32(b[48:], s.PayloadCRC)
+	le.PutUint32(b[52:], s.Flags)
 	off := summaryHeaderSize
 	for _, e := range s.Entries {
 		le.PutUint64(b[off:], uint64(e.Ino))
@@ -217,6 +246,16 @@ func summaryChecksum(b []byte) uint32 {
 	crc := crc32.NewIEEE()
 	crc.Write(b[0:4])
 	crc.Write(b[8:])
+	return crc.Sum32()
+}
+
+// payloadChecksum is the CRC32 over a partial segment's described blocks in
+// log order — the value the summary's payloadCRC field vouches for.
+func payloadChecksum(bufs [][]byte) uint32 {
+	crc := crc32.NewIEEE()
+	for _, b := range bufs {
+		crc.Write(b)
+	}
 	return crc.Sum32()
 }
 
@@ -243,8 +282,16 @@ func decodeSummary(b []byte, addr int64) (summary, bool) {
 	s.NextSeg = int64(le.Uint64(b[24:]))
 	s.NBlocks = int(le.Uint32(b[32:]))
 	s.AgeStamp = le.Uint64(b[40:])
+	s.PayloadCRC = le.Uint32(b[48:])
+	s.Flags = le.Uint32(b[52:])
 	n := int(le.Uint32(b[36:]))
 	if n < 0 || n > maxSummaryEntries(len(b)) {
+		return s, false
+	}
+	// Every described block consumes an entry, so NBlocks can never exceed
+	// the entry count; rejecting the excess bounds how much garbage a
+	// corrupt-but-checksum-colliding summary could make a reader fetch.
+	if s.NBlocks < 0 || s.NBlocks > n {
 		return s, false
 	}
 	off := summaryHeaderSize

@@ -106,6 +106,11 @@ type FS struct {
 	orphans    map[buffer.BlockID][]byte
 	pendingDel []Ino
 	cleaning   bool
+	// chainCont is set while a multi-partial flush batch is incomplete:
+	// every partial written in that window (including cleaner relocations
+	// triggered mid-flush) carries sumFlagCont, and checkpoints are
+	// deferred, so recovery can never expose a prefix of the batch.
+	chainCont bool
 	// packRefs counts how many imap entries point into each inode pack
 	// block; a pack block is dead (its segment's live count drops) only
 	// when the last inode in it has been superseded.
@@ -136,6 +141,7 @@ func Format(dev *disk.Device, clock *sim.Clock, opts Options) (*FS, error) {
 	}
 	sb := superblock{
 		Magic:         superMagic,
+		Version:       formatVersion,
 		BlockSize:     uint32(bs),
 		TotalBlocks:   dev.NumBlocks(),
 		SegmentBlocks: opts.SegmentBlocks,
@@ -273,7 +279,7 @@ func (fs *FS) maybeFlushOrphansLocked() error {
 		return nil
 	}
 	fs.orphanPressure = false
-	return fs.flushLocked(nil, false)
+	return fs.flushLocked(nil, false, false)
 }
 
 // decPackRef drops one reference to the inode pack block at addr, marking
@@ -350,7 +356,7 @@ func (fs *FS) Sync() error {
 func (fs *FS) Flush() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	return fs.flushLocked(nil, false)
+	return fs.flushLocked(nil, false, false)
 }
 
 // FlushFile forces one file's dirty (unheld) blocks and meta-data to the
@@ -359,7 +365,7 @@ func (fs *FS) Flush() error {
 func (fs *FS) FlushFile(ino vfs.FileID) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	return fs.flushLocked(map[Ino]bool{Ino(ino): true}, true)
+	return fs.flushLocked(map[Ino]bool{Ino(ino): true}, true, false)
 }
 
 // FlushFiles forces several files in a single partial-segment stream (one
@@ -371,5 +377,5 @@ func (fs *FS) FlushFiles(inos []vfs.FileID) error {
 	for _, i := range inos {
 		set[Ino(i)] = true
 	}
-	return fs.flushLocked(set, true)
+	return fs.flushLocked(set, true, true)
 }

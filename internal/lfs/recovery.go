@@ -112,19 +112,45 @@ func decodeCheckpoint(b []byte) (*checkpoint, error) {
 // checkpointLocked flushes all dirty state and writes a checkpoint to the
 // alternate region. Caller holds fs.mu.
 func (fs *FS) checkpointLocked() error {
-	if err := fs.flushLocked(nil, false); err != nil {
+	if err := fs.flushLocked(nil, false, false); err != nil {
 		return err
 	}
 	return fs.writeCheckpointLocked()
 }
 
 // writeCheckpointLocked persists the current imap, segment usage table, and
-// log position WITHOUT flushing dirty buffers first. This is always
-// consistent — the imap only ever describes flushed state — it just does
-// not make unflushed writes durable. The cleaner uses it to advance the
-// checkpoint boundary (and thereby unlock victim segments) without
-// triggering a full flush while segments are scarce.
+// log position WITHOUT flushing dirty data buffers first. Deferred
+// indirect-pointer state, however, MUST be written before the checkpoint:
+// commit forces leave updated pointer blocks dirty in memory, recoverable
+// only by replaying the commit summaries — and a checkpoint moves the
+// roll-forward start past those summaries. A crash right after a flushless
+// checkpoint would then resolve indirect-range blocks through the stale
+// on-disk pointer blocks, silently reviving pre-commit data. The cleaner
+// uses this to advance the checkpoint boundary (and thereby unlock victim
+// segments) without triggering a full data flush while segments are scarce.
 func (fs *FS) writeCheckpointLocked() error {
+	if fs.chainCont {
+		// A flush batch is mid-chain (the cleaner can run between its
+		// partials): the in-memory imap already reflects the batch's
+		// written prefix, and checkpointing it would make that prefix
+		// recoverable without the chain terminator — exactly the
+		// half-committed state the chain flag exists to prevent. Defer;
+		// flushLocked checkpoints after the batch completes.
+		return nil
+	}
+	var metaDirty []Ino
+	for _, ino := range detsort.Keys(fs.inodes) {
+		if fs.inodeMetaDirty(fs.inodes[ino]) {
+			metaDirty = append(metaDirty, ino)
+		}
+	}
+	for len(metaDirty) > 0 {
+		n := min(len(metaDirty), maxFilesPerPartial)
+		if err := fs.writePartialLocked(nil, metaDirty[:n], false, 0); err != nil {
+			return err
+		}
+		metaDirty = metaDirty[n:]
+	}
 	cp := checkpoint{
 		CpSeq:   fs.cpSeq + 1,
 		Seq:     fs.seq,
@@ -243,15 +269,58 @@ func Mount(dev *disk.Device, clock *sim.Clock, opts Options) (*FS, error) {
 	return fs, nil
 }
 
+// readPartialLocked reads and validates one partial segment at pos: the
+// summary block, then the blocks it describes, whose CRC must match the
+// summary's payload field. ok=false (without error) means pos does not hold
+// an intact partial segment — a torn segment write, garbage, or stale data —
+// which roll-forward treats as end-of-log: a summary only vouches for its
+// payload, so a crashed multi-block write that happened to complete the
+// summary block but not all described blocks must be discarded whole.
+func (fs *FS) readPartialLocked(pos int64) (summary, [][]byte, bool, error) {
+	buf := make([]byte, fs.blockSize)
+	if err := fs.dev.Read(pos, buf); err != nil {
+		return summary{}, nil, false, err
+	}
+	sum, ok := decodeSummary(buf, pos)
+	if !ok {
+		return summary{}, nil, false, nil
+	}
+	// The payload must lie within the summary's own segment (a partial
+	// segment never crosses a segment boundary).
+	if seg := fs.segOf(pos); seg < 0 || pos+int64(sum.NBlocks) >= fs.segBase(seg)+fs.sb.SegmentBlocks {
+		return summary{}, nil, false, nil
+	}
+	payload := make([][]byte, sum.NBlocks)
+	raw := make([]byte, sum.NBlocks*fs.blockSize)
+	for i := range payload {
+		payload[i] = raw[i*fs.blockSize : (i+1)*fs.blockSize]
+	}
+	if err := fs.dev.ReadRun(pos+1, payload); err != nil {
+		return summary{}, nil, false, err
+	}
+	if payloadChecksum(payload) != sum.PayloadCRC {
+		return summary{}, nil, false, nil
+	}
+	return sum, payload, true, nil
+}
+
 // rollForwardLocked follows the partial-segment chain from the checkpointed
 // log position, applying inode-map updates and deletions from each summary
 // whose sequence number matches the expected next value. The chain ends at
-// the first position that does not hold the expected summary.
+// the first position that does not hold the expected summary with an intact
+// payload.
+//
+// Partials flagged sumFlagCont belong to a flush batch that continues in
+// the next partial; such a batch is applied only once its terminating
+// (unflagged) partial is read intact. If the log ends mid-batch, the whole
+// batch is discarded and the recovered log position rewinds to the end of
+// the last complete batch — a commit force's pages are all-or-nothing even
+// when they span several partial segments.
 func (fs *FS) rollForwardLocked() error {
 	pos := fs.segBase(fs.curSeg) + fs.curOff
 	curSeg, curOff := fs.curSeg, fs.curOff
 	nextSeg := fs.nextSeg
-	buf := make([]byte, fs.blockSize)
+	seq := fs.seq
 	// pendingPtr records each data block's newest logged address. Commit
 	// forces defer indirect-pointer blocks, so the summaries are the
 	// authoritative record of where data blocks went; the pointers are
@@ -261,37 +330,11 @@ func (fs *FS) rollForwardLocked() error {
 		lbn int64
 	}
 	pendingPtr := make(map[ptrKey]int64)
-	for {
-		if curOff >= fs.sb.SegmentBlocks-minSegmentTail+1 || curOff >= fs.sb.SegmentBlocks {
-			// Current segment exhausted: the writer moved to nextSeg.
-			curSeg, curOff = nextSeg, 0
-			pos = fs.segBase(curSeg)
-		}
-		if err := fs.dev.Read(pos, buf); err != nil {
-			return err
-		}
-		sum, ok := decodeSummary(buf, pos)
-		if !ok || sum.Seq != fs.seq {
-			// Check whether the writer advanced early (e.g. the partial
-			// didn't fit the remaining space): try the next segment once.
-			if curOff != 0 {
-				tryPos := fs.segBase(nextSeg)
-				if err := fs.dev.Read(tryPos, buf); err != nil {
-					return err
-				}
-				if s2, ok2 := decodeSummary(buf, tryPos); ok2 && s2.Seq == fs.seq {
-					curSeg, curOff, pos = nextSeg, 0, tryPos
-					sum, ok = s2, true
-				}
-			}
-			if !ok || sum.Seq != fs.seq {
-				break
-			}
-		}
-		// Apply the summary: blocks map one-to-one onto the entries with
-		// block-consuming kinds, in order, at pos+1, pos+2, ... Inode
-		// pack blocks are read back to learn which inodes they carry;
-		// deletion records drop imap entries.
+	// apply folds one intact partial's summary into the recovered state:
+	// blocks map one-to-one onto the entries with block-consuming kinds, in
+	// order, at pos+1, pos+2, ... Inode pack blocks are decoded to learn
+	// which inodes they carry; deletion records drop imap entries.
+	apply := func(sum summary, payload [][]byte, pos, seg int64) error {
 		blockIdx := int64(0)
 		for _, e := range sum.Entries {
 			switch e.Kind {
@@ -310,11 +353,10 @@ func (fs *FS) rollForwardLocked() error {
 				pendingPtr[ptrKey{e.Ino, e.Index}] = pos + 1 + blockIdx
 			case kindInodePack:
 				addr := pos + 1 + blockIdx
-				pb := make([]byte, fs.blockSize)
-				if err := fs.dev.Read(addr, pb); err != nil {
-					return err
-				}
-				pack, err := decodeInodePack(pb)
+				// The payload CRC already matched, so the pack bytes are
+				// the ones the summary was written against; a decode error
+				// here is genuine corruption, not a torn tail.
+				pack, err := decodeInodePack(payload[blockIdx])
 				if err != nil {
 					return fmt.Errorf("lfs: roll-forward pack at %d: %w", addr, err)
 				}
@@ -327,16 +369,72 @@ func (fs *FS) rollForwardLocked() error {
 			}
 			blockIdx++
 		}
-		fs.segs[curSeg].SeqStamp = sum.Seq
-		if age := sum.AgeStamp; age > fs.segs[curSeg].AgeStamp {
-			fs.segs[curSeg].AgeStamp = age
+		fs.segs[seg].SeqStamp = sum.Seq
+		if age := sum.AgeStamp; age > fs.segs[seg].AgeStamp {
+			fs.segs[seg].AgeStamp = age
 		}
-		fs.seq++
+		return nil
+	}
+	// batch holds the partials of a not-yet-terminated flush chain; commit
+	// rewinds to the position/sequence after the last applied terminator.
+	type readPartial struct {
+		sum     summary
+		payload [][]byte
+		pos     int64
+		seg     int64
+	}
+	var batch []readPartial
+	commit := struct {
+		seg, off, next int64
+		seq            uint64
+	}{curSeg, curOff, nextSeg, seq}
+	for {
+		if curOff >= fs.sb.SegmentBlocks-minSegmentTail+1 || curOff >= fs.sb.SegmentBlocks {
+			// Current segment exhausted: the writer moved to nextSeg.
+			curSeg, curOff = nextSeg, 0
+			pos = fs.segBase(curSeg)
+		}
+		sum, payload, ok, err := fs.readPartialLocked(pos)
+		if err != nil {
+			return err
+		}
+		if !ok || sum.Seq != seq {
+			// Check whether the writer advanced early (e.g. the partial
+			// didn't fit the remaining space): try the next segment once.
+			if curOff != 0 {
+				tryPos := fs.segBase(nextSeg)
+				s2, p2, ok2, err := fs.readPartialLocked(tryPos)
+				if err != nil {
+					return err
+				}
+				if ok2 && s2.Seq == seq {
+					curSeg, curOff, pos = nextSeg, 0, tryPos
+					sum, payload, ok = s2, p2, true
+				}
+			}
+			if !ok || sum.Seq != seq {
+				break
+			}
+		}
+		batch = append(batch, readPartial{sum, payload, pos, curSeg})
+		seq++
 		nextSeg = sum.NextSeg
 		curOff += int64(1 + sum.NBlocks)
 		pos = fs.segBase(curSeg) + curOff
+		if sum.Flags&sumFlagCont == 0 {
+			for _, p := range batch {
+				if err := apply(p.sum, p.payload, p.pos, p.seg); err != nil {
+					return err
+				}
+			}
+			batch = batch[:0]
+			commit.seg, commit.off, commit.next, commit.seq = curSeg, curOff, nextSeg, seq
+		}
 	}
-	fs.curSeg, fs.curOff, fs.nextSeg = curSeg, curOff, nextSeg
+	// An unterminated batch is discarded whole; the log resumes where the
+	// last complete batch ended.
+	fs.curSeg, fs.curOff, fs.nextSeg = commit.seg, commit.off, commit.next
+	fs.seq = commit.seq
 
 	// Rebuild deferred indirect pointers from the summaries' data entries.
 	// Direct-range entries are redundant with the inode pack contents

@@ -23,14 +23,14 @@ type dataItem struct {
 // roll-forward can reconstruct the pointers after a crash — the same trick
 // that lets real LFS implementations keep fsync cheap. Full flushes
 // (deferPtr false) write the pointer blocks out. Caller holds fs.mu.
-func (fs *FS) flushLocked(only map[Ino]bool, deferPtr bool) error {
+func (fs *FS) flushLocked(only map[Ino]bool, deferPtr bool, includeHeld bool) error {
 	if !fs.cleaning && fs.free < int64(fs.opts.CleanThreshold) {
 		if err := fs.cleanLocked(); err != nil {
 			return err
 		}
 	}
 
-	items, files, err := fs.gatherLocked(only, deferPtr)
+	items, files, err := fs.gatherLocked(only, deferPtr, includeHeld)
 	if err != nil {
 		return err
 	}
@@ -40,8 +40,12 @@ func (fs *FS) flushLocked(only map[Ino]bool, deferPtr bool) error {
 
 	// Partition work into partial segments: at most maxFilesPerPartial
 	// files and a data-block budget that, together with the worst-case
-	// meta-data estimate, fits a segment.
+	// meta-data estimate, fits a segment. When the batch needs more than
+	// one partial, all but the last are flagged sumFlagCont so recovery
+	// applies the batch atomically — a commit force's pages must never be
+	// half-visible after a crash.
 	lastCleanFree := int64(-1)
+	defer func() { fs.chainCont = false }()
 	for len(items) > 0 || len(files) > 0 {
 		// A long flush can consume segments faster than the entry check
 		// anticipated; re-invoke the cleaner mid-flush when the free pool
@@ -55,7 +59,7 @@ func (fs *FS) flushLocked(only map[Ino]bool, deferPtr bool) error {
 			if fs.free != lastCleanFree {
 				lastCleanFree = -1 // progress: cleaning may be retried
 			}
-			items, files, err = fs.gatherLocked(only, deferPtr)
+			items, files, err = fs.gatherLocked(only, deferPtr, includeHeld)
 			if err != nil {
 				return err
 			}
@@ -65,10 +69,15 @@ func (fs *FS) flushLocked(only map[Ino]bool, deferPtr bool) error {
 		if err != nil {
 			return err
 		}
+		// Deletion records are not part of the atomic batch (any flush
+		// drains them opportunistically), so only remaining data/meta
+		// work keeps the chain open.
+		fs.chainCont = len(items) > 0 || len(files) > 0
 		if err := fs.writePartialLocked(chunk, chunkFiles, deferPtr, 0); err != nil {
 			return err
 		}
 	}
+	fs.chainCont = false
 	// Deletion records with no accompanying blocks still need logging.
 	if len(fs.pendingDel) > 0 {
 		if err := fs.writePartialLocked(nil, nil, deferPtr, 0); err != nil {
@@ -85,20 +94,41 @@ func (fs *FS) flushLocked(only map[Ino]bool, deferPtr bool) error {
 }
 
 // gatherLocked collects the dirty data blocks (pool + orphans) and the set
-// of files whose meta-data needs rewriting.
-func (fs *FS) gatherLocked(only map[Ino]bool, deferPtr bool) ([]dataItem, []Ino, error) {
+// of files whose meta-data needs rewriting. includeHeld is the group-commit
+// path: the committing transactions' pages are still on hold (the hold is
+// released only after the log write succeeds, so the cleaner can never write
+// uncommitted contents on the commit's behalf), and this flush is the one
+// place they may — must — be written.
+func (fs *FS) gatherLocked(only map[Ino]bool, deferPtr bool, includeHeld bool) ([]dataItem, []Ino, error) {
 	want := func(ino Ino) bool { return only == nil || only[ino] }
 
 	var items []dataItem
+	heldIDs := make(map[buffer.BlockID]bool)
 	for _, b := range fs.pool.Dirty() {
 		if !want(Ino(b.ID.File)) {
 			continue
 		}
 		items = append(items, dataItem{id: b.ID, buf: b, data: b.Data})
 	}
+	if includeHeld && only != nil {
+		for _, ino := range detsort.Keys(only) {
+			for _, b := range fs.pool.HeldFile(buffer.FileID(ino)) {
+				if b.Dirty() {
+					items = append(items, dataItem{id: b.ID, buf: b, data: b.Data})
+					heldIDs[b.ID] = true
+				}
+			}
+		}
+	}
 	//simlint:ordered items are fully sorted by (file, block) below; orphan deletes are keyed by the loop variable
 	for id, data := range fs.orphans {
 		if !want(Ino(id.File)) {
+			continue
+		}
+		if heldIDs[id] {
+			// The commit's after-image of this block is being written in
+			// the same batch; the staged (older) copy is superseded.
+			delete(fs.orphans, id)
 			continue
 		}
 		if fs.pool.Lookup(id) != nil {
@@ -495,13 +525,19 @@ func (fs *FS) writePartialLocked(chunk []dataItem, metaOnly []Ino, deferPtr bool
 	if ageStamp == 0 {
 		ageStamp = fs.seq
 	}
+	var flags uint32
+	if fs.chainCont {
+		flags = sumFlagCont
+	}
 	sum := summary{
-		Seq:      fs.seq,
-		SelfAddr: base,
-		NextSeg:  fs.nextSeg,
-		NBlocks:  len(blocks) - 1,
-		AgeStamp: ageStamp,
-		Entries:  entries,
+		Seq:        fs.seq,
+		SelfAddr:   base,
+		NextSeg:    fs.nextSeg,
+		NBlocks:    len(blocks) - 1,
+		AgeStamp:   ageStamp,
+		PayloadCRC: payloadChecksum(blocks[1:]),
+		Flags:      flags,
+		Entries:    entries,
 	}
 	enc, err := sum.encode(fs.blockSize)
 	if err != nil {

@@ -3,12 +3,10 @@ package tpcb
 import (
 	"testing"
 
-	"repro/internal/btree"
 	"repro/internal/core"
+	"repro/internal/ffs"
 	"repro/internal/lfs"
 	"repro/internal/libtp"
-	"repro/internal/pagestore"
-	"repro/internal/recno"
 	"repro/internal/sim"
 )
 
@@ -59,59 +57,8 @@ func TestEmbeddedCrashStorm(t *testing.T) {
 // verifyState checks the TPC-B invariants against the shadow history.
 func verifyState(t *testing.T, rig *Rig, committed []Txn) {
 	t.Helper()
-	var want int64
-	perAccount := map[int64]int64{}
-	perTeller := map[int64]int64{}
-	perBranch := map[int64]int64{}
-	for _, tx := range committed {
-		want += tx.Amount
-		perAccount[tx.Account] += tx.Amount
-		perTeller[tx.Teller] += tx.Amount
-		perBranch[tx.Branch] += tx.Amount
-	}
-	sumAndCheck := func(path string, per map[int64]int64) {
-		f, err := rig.FS.Open(path)
-		if err != nil {
-			t.Fatalf("%s: %v", path, err)
-		}
-		defer f.Close()
-		tr, err := btree.Open(pagestore.NewFileStore(f, rig.FS.BlockSize()))
-		if err != nil {
-			t.Fatalf("%s: %v", path, err)
-		}
-		c, err := tr.First()
-		if err != nil {
-			t.Fatal(err)
-		}
-		var sum int64
-		var id int64
-		for c.Next() {
-			b := Balance(c.Value())
-			sum += b
-			if b != per[id] {
-				t.Fatalf("%s id %d balance %d, want %d", path, id, b, per[id])
-			}
-			id++
-		}
-		if sum != want {
-			t.Fatalf("%s sum = %d, want %d", path, sum, want)
-		}
-	}
-	sumAndCheck(AccountPath, perAccount)
-	sumAndCheck(TellerPath, perTeller)
-	sumAndCheck(BranchPath, perBranch)
-
-	hf, err := rig.FS.Open(HistoryPath)
-	if err != nil {
+	if err := VerifyState(rig.FS, committed, nil); err != nil {
 		t.Fatal(err)
-	}
-	defer hf.Close()
-	h, err := recno.Open(pagestore.NewFileStore(hf, rig.FS.BlockSize()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if h.Count() != int64(len(committed)) {
-		t.Fatalf("history count = %d, want %d", h.Count(), len(committed))
 	}
 }
 
@@ -142,6 +89,54 @@ func TestUserCrashStorm(t *testing.T) {
 		fs2, err := lfs.Mount(rig.Dev, rig.Clock, lfs.Options{CacheBlocks: 256})
 		if err != nil {
 			t.Fatalf("round %d remount: %v", round, err)
+		}
+		env2, _, err := libtp.RecoverPaths(fs2, rig.Clock, libtp.Options{}, DBPaths())
+		if err != nil {
+			t.Fatalf("round %d recover: %v", round, err)
+		}
+		sys = NewUserSystem(env2, rig.Clock, sim.SpriteCosts())
+		if err := sys.Attach(); err != nil {
+			t.Fatalf("round %d attach: %v", round, err)
+		}
+		rig.FS = fs2
+		rig.Env = env2
+
+		verifyState(t, rig, committed)
+	}
+}
+
+// TestFFSUserCrashStorm completes the crash-storm coverage for the third
+// configuration: LIBTP on the read-optimized file system. Recovery here has
+// one extra leg the LFS systems don't need — ffs.Fsck must rebuild the
+// stale allocation bitmap from the inode table BEFORE the WAL replay, or
+// replay-driven allocations could clobber durable data.
+func TestFFSUserCrashStorm(t *testing.T) {
+	cfg := Config{Accounts: 1500, Tellers: 15, Branches: 3, Seed: 33}
+	rig, err := BuildRig(RigOptions{Kind: "user-ffs", Config: cfg, ExpectedTxns: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := rig.Sys.(*UserSystem)
+	gen := NewGenerator(cfg)
+	rng := sim.NewRNG(9)
+
+	var committed []Txn
+	for round := 0; round < 5; round++ {
+		burst := 20 + rng.Intn(30)
+		for i := 0; i < burst; i++ {
+			tx := gen.Next()
+			if err := sys.Run(tx); err != nil {
+				t.Fatalf("round %d txn %d: %v", round, i, err)
+			}
+			committed = append(committed, tx)
+		}
+		// CRASH: remount, fsck the bitmap, then WAL recovery.
+		fs2, err := ffs.Mount(rig.Dev, rig.Clock, ffs.Options{CacheBlocks: 256})
+		if err != nil {
+			t.Fatalf("round %d remount: %v", round, err)
+		}
+		if _, err := fs2.Fsck(); err != nil {
+			t.Fatalf("round %d fsck: %v", round, err)
 		}
 		env2, _, err := libtp.RecoverPaths(fs2, rig.Clock, libtp.Options{}, DBPaths())
 		if err != nil {

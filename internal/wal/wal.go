@@ -123,6 +123,20 @@ func Open(fsys vfs.FileSystem, path string) (*Manager, error) {
 		last := recs[n-1]
 		end = int64(last.LSN) + int64(recSize(&last))
 	}
+	// Discard the torn tail on disk, not just logically: a crash mid-force
+	// can leave a half-written record (bad CRC) past the last intact one.
+	// Those bytes were never acknowledged durable; truncating them keeps a
+	// later partial overwrite from ever resurrecting stale record fragments.
+	if size, err := f.Size(); err != nil {
+		return nil, err
+	} else if size > end {
+		if err := f.Truncate(end); err != nil {
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			return nil, err
+		}
+	}
 	m.tail, m.end = end, end
 	return m, nil
 }
