@@ -1,6 +1,7 @@
 // Command tpcb runs the modified TPC-B benchmark (§5.1 of the paper) on one
 // of the three measured configurations and prints the transaction rate plus
-// the underlying file system, cleaner, lock, and log statistics.
+// the underlying file system, cleaner, lock, and log statistics, and a
+// per-proc breakdown of where simulated time went.
 //
 // Usage:
 //
@@ -10,6 +11,13 @@
 //	tpcb -system user-lfs -mpl 8 -groupcommit 8
 //	tpcb -system kernel-lfs -policy greedy
 //	tpcb -system kernel-lfs -cleaner idle -cleanbatch 8
+//	tpcb -system kernel-lfs -mpl 8 -trace trace.json -metrics metrics.json
+//
+// -trace writes a Chrome trace-event file (load it at ui.perfetto.dev);
+// -metrics writes the full snapshot (result, stats sections, attribution,
+// metrics registry) as JSON. Both are byte-identical across runs with the
+// same flags: the simulation is deterministic and the tracer never perturbs
+// simulated time.
 package main
 
 import (
@@ -33,6 +41,8 @@ func main() {
 	cleanBatch := flag.Int("cleanbatch", 0, "victims per batched cleaning pass (0 = LFS default)")
 	idleTrigger := flag.Int("idletrigger", 0, "free segments at which idle cleaning starts (0 = LFS default)")
 	fastSync := flag.Bool("fastsync", false, "model fast user-level synchronization (no test-and-set penalty)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open at ui.perfetto.dev)")
+	metricsOut := flag.String("metrics", "", "write the metrics snapshot (result, stats, attribution, registry) as JSON")
 	flag.Parse()
 
 	if *cleaner != "sync" && *cleaner != "idle" {
@@ -61,6 +71,7 @@ func main() {
 		CleanerMode:      *cleaner,
 		CleanBatch:       *cleanBatch,
 		IdleCleanTrigger: *idleTrigger,
+		Trace:            true,
 	})
 	if err != nil {
 		fatal(err)
@@ -74,46 +85,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println(res)
 
-	st := rig.Dev.Stats()
-	fmt.Printf("\ndisk: %d read ops (%d blocks), %d write ops (%d blocks), busy %v, queued %v\n",
-		st.Reads, st.BlocksRead, st.Writes, st.BlocksWrit, st.BusyTime, st.QueueTime)
-	if rig.LFS != nil {
-		fst := rig.LFS.Stats()
-		fmt.Printf("lfs: %d partial segments, %d blocks logged, %d checkpoints\n",
-			fst.PartialSegments, fst.BlocksLogged, fst.Checkpoints)
-		cl := fst.Cleaner
-		fmt.Printf("cleaner: %d segments cleaned in %d passes, %d blocks copied, %d dead, busy %v (%.1f%% of elapsed)\n",
-			cl.SegmentsCleaned, cl.Runs, cl.BlocksCopied, cl.BlocksDead,
-			cl.BusyTime, float64(cl.BusyTime)/float64(res.Elapsed)*100)
-		if cl.OverlapTime > 0 || cl.StallTime > 0 {
-			fmt.Printf("cleaner: %v overlapped with idle windows, %v stalled the workload (%.1f%% of elapsed)\n",
-				cl.OverlapTime, cl.StallTime, float64(cl.StallTime)/float64(res.Elapsed)*100)
-		}
-		if cl.HotBlocks > 0 || cl.ColdBlocks > 0 {
-			fmt.Printf("cleaner: %d hot / %d cold blocks relocated, write amplification %.2f×\n",
-				cl.HotBlocks, cl.ColdBlocks, fst.WriteAmplification())
-		}
-	}
-	if rig.Env != nil {
-		ws := rig.Env.LogStats()
-		printLockStats(rig)
-		fmt.Printf("wal: %d records, %d bytes, %d forces, %d group-absorbed commits\n",
-			ws.Records, ws.BytesLogged, ws.Forces, ws.GroupCommits)
-	}
-	if rig.Core != nil {
-		cs := rig.Core.Stats()
-		fmt.Printf("embedded: %d committed, %d aborted, %d commit flushes, %d pages (%d bytes) forced\n",
-			cs.Committed, cs.Aborted, cs.CommitFlush, cs.PagesFlushed, cs.BytesFlushed)
-		printLockStats(rig)
-	}
-}
+	snap := tpcb.CollectSnapshot(rig, res, rig.Tracer)
+	fmt.Print(snap.Render())
 
-func printLockStats(rig *tpcb.Rig) {
-	ls := rig.LockStats()
-	fmt.Printf("locks: %d acquired, %d waits (%v blocked), %d deadlocks (%d aborts)\n",
-		ls.Acquired, ls.Waited, ls.BlockedTime, ls.Deadlocks, ls.DeadlockAborts)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rig.Tracer.WriteChrome(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntrace: %d events → %s\n", rig.Tracer.EventCount(), *traceOut)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics: %s\n", *metricsOut)
+	}
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@
 //	txnbench -fig mpl                 # TPS vs multiprogramming level (not in "all")
 //	txnbench -fig cleaner -json       # machine-readable output
 //	txnbench -fig 4 -cleaner idle -cleanbatch 8
+//	txnbench -fig bench -metrics BENCH_tpcb.json -trace trace.json
 //
 // All elapsed times are simulated: the workloads run on a simulated RZ55
 // disk with a DECstation-like CPU cost model (see internal/sim).
@@ -33,6 +34,8 @@ func main() {
 	cleaner := flag.String("cleaner", "", "override the LFS cleaning discipline for all rigs: sync or idle (default: each system's natural mode)")
 	cleanBatch := flag.Int("cleanbatch", 0, "victims per batched cleaning pass (0 = LFS default)")
 	jsonOut := flag.Bool("json", false, "emit each report as a JSON object instead of a table")
+	traceOut := flag.String("trace", "", "with -fig bench: write the kernel-lfs run's Chrome trace-event JSON (open at ui.perfetto.dev)")
+	metricsOut := flag.String("metrics", "", "with -fig bench: write the full snapshot sweep as one JSON document")
 	flag.Parse()
 
 	if *cleaner != "" && *cleaner != "sync" && *cleaner != "idle" {
@@ -68,6 +71,33 @@ func main() {
 		// The MPL sweep runs 30 full benchmarks, so it is not part of "all".
 		"mpl": {"mpl", func() (fmt.Stringer, error) {
 			return figures.FigureMPL(opts)
+		}},
+		// The traced sweep re-runs the three systems with the tracing and
+		// metrics subsystem on; not part of "all" either.
+		"bench": {"bench", func() (fmt.Stringer, error) {
+			rep, err := figures.Bench(opts)
+			if err != nil {
+				return nil, err
+			}
+			if *metricsOut != "" {
+				if err := writeJSON(*metricsOut, rep); err != nil {
+					return nil, err
+				}
+			}
+			if *traceOut != "" && rep.Tracer != nil {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					return nil, err
+				}
+				if err := rep.Tracer.WriteChrome(f); err != nil {
+					f.Close()
+					return nil, err
+				}
+				if err := f.Close(); err != nil {
+					return nil, err
+				}
+			}
+			return rep, nil
 		}},
 	}
 
@@ -105,4 +135,18 @@ func main() {
 		}
 		fmt.Print(rep.String())
 	}
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

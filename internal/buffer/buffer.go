@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 // FileID identifies a file within a file system.
@@ -89,6 +91,25 @@ type Pool struct {
 	table     map[BlockID]*Buf
 	lru       *list.List // front = most recently used
 	stats     Stats
+
+	tracer *trace.Tracer // nil = tracing off
+	// Counter names are precomputed at SetTracer time so the hot paths do no
+	// string concatenation.
+	ctrHit, ctrMiss, ctrEvict, ctrWriteBack string
+}
+
+// SetTracer attaches a tracer under the given metric prefix (e.g.
+// "buffer.user" or "buffer.lfs" — one pool per cache keeps the counters
+// separable). Hits, misses, evictions, and write-backs then count into
+// <prefix>.{hit,miss,evict,writeback}. A nil tracer costs nothing.
+func (p *Pool) SetTracer(tr *trace.Tracer, prefix string) {
+	p.mu.Lock()
+	p.tracer = tr
+	p.ctrHit = prefix + ".hit"
+	p.ctrMiss = prefix + ".miss"
+	p.ctrEvict = prefix + ".evict"
+	p.ctrWriteBack = prefix + ".writeback"
+	p.mu.Unlock()
 }
 
 // New creates a pool of capacity blocks of blockSize bytes. writeback is
@@ -142,6 +163,7 @@ func (p *Pool) Get(id BlockID, fetch Fetch) (*Buf, error) {
 		}
 		if !b.loading {
 			p.stats.Hits++
+			p.tracer.Count(p.ctrHit, 1)
 			b.pins++
 			p.lru.MoveToFront(b.elem)
 			p.mu.Unlock()
@@ -154,6 +176,7 @@ func (p *Pool) Get(id BlockID, fetch Fetch) (*Buf, error) {
 		p.cond.Wait()
 	}
 	p.stats.Misses++
+	p.tracer.Count(p.ctrMiss, 1)
 	if err := p.makeRoomLocked(); err != nil {
 		p.mu.Unlock()
 		return nil, err
@@ -199,9 +222,11 @@ func (p *Pool) makeRoomLocked() error {
 				return err
 			}
 			p.stats.WriteBacks++
+			p.tracer.Count(p.ctrWriteBack, 1)
 			b.dirty = false
 		}
 		p.stats.Evictions++
+		p.tracer.Count(p.ctrEvict, 1)
 		p.removeLocked(b)
 		return nil
 	}
@@ -306,6 +331,7 @@ func (p *Pool) FlushAll() error {
 			return err
 		}
 		p.stats.WriteBacks++
+		p.tracer.Count(p.ctrWriteBack, 1)
 		b.dirty = false
 	}
 	return nil

@@ -30,6 +30,7 @@ import (
 	"repro/internal/lfs"
 	"repro/internal/lock"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 )
 
@@ -58,6 +59,11 @@ type Options struct {
 	// Granularity selects page or sub-page locking (default Page, the
 	// paper's measured configuration; see Granularity).
 	Granularity Granularity
+	// Tracer, when non-nil, is wired through the lock table and emits
+	// transaction and commit-flush events. The file system's own tracer
+	// (disk, cleaner, checkpoint events) is attached separately via
+	// lfs.FS.SetTracer. A nil tracer costs nothing.
+	Tracer *trace.Tracer
 }
 
 // Stats counts transaction-manager activity.
@@ -74,12 +80,13 @@ type Stats struct {
 // Manager is the embedded transaction manager: the paper's additions to the
 // file system state (lock table pointer) and the transaction subsystem.
 type Manager struct {
-	mu    sync.Mutex
-	fs    *lfs.FS
-	clock *sim.Clock
-	costs sim.CostModel
-	locks *lock.Manager
-	opts  Options
+	mu     sync.Mutex
+	fs     *lfs.FS
+	clock  *sim.Clock
+	costs  sim.CostModel
+	locks  *lock.Manager
+	opts   Options
+	tracer *trace.Tracer // from Options.Tracer; nil = tracing off
 
 	nextTxn uint64
 	// heldBy refcounts buffer holds across active and pending-commit
@@ -110,9 +117,11 @@ func New(fsys *lfs.FS, clock *sim.Clock, opts Options) *Manager {
 		costs:  opts.Costs,
 		locks:  lock.NewManager(),
 		opts:   opts,
+		tracer: opts.Tracer,
 		heldBy: make(map[buffer.BlockID]int),
 	}
 	m.locks.SetClock(clock)
+	m.locks.SetTracer(opts.Tracer)
 	clock.OnStall(m.groupCommitStall)
 	return m
 }
@@ -163,6 +172,7 @@ type Txn struct {
 	pages  map[buffer.BlockID]bool
 	files  map[vfs.FileID]bool
 	status txnStatus
+	start  time.Duration // simulated begin time, for the whole-txn trace span
 	// undo holds byte-range before-images, used only under SubPage
 	// locking (a shared page cannot simply be invalidated on abort).
 	undo []undoRange
@@ -189,6 +199,7 @@ func (p *Process) TxnBegin() error {
 	m := p.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	start := m.clock.Now()
 	m.clock.Advance(m.costs.Syscall + m.costs.TxnOp)
 	m.nextTxn++
 	p.txn = &Txn{
@@ -196,8 +207,10 @@ func (p *Process) TxnBegin() error {
 		proc:  p,
 		pages: make(map[buffer.BlockID]bool),
 		files: make(map[vfs.FileID]bool),
+		start: start,
 	}
 	m.stats.Begun++
+	m.tracer.Instant("txn", "txn.begin", trace.A("txn", p.txn.id))
 	return nil
 }
 
@@ -230,6 +243,13 @@ func (p *Process) TxnCommit() error {
 		}
 	}
 	p.txn = nil
+	if m.tracer.Enabled() {
+		// The span closes when txn_commit returns to the process; a pending
+		// transaction's durability arrives later with the batch flush.
+		m.tracer.Complete("txn", "txn", t.start, trace.A("txn", t.id), trace.A("outcome", "commit"))
+		m.tracer.Observe("txn.latency", m.clock.Now()-t.start)
+		m.tracer.Count("txn.commits", 1)
+	}
 	return nil
 }
 
@@ -262,6 +282,7 @@ func (m *Manager) flushPendingLocked() error {
 	if len(m.pending) == 0 {
 		return nil
 	}
+	span := m.tracer.Begin("txn", "core.commitFlush")
 	pool := m.fs.Pool()
 	fileSet := make(map[vfs.FileID]bool)
 	pages := 0
@@ -294,6 +315,10 @@ func (m *Manager) flushPendingLocked() error {
 	m.stats.CommitFlush++
 	m.stats.PagesFlushed += int64(pages)
 	m.stats.BytesFlushed += int64(pages) * int64(m.fs.BlockSize())
+	if m.tracer.Enabled() {
+		span.End(trace.A("txns", len(m.pending)), trace.A("pages", pages))
+		m.tracer.Count("core.commitFlushes", 1)
+	}
 	m.pending = m.pending[:0]
 	return nil
 }
@@ -351,6 +376,10 @@ func (p *Process) TxnAbort() error {
 	t.status = txnDone
 	p.txn = nil
 	m.stats.Aborted++
+	if m.tracer.Enabled() {
+		m.tracer.Complete("txn", "txn", t.start, trace.A("txn", t.id), trace.A("outcome", "abort"))
+		m.tracer.Count("txn.aborts", 1)
+	}
 	return nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Common errors returned by the device.
@@ -80,6 +81,7 @@ type Device struct {
 	arm    int64 // block address one past the last access, -1 if unknown
 	fault  FaultFn
 	stats  Stats
+	tracer *trace.Tracer // nil = tracing off (every call is a cheap no-op)
 
 	lane       Lane
 	idleCredit time.Duration // foreground idle time not yet spent on background work
@@ -201,6 +203,15 @@ func New(model sim.DiskModel, clock *sim.Clock) *Device {
 	}
 }
 
+// SetTracer attaches a tracer; each access then emits a disk.read/disk.write
+// complete event with its seek/rotation/transfer/queue breakdown and charges
+// per-proc time attribution. A nil tracer (the default) costs nothing.
+func (d *Device) SetTracer(tr *trace.Tracer) {
+	d.mu.Lock()
+	d.tracer = tr
+	d.mu.Unlock()
+}
+
 // Model returns the device's service-time model.
 func (d *Device) Model() sim.DiskModel { return d.model }
 
@@ -245,15 +256,18 @@ func (d *Device) checkRange(block int64, n int) error {
 // exactly. Background accesses bypass the queue — they model work scheduled
 // into idle windows, and their overlap accounting below already bounds how
 // much of them the foreground can absorb.
-func (d *Device) charge(block int64, n int) {
+func (d *Device) charge(op string, block int64, n int) {
+	start := d.clock.Now()
+	var qwait time.Duration
 	if d.lane == Foreground {
 		if now := d.clock.Now(); d.busyUntil > now {
-			wait := d.busyUntil - now
-			d.clock.Advance(wait)
-			d.stats.QueueTime += wait
+			qwait = d.busyUntil - now
+			d.clock.Advance(qwait)
+			d.stats.QueueTime += qwait
 		}
 	}
-	t := d.model.AccessTime(d.arm, block, n)
+	seek, rot, xfer := d.model.AccessTimeParts(d.arm, block, n)
+	t := seek + rot + xfer
 	if d.arm != block {
 		d.stats.Seeks++
 	}
@@ -269,12 +283,30 @@ func (d *Device) charge(block int64, n int) {
 		d.stats.BgOverlapTime += overlap
 		d.stats.BgStallTime += t - overlap
 		d.clock.Advance(t - overlap)
+		// Only the unabsorbed residue delayed anyone; it is cleaner time by
+		// construction (the background lane exists for the cleaner).
+		d.tracer.Attribute(trace.AttrCleaner, t-overlap)
 	} else {
 		d.clock.Advance(t)
+		d.tracer.AttributeIO(t, qwait)
 	}
 	d.lastEnd = d.clock.Now()
 	if d.lane == Foreground {
 		d.busyUntil = d.lastEnd
+	}
+	if d.tracer.Enabled() {
+		lane := "fg"
+		if d.lane == Background {
+			lane = "bg"
+		}
+		d.tracer.Complete("disk", "disk."+op, start,
+			trace.A("block", block), trace.A("blocks", n),
+			trace.A("seek_ns", seek.Nanoseconds()), trace.A("rot_ns", rot.Nanoseconds()),
+			trace.A("xfer_ns", xfer.Nanoseconds()), trace.A("queue_ns", qwait.Nanoseconds()),
+			trace.A("lane", lane))
+		d.tracer.Observe("disk."+op, d.clock.Now()-start)
+		d.tracer.Count("disk."+op+"s", 1)
+		d.tracer.Count("disk."+op+".blocks", int64(n))
 	}
 }
 
@@ -327,7 +359,7 @@ func (d *Device) Read(block int64, buf []byte) error {
 	if err := d.checkFault("read", block); err != nil {
 		return err
 	}
-	d.charge(block, 1)
+	d.charge("read", block, 1)
 	d.stats.Reads++
 	d.stats.BlocksRead++
 	if src := d.blocks[block]; src != nil {
@@ -359,7 +391,7 @@ func (d *Device) Write(block int64, buf []byte) error {
 	if !d.noteWrite(block, [][]byte{buf}) {
 		return ErrCrashed
 	}
-	d.charge(block, 1)
+	d.charge("write", block, 1)
 	d.stats.Writes++
 	d.stats.BlocksWrit++
 	d.store(block, buf)
@@ -402,7 +434,7 @@ func (d *Device) WriteRun(start int64, bufs [][]byte) error {
 	if !d.noteWrite(start, bufs) {
 		return ErrCrashed
 	}
-	d.charge(start, len(bufs))
+	d.charge("write", start, len(bufs))
 	d.stats.Writes++
 	d.stats.BlocksWrit += int64(len(bufs))
 	for i, b := range bufs {
@@ -433,7 +465,7 @@ func (d *Device) ReadRun(start int64, bufs [][]byte) error {
 	if err := d.checkFaultRun("read", start, len(bufs)); err != nil {
 		return err
 	}
-	d.charge(start, len(bufs))
+	d.charge("read", start, len(bufs))
 	d.stats.Reads++
 	d.stats.BlocksRead += int64(len(bufs))
 	for i, b := range bufs {

@@ -1,0 +1,72 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tpcb"
+	"repro/internal/trace"
+)
+
+// BenchReport is the traced benchmark sweep: every measured configuration's
+// full snapshot (result, subsystem stats, per-proc time attribution, metrics
+// registry), plus the tracer of the last kernel-lfs run for callers that
+// want to export its Chrome trace.
+type BenchReport struct {
+	Opts Options
+	Rows []*trace.Snapshot
+	// Tracer is the tracer of the final (kernel-lfs, high-MPL) run, kept
+	// so cmd/txnbench can write its Chrome trace-event file. Excluded from
+	// JSON: the snapshot rows already carry the metrics.
+	Tracer *trace.Tracer `json:"-"`
+}
+
+// Bench runs the three systems at MPL 1 (per-commit force) and at the
+// group-commit MPL (default 8) with tracing on, collecting a snapshot per
+// run. It is the machine-readable companion to Figure 4/Figure 5: one JSON
+// document with every counter and the per-proc time breakdown, byte-stable
+// across same-seed runs.
+func Bench(opts Options) (*BenchReport, error) {
+	opts.fill()
+	cfg := tpcb.ScaledConfig(opts.Scale)
+	rep := &BenchReport{Opts: opts}
+	type leg struct {
+		mpl, gc int
+	}
+	legs := []leg{{1, 1}, {max(opts.GroupCommit, 2), opts.GroupCommit}}
+	for _, l := range legs {
+		for _, kind := range []string{"user-ffs", "user-lfs", "kernel-lfs"} {
+			ropts := tpcb.RigOptions{
+				Kind: kind, Config: cfg, Costs: opts.Costs, ExpectedTxns: opts.Txns,
+				GroupCommit: l.gc, CleanBatch: opts.CleanBatch, Trace: true,
+			}
+			if kind != "user-ffs" {
+				ropts.CleanerMode = opts.CleanerMode
+				if ropts.CleanerMode == "" && kind == "kernel-lfs" {
+					ropts.CleanerMode = "idle"
+				}
+			}
+			rig, err := tpcb.BuildRig(ropts)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s mpl=%d: %w", kind, l.mpl, err)
+			}
+			res, err := rig.RunMPL(cfg, opts.Txns, l.mpl)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s mpl=%d: %w", kind, l.mpl, err)
+			}
+			rep.Rows = append(rep.Rows, tpcb.CollectSnapshot(rig, res, rig.Tracer))
+			rep.Tracer = rig.Tracer
+		}
+	}
+	return rep, nil
+}
+
+func (r *BenchReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Traced benchmark sweep (scale %.2f, %d txns per run)\n", r.Opts.Scale, r.Opts.Txns)
+	for _, snap := range r.Rows {
+		b.WriteByte('\n')
+		b.WriteString(snap.Render())
+	}
+	return b.String()
+}

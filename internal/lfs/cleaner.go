@@ -8,6 +8,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/detsort"
 	"repro/internal/disk"
+	"repro/internal/trace"
 )
 
 // CleanerPolicy selects how the cleaner picks victim segments.
@@ -72,6 +73,10 @@ func (fs *FS) CleanOnce() (bool, error) {
 	}
 	fs.cleaning = true
 	defer func() { fs.cleaning = false }()
+	// A synchronous pass runs on the caller's critical path: its disk time
+	// is cleaner stall from the workload's point of view, not workload I/O.
+	fs.tracer.PushAttr(trace.AttrCleaner)
+	defer fs.tracer.PopAttr()
 	busy0 := fs.dev.Stats().BusyTime
 	defer func() { fs.stats.Cleaner.BusyTime += fs.dev.Stats().BusyTime - busy0 }()
 	maxLive := fs.sb.SegmentBlocks - minCleanGain
@@ -107,6 +112,11 @@ func (fs *FS) CleanIdle() (bool, error) {
 	}
 	fs.cleaning = true
 	defer func() { fs.cleaning = false }()
+	// Background-lane accesses already attribute their unabsorbed residue to
+	// the cleaner in disk.charge; the override here covers any foreground
+	// I/O the pass does outside the lane switch (none today, cheap insurance).
+	fs.tracer.PushAttr(trace.AttrCleaner)
+	defer fs.tracer.PopAttr()
 	prev := fs.dev.SetLane(disk.Background)
 	defer fs.dev.SetLane(prev)
 	d0 := fs.dev.Stats()
@@ -176,6 +186,8 @@ func (fs *FS) CleanIdle() (bool, error) {
 func (fs *FS) cleanLocked() error {
 	fs.cleaning = true
 	defer func() { fs.cleaning = false }()
+	fs.tracer.PushAttr(trace.AttrCleaner)
+	defer fs.tracer.PopAttr()
 	busy0 := fs.dev.Stats().BusyTime
 	defer func() { fs.stats.Cleaner.BusyTime += fs.dev.Stats().BusyTime - busy0 }()
 	fs.stats.Cleaner.Runs++
@@ -366,6 +378,8 @@ func (fs *FS) victimSummariesLocked(seg int64) ([]summary, error) {
 //     into separate output segments, stamping each with its group's age;
 //  4. verify every victim is fully dead and return it to the free pool.
 func (fs *FS) cleanBatchLocked(victims []int64) error {
+	span := fs.tracer.Begin("cleaner", "cleaner.pass")
+	copied0, dead0 := fs.stats.Cleaner.BlocksCopied, fs.stats.Cleaner.BlocksDead
 	fs.stats.Cleaner.Batches++
 	fs.stats.Cleaner.BatchVictims += int64(len(victims))
 	logged0 := fs.stats.BlocksLogged
@@ -587,6 +601,13 @@ func (fs *FS) cleanBatchLocked(victims []int64) error {
 		fs.stats.Cleaner.SegmentsCleaned++
 	}
 	fs.stats.Cleaner.BlocksWritten += fs.stats.BlocksLogged - logged0
+	if fs.tracer.Enabled() {
+		span.End(trace.A("victims", len(victims)),
+			trace.A("copied", fs.stats.Cleaner.BlocksCopied-copied0),
+			trace.A("dead", fs.stats.Cleaner.BlocksDead-dead0))
+		fs.tracer.Count("cleaner.passes", 1)
+		fs.tracer.Count("cleaner.victims", int64(len(victims)))
+	}
 	if fs.debugAudit {
 		if _, _, diff, err := fs.auditLocked(); err != nil || len(diff) > 0 {
 			panic(fmt.Sprintf("audit after cleaning segs %v: diff=%v err=%v", victims, diff, err))

@@ -7,6 +7,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/disk"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 )
 
@@ -118,6 +119,7 @@ type FS struct {
 	orphanPressure bool
 	debugAudit     bool
 	stats          Stats
+	tracer         *trace.Tracer // nil = tracing off
 	// sumCache holds, per in-log segment, the summaries of ALL its partial
 	// segments — present only when complete (built up from offset 0).
 	// It lets the cleaner identify a victim's live blocks without reading
@@ -203,6 +205,16 @@ func (fs *FS) Pool() *buffer.Pool { return fs.pool }
 
 // Device returns the underlying block device (for stats and inspection).
 func (fs *FS) Device() *disk.Device { return fs.dev }
+
+// SetTracer attaches a tracer; cleaning passes then emit cleaner.pass spans
+// (with the pass's disk time attributed as cleaner stall rather than
+// workload I/O) and checkpoints emit lfs.checkpoint spans. A nil tracer
+// costs nothing.
+func (fs *FS) SetTracer(tr *trace.Tracer) {
+	fs.mu.Lock()
+	fs.tracer = tr
+	fs.mu.Unlock()
+}
 
 // Stats returns a snapshot of the file system counters.
 func (fs *FS) Stats() Stats {

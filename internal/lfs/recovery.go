@@ -9,6 +9,7 @@ import (
 	"repro/internal/detsort"
 	"repro/internal/disk"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // checkpoint is the volatile state persisted to a checkpoint region: the
@@ -138,6 +139,8 @@ func (fs *FS) writeCheckpointLocked() error {
 		// flushLocked checkpoints after the batch completes.
 		return nil
 	}
+	span := fs.tracer.Begin("lfs", "lfs.checkpoint")
+	defer func() { span.End(trace.A("seq", fs.seq)) }()
 	var metaDirty []Ino
 	for _, ino := range detsort.Keys(fs.inodes) {
 		if fs.inodeMetaDirty(fs.inodes[ino]) {

@@ -19,12 +19,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/detsort"
 	"repro/internal/lock"
 	"repro/internal/pagestore"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 	"repro/internal/wal"
 )
@@ -47,6 +49,10 @@ type Options struct {
 	GroupCommit int
 	// LogPath is the write-ahead log file (default "/libtp.log").
 	LogPath string
+	// Tracer, when non-nil, is wired through the environment's buffer pool,
+	// lock manager, and log manager, and transaction begin/commit/abort emit
+	// events with commit-wait attribution.
+	Tracer *trace.Tracer
 }
 
 func (o *Options) fill() {
@@ -97,6 +103,7 @@ type Env struct {
 	active  map[uint64]bool
 	undo    map[uint64][]undoRec
 	stats   Stats
+	tracer  *trace.Tracer // from Options.Tracer; nil = tracing off
 
 	// Blocking group commit (multiprogramming only): commit records of
 	// concurrent transactions accumulate until the batch fills — or no other
@@ -126,8 +133,11 @@ func NewEnv(fsys vfs.FileSystem, clock *sim.Clock, opts Options) (*Env, error) {
 		files:  make(map[uint64]vfs.File),
 		active: make(map[uint64]bool),
 		undo:   make(map[uint64][]undoRec),
+		tracer: opts.Tracer,
 	}
 	env.pool = buffer.New(opts.CacheBlocks, fsys.BlockSize(), env.writeback)
+	env.pool.SetTracer(opts.Tracer, "buffer.user")
+	env.locks.SetTracer(opts.Tracer)
 
 	if _, err := fsys.Stat(opts.LogPath); errors.Is(err, vfs.ErrNotExist) {
 		lg, err := wal.Create(fsys, opts.LogPath)
@@ -152,6 +162,7 @@ func NewEnv(fsys vfs.FileSystem, clock *sim.Clock, opts Options) (*Env, error) {
 		env.log = lg
 	}
 	env.log.SetGroupCommit(opts.GroupCommit)
+	env.log.SetTracer(opts.Tracer)
 	env.locks.SetClock(clock)
 	clock.OnStall(env.groupCommitStall)
 	return env, nil
@@ -241,15 +252,18 @@ func (e *Env) Begin() *Txn {
 	id := e.nextTxn
 	e.active[id] = true
 	e.stats.Begun++
+	start := e.clock.Now()
 	e.clock.Advance(e.costs.TxnOp + e.costs.Syscall) // subroutine + the syscalls it makes
-	return &Txn{env: e, id: id}
+	e.tracer.Instant("txn", "txn.begin", trace.A("txn", id))
+	return &Txn{env: e, id: id, start: start}
 }
 
 // Txn is an active transaction.
 type Txn struct {
-	env  *Env
-	id   uint64
-	done bool
+	env   *Env
+	id    uint64
+	start time.Duration // simulated Begin time, for the whole-txn trace span
+	done  bool
 }
 
 // ID returns the transaction identifier.
@@ -299,6 +313,11 @@ func (t *Txn) Commit() error {
 	delete(e.active, t.id)
 	delete(e.undo, t.id)
 	e.stats.Committed++
+	if e.tracer.Enabled() {
+		e.tracer.Complete("txn", "txn", t.start, trace.A("txn", t.id), trace.A("outcome", "commit"))
+		e.tracer.Observe("txn.latency", e.clock.Now()-t.start)
+		e.tracer.Count("txn.commits", 1)
+	}
 	return nil
 }
 
@@ -316,14 +335,28 @@ func (e *Env) awaitGroupForceLocked() error {
 	}
 	e.log.NoteAbsorbed()
 	epoch := e.gcEpoch
+	var waited time.Duration
 	for e.gcEpoch == epoch {
 		if e.gcForceDue {
 			e.gcForceDue = false
+			e.noteCommitWait(waited)
 			return e.forceGroupLocked()
 		}
-		e.gcWaiters.Wait(e.clock, &e.mu)
+		waited += e.gcWaiters.Wait(e.clock, &e.mu)
 	}
+	e.noteCommitWait(waited)
 	return e.gcErr
+}
+
+// noteCommitWait attributes time a pre-committed transaction spent parked
+// waiting for the shared group-commit force. Caller holds e.mu.
+func (e *Env) noteCommitWait(d time.Duration) {
+	if d <= 0 || !e.tracer.Enabled() {
+		return
+	}
+	e.tracer.Complete("txn", "txn.commitWait", e.clock.Now()-d)
+	e.tracer.Attribute(trace.AttrCommitWait, d)
+	e.tracer.Observe("txn.commitWait", d)
 }
 
 // forceGroupLocked forces the log on behalf of every pending commit and
@@ -391,6 +424,10 @@ func (t *Txn) Abort() error {
 	delete(e.active, t.id)
 	delete(e.undo, t.id)
 	e.stats.Aborted++
+	if e.tracer.Enabled() {
+		e.tracer.Complete("txn", "txn", t.start, trace.A("txn", t.id), trace.A("outcome", "abort"))
+		e.tracer.Count("txn.aborts", 1)
+	}
 	return nil
 }
 
@@ -484,8 +521,11 @@ func RecoverPaths(fsys vfs.FileSystem, clock *sim.Clock, opts Options, dbPaths [
 		files:  make(map[uint64]vfs.File),
 		active: make(map[uint64]bool),
 		undo:   make(map[uint64][]undoRec),
+		tracer: opts.Tracer,
 	}
 	env.pool = buffer.New(opts.CacheBlocks, fsys.BlockSize(), env.writeback)
+	env.pool.SetTracer(opts.Tracer, "buffer.user")
+	env.locks.SetTracer(opts.Tracer)
 	for _, p := range dbPaths {
 		f, err := fsys.Open(p)
 		if errors.Is(err, vfs.ErrNotExist) {
@@ -501,6 +541,7 @@ func RecoverPaths(fsys vfs.FileSystem, clock *sim.Clock, opts Options, dbPaths [
 		return nil, nil, err
 	}
 	env.log = lg
+	env.log.SetTracer(opts.Tracer)
 	w, l, err := env.recoverLocked()
 	if err != nil {
 		return nil, nil, err

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/detsort"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Mode is a lock mode.
@@ -101,8 +102,9 @@ type Manager struct {
 
 	// clk, when set, lets waiters inside virtual processes suspend in
 	// simulated time on simQ instead of parking their goroutine on cond.
-	clk  *sim.Clock
-	simQ sim.WaitQueue
+	clk    *sim.Clock
+	simQ   sim.WaitQueue
+	tracer *trace.Tracer // nil = tracing off
 
 	// waitHook, when non-nil, is invoked (with mu held) each time a request
 	// is about to park. Tests use it to synchronize on "the waiter is
@@ -128,6 +130,15 @@ func NewManager() *Manager {
 func (m *Manager) SetClock(clk *sim.Clock) {
 	m.mu.Lock()
 	m.clk = clk
+	m.mu.Unlock()
+}
+
+// SetTracer attaches a tracer; lock waits then emit lock.wait spans with
+// per-proc lock-blocked time attribution, and deadlock denials emit
+// lock.deadlock instants. A nil tracer costs nothing.
+func (m *Manager) SetTracer(tr *trace.Tracer) {
+	m.mu.Lock()
+	m.tracer = tr
 	m.mu.Unlock()
 }
 
@@ -216,6 +227,7 @@ func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 	}
 
 	waited := false
+	var blocked time.Duration
 	for {
 		blockers := h.conflicts(txn, mode)
 		if len(blockers) == 0 {
@@ -230,6 +242,9 @@ func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 		if m.cycleLocked(txn) {
 			delete(m.waitsFor, txn)
 			m.stats.Deadlocks++
+			m.tracer.Instant("lock", "lock.deadlock",
+				trace.A("txn", uint64(txn)), trace.A("file", obj.File),
+				trace.A("block", obj.Block), trace.A("mode", mode.String()))
 			return fmt.Errorf("%w: txn %d on %v (%s)", ErrDeadlock, txn, obj, mode)
 		}
 		if !waited {
@@ -241,11 +256,21 @@ func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 			m.waitHook()
 		}
 		if m.clk != nil && m.clk.InProc() {
-			m.stats.BlockedTime += m.simQ.Wait(m.clk, &m.mu)
+			d := m.simQ.Wait(m.clk, &m.mu)
+			m.stats.BlockedTime += d
+			blocked += d
 		} else {
 			m.cond.Wait()
 		}
 		h.waiters--
+	}
+	if blocked > 0 && m.tracer.Enabled() {
+		now := m.clk.Now()
+		m.tracer.Complete("lock", "lock.wait", now-blocked,
+			trace.A("txn", uint64(txn)), trace.A("file", obj.File),
+			trace.A("block", obj.Block), trace.A("mode", mode.String()))
+		m.tracer.Attribute(trace.AttrLock, blocked)
+		m.tracer.Observe("lock.wait", blocked)
 	}
 	delete(m.waitsFor, txn)
 	h.holders[txn] = mode

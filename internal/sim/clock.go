@@ -149,6 +149,29 @@ func (c *Clock) currentProc() *Proc {
 // InProc reports whether the caller is executing inside a virtual process.
 func (c *Clock) InProc() bool { return c.currentProc() != nil }
 
+// CurrentProcID returns the running proc's id, or -1 outside proc context.
+// Observability layers use it to attribute events to virtual processes
+// without holding a reference to the scheduler.
+func (c *Clock) CurrentProcID() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil {
+		return -1
+	}
+	return c.cur.id
+}
+
+// CurrentProcName returns the running proc's spawn name, or "" outside proc
+// context.
+func (c *Clock) CurrentProcName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil {
+		return ""
+	}
+	return c.cur.name
+}
+
 // Yield is a cooperative scheduling point: if another runnable proc is
 // earlier in virtual time, the current proc parks and the scheduler resumes
 // the earlier one. Outside proc context, or when the current proc is still

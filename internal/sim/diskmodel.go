@@ -97,7 +97,14 @@ func (m DiskModel) TransferTime(n int) time.Duration {
 // neither seek nor rotational delay — this is what makes the log-structured
 // file system's segment writes cheap.
 func (m DiskModel) AccessTime(prev, block int64, nblocks int) time.Duration {
-	var t time.Duration
+	seek, rot, xfer := m.AccessTimeParts(prev, block, nblocks)
+	return seek + rot + xfer
+}
+
+// AccessTimeParts is AccessTime with the service time broken into its seek,
+// rotational-delay, and transfer components (each computed exactly as the
+// summed AccessTime always has), for per-I/O trace events.
+func (m DiskModel) AccessTimeParts(prev, block int64, nblocks int) (seek, rot, xfer time.Duration) {
 	sequential := prev >= 0 && block == prev
 	if !sequential {
 		fromCyl := m.Cylinder(prev)
@@ -105,11 +112,11 @@ func (m DiskModel) AccessTime(prev, block int64, nblocks int) time.Duration {
 			// Unknown arm position: charge an average-distance seek.
 			fromCyl = m.Cylinder(m.NumBlocks / 3)
 		}
-		t += m.SeekTime(fromCyl, m.Cylinder(block))
-		t += m.AvgRotationalDelay()
+		seek = m.SeekTime(fromCyl, m.Cylinder(block))
+		rot = m.AvgRotationalDelay()
 	}
-	t += m.TransferTime(nblocks * m.BlockSize)
-	return t
+	xfer = m.TransferTime(nblocks * m.BlockSize)
+	return seek, rot, xfer
 }
 
 // AvgSeekTime reports the model's average seek time (using the standard

@@ -79,10 +79,22 @@ func (p *Proc) park() {
 // advanced to the latest proc finish time, so MPL=1 code observes exactly
 // the same final clock it did under the direct-advance regime.
 type Scheduler struct {
-	clock   *Clock
-	procs   []*Proc
-	parked  chan struct{}
-	started bool
+	clock        *Clock
+	procs        []*Proc
+	parked       chan struct{}
+	started      bool
+	dispatchHook func(*Proc)
+}
+
+// SetDispatchHook registers a function called once per dispatch, after the
+// chosen proc becomes current and before it resumes. Observability only: the
+// hook must not advance the clock or touch scheduler state. Must be set
+// before Run.
+func (s *Scheduler) SetDispatchHook(fn func(*Proc)) {
+	if s.started {
+		panic("sim: SetDispatchHook after Scheduler.Run")
+	}
+	s.dispatchHook = fn
 }
 
 // NewScheduler attaches a scheduler to the clock. Only one scheduler may be
@@ -168,6 +180,9 @@ func (s *Scheduler) Run() {
 // dispatch resumes p and waits for it to park again (yield, block, or exit).
 func (s *Scheduler) dispatch(p *Proc) {
 	s.clock.setCurrent(p)
+	if s.dispatchHook != nil {
+		s.dispatchHook(p)
+	}
 	p.resume <- struct{}{}
 	<-s.parked
 	s.clock.setCurrent(nil)

@@ -1,0 +1,92 @@
+package tpcb
+
+import "repro/internal/trace"
+
+// CollectSnapshot assembles the end-of-run report for a rig: the benchmark
+// result, every subsystem's counters, and — when the rig carries a tracer —
+// the per-proc time attribution and the metrics registry. The trace package
+// deliberately imports none of the subsystems, so this is where its neutral
+// section structs get filled in.
+//
+// tr may be nil (or distinct from the rig's tracer, e.g. a harness that owns
+// the tracer itself); the stats sections are collected either way.
+func CollectSnapshot(rig *Rig, res Result, tr *trace.Tracer) *trace.Snapshot {
+	snap := &trace.Snapshot{
+		System:  res.System,
+		Txns:    res.Txns,
+		MPL:     res.MPL,
+		Retries: res.Retries,
+		Elapsed: res.Elapsed,
+		TPS:     res.TPS,
+	}
+	if rig == nil {
+		return snap
+	}
+	if rig.Dev != nil {
+		st := rig.Dev.Stats()
+		snap.Disk = &trace.DiskSection{
+			Reads:      st.Reads,
+			BlocksRead: st.BlocksRead,
+			Writes:     st.Writes,
+			BlocksWrit: st.BlocksWrit,
+			Seeks:      st.Seeks,
+			BusyTime:   st.BusyTime,
+			QueueTime:  st.QueueTime,
+		}
+	}
+	if rig.LFS != nil {
+		fst := rig.LFS.Stats()
+		snap.LFS = &trace.LFSSection{
+			PartialSegments: fst.PartialSegments,
+			BlocksLogged:    fst.BlocksLogged,
+			Checkpoints:     fst.Checkpoints,
+			WriteAmp:        fst.WriteAmplification(),
+			Cleaner: trace.CleanerSection{
+				Runs:            fst.Cleaner.Runs,
+				SegmentsCleaned: fst.Cleaner.SegmentsCleaned,
+				BlocksCopied:    fst.Cleaner.BlocksCopied,
+				BlocksDead:      fst.Cleaner.BlocksDead,
+				BusyTime:        fst.Cleaner.BusyTime,
+				OverlapTime:     fst.Cleaner.OverlapTime,
+				StallTime:       fst.Cleaner.StallTime,
+				HotBlocks:       fst.Cleaner.HotBlocks,
+				ColdBlocks:      fst.Cleaner.ColdBlocks,
+			},
+		}
+	}
+	if rig.Env != nil {
+		ws := rig.Env.LogStats()
+		snap.WAL = &trace.WALSection{
+			Records:      ws.Records,
+			BytesLogged:  ws.BytesLogged,
+			Forces:       ws.Forces,
+			GroupCommits: ws.GroupCommits,
+		}
+	}
+	if rig.Core != nil {
+		cs := rig.Core.Stats()
+		snap.Embedded = &trace.EmbeddedSection{
+			Committed:    cs.Committed,
+			Aborted:      cs.Aborted,
+			CommitFlush:  cs.CommitFlush,
+			PagesFlushed: cs.PagesFlushed,
+			BytesFlushed: cs.BytesFlushed,
+		}
+	}
+	if rig.Env != nil || rig.Core != nil {
+		ls := rig.LockStats()
+		snap.Locks = &trace.LockSection{
+			Acquired:       ls.Acquired,
+			Waited:         ls.Waited,
+			BlockedTime:    ls.BlockedTime,
+			Deadlocks:      ls.Deadlocks,
+			DeadlockAborts: ls.DeadlockAborts,
+		}
+	}
+	if tr.Enabled() {
+		snap.Attribution = tr.Attribution()
+		ms := tr.Metrics().Snapshot()
+		snap.Metrics = &ms
+	}
+	return snap
+}

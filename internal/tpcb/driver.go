@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/lock"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Result reports one benchmark run.
@@ -38,7 +39,16 @@ func RunBenchmark(sys System, clock *sim.Clock, cfg Config, n int) (Result, erro
 // LFS's incremental background cleaner, which reclaims segments in the
 // device's idle windows instead of stalling a flush mid-transaction.
 func RunBenchmarkIdle(sys System, clock *sim.Clock, cfg Config, n int, idle func() error) (Result, error) {
+	return RunBenchmarkIdleTraced(sys, clock, cfg, n, idle, nil)
+}
+
+// RunBenchmarkIdleTraced is RunBenchmarkIdle with time attribution: the run
+// (including the drain) is bracketed as the "main" proc so the tracer's
+// per-proc report covers exactly the measured interval, excluding the load
+// phase. A nil tracer makes it identical to RunBenchmarkIdle.
+func RunBenchmarkIdleTraced(sys System, clock *sim.Clock, cfg Config, n int, idle func() error, tr *trace.Tracer) (Result, error) {
 	gen := NewGenerator(cfg)
+	tr.ProcStart("main")
 	start := clock.Now()
 	for i := 0; i < n; i++ {
 		if err := sys.Run(gen.Next()); err != nil {
@@ -53,6 +63,7 @@ func RunBenchmarkIdle(sys System, clock *sim.Clock, cfg Config, n int, idle func
 	if err := sys.Drain(); err != nil {
 		return Result{}, err
 	}
+	tr.ProcEnd()
 	elapsed := clock.Now() - start
 	res := Result{System: sys.Name(), Txns: n, Elapsed: elapsed}
 	if elapsed > 0 {
@@ -73,6 +84,15 @@ func RunBenchmarkIdle(sys System, clock *sim.Clock, cfg Config, n int, idle func
 // numbers exactly (client 0 keeps the base seed; a lone proc never queues,
 // never blocks, and accrues time exactly as the global clock did).
 func RunBenchmarkMPL(sys System, clock *sim.Clock, cfg Config, n, mpl int, idle func() error) (Result, error) {
+	return RunBenchmarkMPLTraced(sys, clock, cfg, n, mpl, idle, nil)
+}
+
+// RunBenchmarkMPLTraced is RunBenchmarkMPL with time attribution: each client
+// proc registers with the tracer for the per-proc "where did simulated time
+// go" report, the post-run drain is attributed to a synthetic "drain" proc,
+// and scheduler dispatches are counted. A nil tracer makes it identical to
+// RunBenchmarkMPL.
+func RunBenchmarkMPLTraced(sys System, clock *sim.Clock, cfg Config, n, mpl int, idle func() error, tr *trace.Tracer) (Result, error) {
 	if mpl < 1 {
 		mpl = 1
 	}
@@ -92,6 +112,9 @@ func RunBenchmarkMPL(sys System, clock *sim.Clock, cfg Config, n, mpl int, idle 
 	}
 
 	sched := sim.NewScheduler(clock)
+	if tr.Enabled() {
+		sched.SetDispatchHook(func(p *sim.Proc) { tr.Count("sched.dispatches", 1) })
+	}
 	start := clock.Now()
 	errs := make([]error, mpl)
 	retries := make([]int64, mpl)
@@ -102,7 +125,10 @@ func RunBenchmarkMPL(sys System, clock *sim.Clock, cfg Config, n, mpl int, idle 
 		if c < n%mpl {
 			quota++
 		}
-		sched.Spawn(fmt.Sprintf("client-%d", c), func() {
+		name := fmt.Sprintf("client-%d", c)
+		sched.Spawn(name, func() {
+			tr.ProcStart(name)
+			defer tr.ProcEnd()
 			for i := 0; i < quota; i++ {
 				clock.Yield()
 				t := gen.Next()
@@ -137,9 +163,13 @@ func RunBenchmarkMPL(sys System, clock *sim.Clock, cfg Config, n, mpl int, idle 
 			return Result{}, err
 		}
 	}
+	// The drain runs outside any client proc; give it its own row so its
+	// disk and commit time are not silently dropped from the report.
+	tr.ProcStart("drain")
 	if err := sys.Drain(); err != nil {
 		return Result{}, err
 	}
+	tr.ProcEnd()
 	elapsed := clock.Now() - start
 	res := Result{System: sys.Name(), Txns: n, MPL: mpl, Elapsed: elapsed}
 	for _, r := range retries {

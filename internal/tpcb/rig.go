@@ -11,6 +11,7 @@ import (
 	"repro/internal/libtp"
 	"repro/internal/lock"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 )
 
@@ -43,6 +44,13 @@ type RigOptions struct {
 	// IdleCleanTrigger overrides the free-segment level below which the
 	// background cleaner starts working (0 = the LFS default).
 	IdleCleanTrigger int
+	// Trace, when true, makes BuildRig construct a trace.Tracer on the
+	// rig's clock and thread it through every layer — disk, file system,
+	// buffer pools, lock table, log manager, transaction system — and
+	// through the traced driver variants via Rig.Run/RunMPL. The tracer is
+	// exposed as Rig.Tracer. When false the rig runs with a nil tracer,
+	// which costs nothing.
+	Trace bool
 }
 
 // Rig is a ready-to-run benchmark configuration.
@@ -58,17 +66,19 @@ type Rig struct {
 	// "idle"): one incremental background cleaning step, charged against
 	// foreground idle time. Pass it to RunBenchmarkIdle.
 	Idle func() error
+	// Tracer is non-nil when the rig was built with RigOptions.Trace.
+	Tracer *trace.Tracer
 }
 
 // Run executes the benchmark on the rig, using the idle hook if present.
 func (r *Rig) Run(cfg Config, n int) (Result, error) {
-	return RunBenchmarkIdle(r.Sys, r.Clock, cfg, n, r.Idle)
+	return RunBenchmarkIdleTraced(r.Sys, r.Clock, cfg, n, r.Idle, r.Tracer)
 }
 
 // RunMPL executes the benchmark with mpl concurrent clients scheduled as
 // virtual processes (see RunBenchmarkMPL).
 func (r *Rig) RunMPL(cfg Config, n, mpl int) (Result, error) {
-	return RunBenchmarkMPL(r.Sys, r.Clock, cfg, n, mpl, r.Idle)
+	return RunBenchmarkMPLTraced(r.Sys, r.Clock, cfg, n, mpl, r.Idle, r.Tracer)
 }
 
 // LockStats returns the rig's lock-manager counters regardless of which
@@ -148,8 +158,13 @@ func BuildRig(opts RigOptions) (*Rig, error) {
 	cache := max(int(dbPages/10), 96)
 
 	clk := sim.NewClock()
+	var tr *trace.Tracer
+	if opts.Trace {
+		tr = trace.New(clk)
+	}
 	dev := disk.New(model, clk)
-	rig := &Rig{Clock: clk, Dev: dev}
+	dev.SetTracer(tr)
+	rig := &Rig{Clock: clk, Dev: dev, Tracer: tr}
 
 	switch opts.Kind {
 	case "user-ffs":
@@ -157,8 +172,9 @@ func BuildRig(opts RigOptions) (*Rig, error) {
 		if err != nil {
 			return nil, err
 		}
+		fsys.Pool().SetTracer(tr, "buffer.ffs")
 		rig.FS = fsys
-		env, err := libtp.NewEnv(fsys, clk, libtp.Options{CacheBlocks: cache, Costs: opts.Costs, GroupCommit: opts.GroupCommit})
+		env, err := libtp.NewEnv(fsys, clk, libtp.Options{CacheBlocks: cache, Costs: opts.Costs, GroupCommit: opts.GroupCommit, Tracer: tr})
 		if err != nil {
 			return nil, err
 		}
@@ -169,8 +185,10 @@ func BuildRig(opts RigOptions) (*Rig, error) {
 		if err != nil {
 			return nil, err
 		}
+		fsys.SetTracer(tr)
+		fsys.Pool().SetTracer(tr, "buffer.lfs")
 		rig.FS, rig.LFS = fsys, fsys
-		env, err := libtp.NewEnv(fsys, clk, libtp.Options{CacheBlocks: cache, Costs: opts.Costs, GroupCommit: opts.GroupCommit})
+		env, err := libtp.NewEnv(fsys, clk, libtp.Options{CacheBlocks: cache, Costs: opts.Costs, GroupCommit: opts.GroupCommit, Tracer: tr})
 		if err != nil {
 			return nil, err
 		}
@@ -186,8 +204,10 @@ func BuildRig(opts RigOptions) (*Rig, error) {
 		if err != nil {
 			return nil, err
 		}
+		fsys.SetTracer(tr)
+		fsys.Pool().SetTracer(tr, "buffer.lfs")
 		rig.FS, rig.LFS = fsys, fsys
-		m := core.New(fsys, clk, core.Options{Costs: opts.Costs, GroupCommit: opts.GroupCommit})
+		m := core.New(fsys, clk, core.Options{Costs: opts.Costs, GroupCommit: opts.GroupCommit, Tracer: tr})
 		rig.Core = m
 		rig.Sys = NewEmbeddedSystem(m, clk, opts.Costs)
 	default:

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/detsort"
+)
+
+// WriteChrome writes the recorded events in the Chrome trace-event JSON
+// format (the "JSON Array Format" with a traceEvents wrapper), loadable in
+// Perfetto / chrome://tracing. Timestamps and durations are microseconds
+// with nanosecond precision kept in three decimals. Output is byte-identical
+// across same-seed runs: events are emitted in append order and the
+// metadata thread names iterate the proc map through detsort.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+	if t != nil {
+		t.mu.Lock()
+		emit(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"sim"}}`)
+		for _, tid := range detsort.Keys(t.procs) {
+			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+				tid, jsonString(t.procNameLocked(tid))))
+		}
+		for i := range t.events {
+			emit(chromeEvent(&t.events[i]))
+		}
+		t.mu.Unlock()
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// chromeEvent renders one event as a JSON object literal.
+func chromeEvent(e *Event) string {
+	var args string
+	if len(e.Args) > 0 {
+		args = ",\"args\":{"
+		for i, a := range e.Args {
+			if i > 0 {
+				args += ","
+			}
+			args += jsonString(a.Key) + ":" + jsonValue(a.Val)
+		}
+		args += "}"
+	}
+	switch e.Phase {
+	case PhaseComplete:
+		return fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d%s}`,
+			jsonString(e.Name), jsonString(e.Cat), usec(e.TS), usec(e.Dur), e.Tid, args)
+	default: // PhaseInstant
+		return fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"i","s":"t","ts":%s,"pid":1,"tid":%d%s}`,
+			jsonString(e.Name), jsonString(e.Cat), usec(e.TS), e.Tid, args)
+	}
+}
+
+// usec formats a duration as decimal microseconds with the sub-microsecond
+// nanoseconds as three fixed decimals, so exact nanosecond timestamps
+// survive the trace format's microsecond convention.
+func usec(d time.Duration) string {
+	ns := d.Nanoseconds()
+	neg := ""
+	if ns < 0 {
+		neg = "-"
+		ns = -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+func jsonValue(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return jsonString(fmt.Sprint(v))
+	}
+	return string(b)
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/detsort"
+)
+
+// DefaultBounds are the upper bounds (exclusive) of the latency histogram
+// buckets, log-spaced from 10µs to 5s. A final implicit overflow bucket
+// catches everything above the last bound. Fixed bounds keep snapshots
+// byte-comparable across runs and across PRs.
+var DefaultBounds = []time.Duration{
+	10 * time.Microsecond,
+	30 * time.Microsecond,
+	100 * time.Microsecond,
+	300 * time.Microsecond,
+	1 * time.Millisecond,
+	3 * time.Millisecond,
+	10 * time.Millisecond,
+	30 * time.Millisecond,
+	100 * time.Millisecond,
+	300 * time.Millisecond,
+	1 * time.Second,
+	5 * time.Second,
+}
+
+// Hist is a fixed-bucket latency histogram.
+type Hist struct {
+	Bounds []time.Duration
+	Counts []int64 // len(Bounds)+1; last bucket is overflow
+	Sum    time.Duration
+	Count  int64
+}
+
+func newHist() *Hist {
+	return &Hist{Bounds: DefaultBounds, Counts: make([]int64, len(DefaultBounds)+1)}
+}
+
+func (h *Hist) observe(d time.Duration) {
+	i := 0
+	for i < len(h.Bounds) && d >= h.Bounds[i] {
+		i++
+	}
+	h.Counts[i]++
+	h.Sum += d
+	h.Count++
+}
+
+// Mean returns the mean observed duration (0 if empty).
+func (h *Hist) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Metrics is a registry of named counters and latency histograms. All
+// methods are nil-receiver safe.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	hists    map[string]*Hist
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{counters: make(map[string]int64), hists: make(map[string]*Hist)}
+}
+
+// Add increments the named counter by v.
+func (m *Metrics) Add(name string, v int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.counters[name] += v
+	m.mu.Unlock()
+}
+
+// Set overwrites the named counter with v (used when folding in final
+// subsystem Stats at the end of a run).
+func (m *Metrics) Set(name string, v int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.counters[name] = v
+	m.mu.Unlock()
+}
+
+// Observe records d in the named histogram, creating it on first use.
+func (m *Metrics) Observe(name string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	h := m.hists[name]
+	if h == nil {
+		h = newHist()
+		m.hists[name] = h
+	}
+	h.observe(d)
+	m.mu.Unlock()
+}
+
+// Counter returns the named counter's current value.
+func (m *Metrics) Counter(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// HistSnapshot is the exported form of one histogram. Durations marshal as
+// integer nanoseconds.
+type HistSnapshot struct {
+	Bounds []time.Duration `json:"bounds"`
+	Counts []int64         `json:"counts"`
+	Sum    time.Duration   `json:"sum"`
+	Count  int64           `json:"count"`
+	Mean   time.Duration   `json:"mean"`
+}
+
+// MetricsSnapshot is a point-in-time copy of the registry. encoding/json
+// sorts map keys, so marshaling a snapshot is byte-stable.
+type MetricsSnapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry. Iteration goes through detsort so the copy
+// itself is built in deterministic order.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		Counters:   make(map[string]int64),
+		Histograms: make(map[string]HistSnapshot),
+	}
+	if m == nil {
+		return snap
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, k := range detsort.Keys(m.counters) {
+		snap.Counters[k] = m.counters[k]
+	}
+	for _, k := range detsort.Keys(m.hists) {
+		h := m.hists[k]
+		snap.Histograms[k] = HistSnapshot{
+			Bounds: append([]time.Duration(nil), h.Bounds...),
+			Counts: append([]int64(nil), h.Counts...),
+			Sum:    h.Sum,
+			Count:  h.Count,
+			Mean:   h.Mean(),
+		}
+	}
+	return snap
+}

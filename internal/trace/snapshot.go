@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/detsort"
+)
+
+// AttrRow is one proc's "where did simulated time go" breakdown over its
+// measured interval (ProcStart..ProcEnd). Compute is whatever the
+// instrumentation did not claim. Durations marshal as integer nanoseconds.
+type AttrRow struct {
+	Proc         string        `json:"proc"`
+	Tid          int           `json:"tid"`
+	Elapsed      time.Duration `json:"elapsed"`
+	Compute      time.Duration `json:"compute"`
+	Disk         time.Duration `json:"disk"`
+	Queue        time.Duration `json:"queue"`
+	Lock         time.Duration `json:"lock"`
+	CommitWait   time.Duration `json:"commit_wait"`
+	CleanerStall time.Duration `json:"cleaner_stall"`
+}
+
+// Attribution returns one row per proc slot bracketed by ProcStart, in tid
+// order, each covering the measured interval only (attribution accumulated
+// before ProcStart is subtracted via the baseline snapshot).
+func (t *Tracer) Attribution() []AttrRow {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var rows []AttrRow
+	for _, tid := range detsort.Keys(t.procs) {
+		p := t.procs[tid]
+		if !p.started {
+			continue
+		}
+		end := p.end
+		if !p.ended {
+			end = p.start // unclosed interval: report zero elapsed, not garbage
+		}
+		var cat [numAttrCats]time.Duration
+		var claimed time.Duration
+		for c := range cat {
+			cat[c] = p.cat[c] - p.base[c]
+			claimed += cat[c]
+		}
+		row := AttrRow{
+			Proc:         t.procNameLocked(tid),
+			Tid:          tid,
+			Elapsed:      end - p.start,
+			Compute:      max(0, end-p.start-claimed),
+			Disk:         cat[AttrDisk],
+			Queue:        cat[AttrQueue],
+			Lock:         cat[AttrLock],
+			CommitWait:   cat[AttrCommitWait],
+			CleanerStall: cat[AttrCleaner],
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// DiskSection mirrors disk.Device stats without importing the disk package
+// (disk imports trace; the snapshot stays one layer up).
+type DiskSection struct {
+	Reads      int64         `json:"reads"`
+	BlocksRead int64         `json:"blocks_read"`
+	Writes     int64         `json:"writes"`
+	BlocksWrit int64         `json:"blocks_written"`
+	Seeks      int64         `json:"seeks"`
+	BusyTime   time.Duration `json:"busy"`
+	QueueTime  time.Duration `json:"queued"`
+}
+
+// CleanerSection mirrors lfs.CleanerStats.
+type CleanerSection struct {
+	Runs            int64         `json:"runs"`
+	SegmentsCleaned int64         `json:"segments_cleaned"`
+	BlocksCopied    int64         `json:"blocks_copied"`
+	BlocksDead      int64         `json:"blocks_dead"`
+	BusyTime        time.Duration `json:"busy"`
+	OverlapTime     time.Duration `json:"overlap"`
+	StallTime       time.Duration `json:"stall"`
+	HotBlocks       int64         `json:"hot_blocks"`
+	ColdBlocks      int64         `json:"cold_blocks"`
+}
+
+// LFSSection mirrors lfs.Stats.
+type LFSSection struct {
+	PartialSegments int64          `json:"partial_segments"`
+	BlocksLogged    int64          `json:"blocks_logged"`
+	Checkpoints     int64          `json:"checkpoints"`
+	WriteAmp        float64        `json:"write_amplification"`
+	Cleaner         CleanerSection `json:"cleaner"`
+}
+
+// WALSection mirrors wal.Stats.
+type WALSection struct {
+	Records      int64 `json:"records"`
+	BytesLogged  int64 `json:"bytes_logged"`
+	Forces       int64 `json:"forces"`
+	GroupCommits int64 `json:"group_commits"`
+}
+
+// LockSection mirrors lock.Stats.
+type LockSection struct {
+	Acquired       int64         `json:"acquired"`
+	Waited         int64         `json:"waited"`
+	BlockedTime    time.Duration `json:"blocked"`
+	Deadlocks      int64         `json:"deadlocks"`
+	DeadlockAborts int64         `json:"deadlock_aborts"`
+}
+
+// EmbeddedSection mirrors core.Stats for the kernel-embedded system.
+type EmbeddedSection struct {
+	Committed    int64 `json:"committed"`
+	Aborted      int64 `json:"aborted"`
+	CommitFlush  int64 `json:"commit_flushes"`
+	PagesFlushed int64 `json:"pages_flushed"`
+	BytesFlushed int64 `json:"bytes_flushed"`
+}
+
+// Snapshot is the compact end-of-run report: the benchmark result, the
+// per-subsystem statistics, the per-proc time attribution, and the metrics
+// registry. It marshals to byte-stable JSON (encoding/json sorts map keys)
+// and Render prints the human form both cmd/tpcb and cmd/txnbench use.
+type Snapshot struct {
+	System  string        `json:"system"`
+	Txns    int           `json:"txns"`
+	MPL     int           `json:"mpl,omitempty"`
+	Retries int64         `json:"retries,omitempty"`
+	Elapsed time.Duration `json:"elapsed"`
+	TPS     float64       `json:"tps"`
+
+	Disk        *DiskSection     `json:"disk,omitempty"`
+	LFS         *LFSSection      `json:"lfs,omitempty"`
+	WAL         *WALSection      `json:"wal,omitempty"`
+	Locks       *LockSection     `json:"locks,omitempty"`
+	Embedded    *EmbeddedSection `json:"embedded,omitempty"`
+	Attribution []AttrRow        `json:"attribution,omitempty"`
+	Metrics     *MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Render returns the human-readable report. The per-subsystem lines keep the
+// exact shapes cmd/tpcb printed before this subsystem existed, so scripts
+// parsing them keep working; the attribution table is new.
+func (s *Snapshot) Render() string {
+	var b strings.Builder
+	res := fmt.Sprintf("%-12s %6d txns in %8.1fs simulated → %6.2f TPS", s.System, s.Txns, s.Elapsed.Seconds(), s.TPS)
+	if s.MPL > 1 {
+		res += fmt.Sprintf(" (MPL %d, %d deadlock retries)", s.MPL, s.Retries)
+	}
+	b.WriteString(res)
+	b.WriteByte('\n')
+
+	if d := s.Disk; d != nil {
+		fmt.Fprintf(&b, "\ndisk: %d read ops (%d blocks), %d write ops (%d blocks), busy %v, queued %v\n",
+			d.Reads, d.BlocksRead, d.Writes, d.BlocksWrit, d.BusyTime, d.QueueTime)
+	}
+	if f := s.LFS; f != nil {
+		fmt.Fprintf(&b, "lfs: %d partial segments, %d blocks logged, %d checkpoints\n",
+			f.PartialSegments, f.BlocksLogged, f.Checkpoints)
+		cl := f.Cleaner
+		fmt.Fprintf(&b, "cleaner: %d segments cleaned in %d passes, %d blocks copied, %d dead, busy %v (%.1f%% of elapsed)\n",
+			cl.SegmentsCleaned, cl.Runs, cl.BlocksCopied, cl.BlocksDead,
+			cl.BusyTime, pct(cl.BusyTime, s.Elapsed))
+		if cl.OverlapTime > 0 || cl.StallTime > 0 {
+			fmt.Fprintf(&b, "cleaner: %v overlapped with idle windows, %v stalled the workload (%.1f%% of elapsed)\n",
+				cl.OverlapTime, cl.StallTime, pct(cl.StallTime, s.Elapsed))
+		}
+		if cl.HotBlocks > 0 || cl.ColdBlocks > 0 {
+			fmt.Fprintf(&b, "cleaner: %d hot / %d cold blocks relocated, write amplification %.2f×\n",
+				cl.HotBlocks, cl.ColdBlocks, f.WriteAmp)
+		}
+	}
+	if e := s.Embedded; e != nil {
+		fmt.Fprintf(&b, "embedded: %d committed, %d aborted, %d commit flushes, %d pages (%d bytes) forced\n",
+			e.Committed, e.Aborted, e.CommitFlush, e.PagesFlushed, e.BytesFlushed)
+	}
+	if l := s.Locks; l != nil {
+		fmt.Fprintf(&b, "locks: %d acquired, %d waits (%v blocked), %d deadlocks (%d aborts)\n",
+			l.Acquired, l.Waited, l.BlockedTime, l.Deadlocks, l.DeadlockAborts)
+	}
+	if w := s.WAL; w != nil {
+		fmt.Fprintf(&b, "wal: %d records, %d bytes, %d forces, %d group-absorbed commits\n",
+			w.Records, w.BytesLogged, w.Forces, w.GroupCommits)
+	}
+	if len(s.Attribution) > 0 {
+		b.WriteString("\nwhere did simulated time go (per proc, measured interval):\n")
+		fmt.Fprintf(&b, "  %-10s %10s %10s %10s %10s %10s %10s %10s\n",
+			"proc", "elapsed", "compute", "disk", "queue", "lock", "commit", "cleaner")
+		var tot AttrRow
+		for _, r := range s.Attribution {
+			fmt.Fprintf(&b, "  %-10s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+				r.Proc, secs(r.Elapsed), secs(r.Compute), secs(r.Disk), secs(r.Queue),
+				secs(r.Lock), secs(r.CommitWait), secs(r.CleanerStall))
+			tot.Elapsed += r.Elapsed
+			tot.Compute += r.Compute
+			tot.Disk += r.Disk
+			tot.Queue += r.Queue
+			tot.Lock += r.Lock
+			tot.CommitWait += r.CommitWait
+			tot.CleanerStall += r.CleanerStall
+		}
+		if len(s.Attribution) > 1 {
+			fmt.Fprintf(&b, "  %-10s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+				"total", secs(tot.Elapsed), secs(tot.Compute), secs(tot.Disk), secs(tot.Queue),
+				secs(tot.Lock), secs(tot.CommitWait), secs(tot.CleanerStall))
+		}
+	}
+	return b.String()
+}
+
+func pct(part, whole time.Duration) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole) * 100
+}
+
+func secs(d time.Duration) float64 { return d.Seconds() }

@@ -1,0 +1,375 @@
+// Package trace is the deterministic, simulated-clock tracing and metrics
+// subsystem of the reproduction. Every subsystem that advances simulated
+// time (the disk, the lock manager, the log manager, the cleaner, the two
+// transaction managers) can emit spans and instant events stamped with
+// sim.Clock time into a Tracer, increment counters, and record latency
+// histograms — and the Tracer rolls per-proc time attribution up into a
+// "where did simulated time go" report.
+//
+// Three invariants govern the package (they are the same determinism
+// invariants DESIGN.md §7 imposes on the simulation itself, enforced by
+// simlint):
+//
+//   - a nil *Tracer costs nothing: every method nil-checks its receiver, so
+//     instrumented hot paths pay one predictable branch when tracing is off;
+//   - tracing never perturbs simulated time: the Tracer only ever reads the
+//     clock (Now), never advances it, so a traced run and an untraced run of
+//     the same seed take exactly the same number of simulated nanoseconds
+//     (the MPL=1 exact-nanosecond conformance tests are the guard);
+//   - output is byte-identical across same-seed runs: events append in
+//     dispatch order (exactly one virtual process runs at a time), and every
+//     exporter iterates maps through internal/detsort.
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Arg is one key/value annotation on an event. Args are an ordered slice,
+// not a map, so event encoding needs no sorting to be deterministic.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// A returns an Arg; it keeps call sites short.
+func A(key string, val any) Arg { return Arg{Key: key, Val: val} }
+
+// Event phases, following the Chrome trace-event format.
+const (
+	PhaseComplete = 'X' // a span with a start timestamp and a duration
+	PhaseInstant  = 'i' // a point event
+)
+
+// Event is one recorded trace event.
+type Event struct {
+	Name  string
+	Cat   string
+	Phase byte
+	TS    time.Duration // simulated start time
+	Dur   time.Duration // simulated duration (PhaseComplete only)
+	Tid   int           // proc slot: proc id + 1, 0 = outside proc context
+	Args  []Arg
+}
+
+// AttrCat classifies where a virtual process's simulated time went. The
+// categories are mutually exclusive; whatever the instrumentation does not
+// claim is reported as compute time.
+type AttrCat int
+
+const (
+	// AttrDisk is foreground disk service time (seek + rotation + transfer).
+	AttrDisk AttrCat = iota
+	// AttrQueue is time spent queued behind another client's disk request.
+	AttrQueue
+	// AttrLock is time suspended waiting for a page lock.
+	AttrLock
+	// AttrCommitWait is time a pre-committed transaction spent waiting for
+	// the shared group-commit log force.
+	AttrCommitWait
+	// AttrCleaner is cleaner device time that stalled the workload: the
+	// whole pass when cleaning runs synchronously on the critical path, or
+	// the residue the idle windows could not absorb in background mode.
+	AttrCleaner
+	numAttrCats
+)
+
+func (c AttrCat) String() string {
+	switch c {
+	case AttrDisk:
+		return "disk"
+	case AttrQueue:
+		return "queue"
+	case AttrLock:
+		return "lock"
+	case AttrCommitWait:
+		return "commit-wait"
+	case AttrCleaner:
+		return "cleaner-stall"
+	}
+	return "unknown"
+}
+
+// procAttr accumulates one proc slot's attributed time and, once the driver
+// brackets the slot with ProcStart/ProcEnd, the measured interval the
+// attribution report is computed against.
+type procAttr struct {
+	name    string
+	started bool
+	ended   bool
+	start   time.Duration
+	end     time.Duration
+	cat     [numAttrCats]time.Duration
+	base    [numAttrCats]time.Duration // cat at ProcStart; excludes setup work
+}
+
+// Tracer records events, metrics, and per-proc time attribution against one
+// simulated clock. All methods are safe on a nil receiver (no-ops) and safe
+// for concurrent use, though within a deterministic run exactly one virtual
+// process executes at a time, which is what makes append order reproducible.
+type Tracer struct {
+	mu       sync.Mutex
+	clock    *sim.Clock
+	events   []Event
+	metrics  *Metrics
+	procs    map[int]*procAttr
+	override map[int][]AttrCat // per-slot attribution redirect stack
+}
+
+// New returns a Tracer stamping events with clock's simulated time.
+func New(clock *sim.Clock) *Tracer {
+	return &Tracer{
+		clock:    clock,
+		metrics:  NewMetrics(),
+		procs:    make(map[int]*procAttr),
+		override: make(map[int][]AttrCat),
+	}
+}
+
+// Enabled reports whether the tracer is live; instrumentation that must do
+// non-trivial work to build args can skip it when false.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Metrics returns the tracer's metrics registry (nil for a nil tracer; the
+// registry's methods are nil-safe too).
+func (t *Tracer) Metrics() *Metrics {
+	if t == nil {
+		return nil
+	}
+	return t.metrics
+}
+
+// tid returns the current proc slot: proc id + 1, or 0 outside proc context.
+// Must be called without t.mu held (it takes the clock's lock).
+func (t *Tracer) tid() int {
+	return t.clock.CurrentProcID() + 1
+}
+
+func (t *Tracer) ensureProcLocked(tid int) *procAttr {
+	p := t.procs[tid]
+	if p == nil {
+		p = &procAttr{}
+		t.procs[tid] = p
+	}
+	return p
+}
+
+// Span is an in-progress operation opened by Begin. The zero Span (from a
+// nil tracer) is valid and End on it is a no-op.
+type Span struct {
+	t    *Tracer
+	cat  string
+	name string
+	ts   time.Duration
+}
+
+// Begin opens a span at the current simulated time. Close it with End; the
+// event is recorded only then.
+func (t *Tracer) Begin(cat, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, cat: cat, name: name, ts: t.clock.Now()}
+}
+
+// End records the span as a complete event lasting from Begin until now.
+func (s Span) End(args ...Arg) {
+	if s.t == nil {
+		return
+	}
+	s.t.Complete(s.cat, s.name, s.ts, args...)
+}
+
+// Complete records a complete event that started at start and ends now.
+func (t *Tracer) Complete(cat, name string, start time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	now := t.clock.Now()
+	tid := t.tid()
+	t.mu.Lock()
+	t.ensureProcLocked(tid)
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Phase: PhaseComplete,
+		TS: start, Dur: now - start, Tid: tid, Args: args,
+	})
+	t.mu.Unlock()
+}
+
+// Instant records a point event at the current simulated time.
+func (t *Tracer) Instant(cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	now := t.clock.Now()
+	tid := t.tid()
+	t.mu.Lock()
+	t.ensureProcLocked(tid)
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Phase: PhaseInstant, TS: now, Tid: tid, Args: args,
+	})
+	t.mu.Unlock()
+}
+
+// Count adds v to the named counter.
+func (t *Tracer) Count(name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.metrics.Add(name, v)
+}
+
+// Observe records d in the named latency histogram.
+func (t *Tracer) Observe(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.metrics.Observe(name, d)
+}
+
+// Attribute charges d of the current proc's simulated time to category c.
+func (t *Tracer) Attribute(c AttrCat, d time.Duration) {
+	if t == nil || d <= 0 {
+		return
+	}
+	tid := t.tid()
+	t.mu.Lock()
+	t.ensureProcLocked(tid).cat[c] += d
+	t.mu.Unlock()
+}
+
+// AttributeIO charges foreground disk service and queue time, honouring any
+// attribution override pushed for the current proc (the cleaner pushes
+// AttrCleaner so its own I/O is not mistaken for workload disk time).
+func (t *Tracer) AttributeIO(service, queue time.Duration) {
+	if t == nil {
+		return
+	}
+	tid := t.tid()
+	t.mu.Lock()
+	p := t.ensureProcLocked(tid)
+	if st := t.override[tid]; len(st) > 0 {
+		p.cat[st[len(st)-1]] += service + queue
+	} else {
+		p.cat[AttrDisk] += service
+		p.cat[AttrQueue] += queue
+	}
+	t.mu.Unlock()
+}
+
+// PushAttr redirects the current proc's subsequent AttributeIO charges to
+// category c until the matching PopAttr. Used by the cleaner so the disk
+// time of a synchronous cleaning pass is classified as cleaner stall.
+func (t *Tracer) PushAttr(c AttrCat) {
+	if t == nil {
+		return
+	}
+	tid := t.tid()
+	t.mu.Lock()
+	t.override[tid] = append(t.override[tid], c)
+	t.mu.Unlock()
+}
+
+// PopAttr undoes the innermost PushAttr of the current proc.
+func (t *Tracer) PopAttr() {
+	if t == nil {
+		return
+	}
+	tid := t.tid()
+	t.mu.Lock()
+	if st := t.override[tid]; len(st) > 0 {
+		t.override[tid] = st[:len(st)-1]
+	}
+	t.mu.Unlock()
+}
+
+// ProcStart brackets the start of the measured interval for the current
+// proc slot and names it in reports. Attribution accumulated before
+// ProcStart (the load phase, say) is excluded from the slot's report row.
+func (t *Tracer) ProcStart(name string) {
+	if t == nil {
+		return
+	}
+	now := t.clock.Now()
+	tid := t.tid()
+	t.mu.Lock()
+	p := t.ensureProcLocked(tid)
+	p.name = name
+	p.started = true
+	p.ended = false
+	p.start = now
+	p.base = p.cat
+	t.mu.Unlock()
+}
+
+// ProcEnd closes the measured interval opened by ProcStart.
+func (t *Tracer) ProcEnd() {
+	if t == nil {
+		return
+	}
+	now := t.clock.Now()
+	tid := t.tid()
+	t.mu.Lock()
+	if p := t.procs[tid]; p != nil && p.started {
+		p.end = now
+		p.ended = true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events, in append order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// EventCount returns the number of recorded events.
+func (t *Tracer) EventCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// procName resolves a slot's display name. Caller must hold t.mu.
+func (t *Tracer) procNameLocked(tid int) string {
+	if p := t.procs[tid]; p != nil && p.name != "" {
+		return p.name
+	}
+	if tid == 0 {
+		return "global"
+	}
+	return "proc-" + itoa(tid-1)
+}
+
+// itoa is strconv.Itoa without the import weight at call sites.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

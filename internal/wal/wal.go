@@ -16,6 +16,7 @@ import (
 	"hash/crc32"
 
 	"repro/internal/detsort"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 )
 
@@ -82,8 +83,14 @@ type Manager struct {
 	batch        int
 	pendingComms int
 
-	stats Stats
+	stats  Stats
+	tracer *trace.Tracer // nil = tracing off
 }
+
+// SetTracer attaches a tracer; log forces then emit wal.force spans, commit
+// appends emit wal.commit instants, and absorbed commits count into the
+// wal.absorbed counter. A nil tracer costs nothing.
+func (m *Manager) SetTracer(tr *trace.Tracer) { m.tracer = tr }
 
 // Create initializes a fresh log file at path.
 func Create(fsys vfs.FileSystem, path string) (*Manager, error) {
@@ -241,6 +248,7 @@ func (m *Manager) LogCommit(txn uint64) (LSN, bool, error) {
 		return 0, false, ErrClosed
 	}
 	lsn := m.append(&Record{Type: RecCommit, Txn: txn})
+	m.tracer.Instant("wal", "wal.commit", trace.A("txn", txn), trace.A("lsn", int64(lsn)))
 	m.pendingComms++
 	if m.pendingComms >= m.batch {
 		m.pendingComms = 0
@@ -262,12 +270,17 @@ func (m *Manager) AppendCommit(txn uint64) (LSN, error) {
 	if m.closed {
 		return 0, ErrClosed
 	}
-	return m.append(&Record{Type: RecCommit, Txn: txn}), nil
+	lsn := m.append(&Record{Type: RecCommit, Txn: txn})
+	m.tracer.Instant("wal", "wal.commit", trace.A("txn", txn), trace.A("lsn", int64(lsn)))
+	return lsn, nil
 }
 
 // NoteAbsorbed counts a commit that joined a pending batch without forcing
 // the log, for callers that batch via AppendCommit.
-func (m *Manager) NoteAbsorbed() { m.stats.GroupCommits++ }
+func (m *Manager) NoteAbsorbed() {
+	m.stats.GroupCommits++
+	m.tracer.Count("wal.absorbed", 1)
+}
 
 // LogAbort appends an abort record (no force needed: undo was already
 // applied from in-memory state, and the abort record only speeds recovery).
@@ -296,6 +309,8 @@ func (m *Manager) Force() error {
 	if len(m.buf) == 0 {
 		return nil
 	}
+	span := m.tracer.Begin("wal", "wal.force")
+	bytes := len(m.buf)
 	if _, err := m.f.WriteAt(m.buf, m.tail); err != nil {
 		return err
 	}
@@ -305,6 +320,8 @@ func (m *Manager) Force() error {
 	m.tail = m.end
 	m.buf = m.buf[:0]
 	m.stats.Forces++
+	span.End(trace.A("bytes", bytes))
+	m.tracer.Count("wal.forces", 1)
 	return nil
 }
 
