@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -243,11 +242,69 @@ func (s *Scheduler) dump() string {
 // proc's blocked time. A waiter resumes at max(its own time, the waker's
 // time), preserving per-proc monotonicity. The zero value is ready to use.
 //
+// The waiters form a binary min-heap on (now, id). A blocked proc's cursor
+// cannot move — only wake touches it, and wake also removes the proc from
+// the queue — so the heap keys are immutable while queued and insertion
+// order never matters: WakeOne pops exactly the proc the previous
+// sort-on-every-wake implementation selected, in O(log n) instead of
+// O(n log n).
+//
 // WaitQueue is for proc context only; callers that may also run on real
 // goroutines (the -race concurrency tests) must keep a sync.Cond alongside
 // and select the branch with Clock.InProc.
 type WaitQueue struct {
 	waiters []*Proc
+}
+
+// waitsBefore is the (now, id) heap order. Ids are unique, so the order is
+// total and the minimum is unambiguous — the determinism contract's wake
+// order.
+func waitsBefore(a, b *Proc) bool {
+	if a.now != b.now {
+		return a.now < b.now
+	}
+	return a.id < b.id
+}
+
+// push inserts p, restoring the heap property upward.
+func (q *WaitQueue) push(p *Proc) {
+	q.waiters = append(q.waiters, p)
+	i := len(q.waiters) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !waitsBefore(q.waiters[i], q.waiters[parent]) {
+			break
+		}
+		q.waiters[i], q.waiters[parent] = q.waiters[parent], q.waiters[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum waiter, restoring the heap property
+// downward. Caller guarantees the queue is non-empty.
+func (q *WaitQueue) pop() *Proc {
+	top := q.waiters[0]
+	last := len(q.waiters) - 1
+	q.waiters[0] = q.waiters[last]
+	q.waiters[last] = nil // release the reference
+	q.waiters = q.waiters[:last]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		min := i
+		if left < last && waitsBefore(q.waiters[left], q.waiters[min]) {
+			min = left
+		}
+		if right < last && waitsBefore(q.waiters[right], q.waiters[min]) {
+			min = right
+		}
+		if min == i {
+			break
+		}
+		q.waiters[i], q.waiters[min] = q.waiters[min], q.waiters[i]
+		i = min
+	}
+	return top
 }
 
 // Empty reports whether no procs are waiting.
@@ -261,7 +318,7 @@ func (q *WaitQueue) Wait(c *Clock, mu sync.Locker) time.Duration {
 	if p == nil {
 		panic("sim: WaitQueue.Wait outside proc context")
 	}
-	q.waiters = append(q.waiters, p)
+	q.push(p)
 	start := p.now
 	p.state = procBlocked
 	mu.Unlock()
@@ -287,8 +344,9 @@ func (q *WaitQueue) Broadcast(c *Clock) {
 		return
 	}
 	at := c.Now()
-	for _, p := range q.waiters {
+	for i, p := range q.waiters {
 		p.wake(at)
+		q.waiters[i] = nil
 	}
 	q.waiters = q.waiters[:0]
 }
@@ -299,15 +357,6 @@ func (q *WaitQueue) WakeOne(c *Clock) bool {
 	if len(q.waiters) == 0 {
 		return false
 	}
-	sort.SliceStable(q.waiters, func(i, j int) bool {
-		a, b := q.waiters[i], q.waiters[j]
-		if a.now != b.now {
-			return a.now < b.now
-		}
-		return a.id < b.id
-	})
-	p := q.waiters[0]
-	q.waiters = q.waiters[1:]
-	p.wake(c.Now())
+	q.pop().wake(c.Now())
 	return true
 }
