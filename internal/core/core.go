@@ -95,11 +95,6 @@ type Manager struct {
 	// pending are committed transactions awaiting the group-commit flush.
 	pending []*Txn
 	stats   Stats
-
-	// stallFlushErr is a flush error raised by the scheduler's stall hook
-	// (no proc was running to receive it); the next commit or explicit
-	// flush reports it.
-	stallFlushErr error
 }
 
 // New attaches a transaction manager to a mounted log-structured file
@@ -229,10 +224,6 @@ func (p *Process) TxnCommit() error {
 	m := p.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err := m.stallFlushErr; err != nil {
-		m.stallFlushErr = nil
-		return err
-	}
 	m.clock.Advance(m.costs.Syscall + m.costs.TxnOp)
 	t := p.txn
 	t.status = txnCommitting
@@ -263,10 +254,12 @@ func (m *Manager) groupCommitStall() bool {
 	if len(m.pending) == 0 {
 		return false
 	}
-	if err := m.flushPendingLocked(); err != nil && m.stallFlushErr == nil {
-		// No proc is running to receive the error; surface it at the next
-		// commit or explicit flush.
-		m.stallFlushErr = err
+	if err := m.flushPendingLocked(); err != nil {
+		// A failed flush made no progress: no locks were released, so no
+		// waiter can ever run to receive the error, and reporting progress
+		// would turn it into a misleading "scheduler stalled" panic. Fail
+		// loudly with the real cause instead.
+		panic(fmt.Sprintf("core: group-commit flush from stall hook failed: %v", err))
 	}
 	return true
 }
@@ -328,10 +321,6 @@ func (m *Manager) flushPendingLocked() error {
 func (m *Manager) Flush() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err := m.stallFlushErr; err != nil {
-		m.stallFlushErr = nil
-		return err
-	}
 	return m.flushPendingLocked()
 }
 

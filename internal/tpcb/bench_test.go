@@ -1,0 +1,100 @@
+package tpcb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// simCoreBenchTxns and simCoreBenchScale fix the workload of the simulator
+// wall-clock benchmarks. The numbers are wall-clock measurements of the
+// discrete-event core itself (scheduler dispatch, trace recording, disk-model
+// bookkeeping): the simulated result of every run is identical from one PR to
+// the next unless the simulation's behaviour deliberately changes, so ns/op
+// movements are pure simulator-speed movements. cmd/simbench runs the same
+// scenarios and records them in BENCH_simcore.json so CI can chart the
+// events/sec trajectory PR over PR.
+const (
+	simCoreBenchTxns  = 2000
+	simCoreBenchScale = 0.02
+)
+
+// simCoreBenchRig builds the standard benchmark rig for one scenario. MPL 8
+// and 64 run the paper-faithful sizing, which keeps the runs blocking-heavy
+// and therefore scheduler-heavy — the thing this benchmark exists to time.
+// MPL=256 cannot run under that sizing: with no-steal buffering 256
+// concurrent transactions hold the union of their uncommitted write sets in
+// the pool, and the defaults (cache = db/10, database ≈ half the disk) leave
+// too few free buffers and too few cleanable segments — so that scenario
+// alone gets a bigger pool and disk.
+func simCoreBenchRig(kind string, mpl int, traced bool) (*Rig, Config, error) {
+	cfg := ScaledConfig(simCoreBenchScale)
+	opts := RigOptions{
+		Kind:         kind,
+		Config:       cfg,
+		ExpectedTxns: simCoreBenchTxns,
+		GroupCommit:  8,
+		Trace:        traced,
+	}
+	if mpl > 64 {
+		opts.DiskScale = 3
+		opts.CacheBlocks = 2048
+	}
+	rig, err := BuildRig(opts)
+	return rig, cfg, err
+}
+
+// BenchmarkSimCoreTPCB measures wall-clock speed of the discrete-event core
+// on the TPC-B workload at MPL 8, 64, and 256, traced and untraced. Rig
+// construction (the load phase) is excluded from the timer: the measured
+// region is exactly the scheduled multiprogramming run. The events/s metric
+// is scheduler dispatches per wall-clock second — the canonical simulator
+// throughput unit BENCH_simcore.json tracks.
+func BenchmarkSimCoreTPCB(b *testing.B) {
+	for _, mpl := range []int{8, 64, 256} {
+		for _, traced := range []bool{false, true} {
+			name := fmt.Sprintf("kernel-lfs/mpl%d/traced=%v", mpl, traced)
+			b.Run(name, func(b *testing.B) {
+				var dispatches int64
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					rig, cfg, err := simCoreBenchRig("kernel-lfs", mpl, traced)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					res, err := rig.RunMPL(cfg, simCoreBenchTxns, mpl)
+					if err != nil {
+						b.Fatal(err)
+					}
+					dispatches += res.Dispatches
+				}
+				if secs := b.Elapsed().Seconds(); secs > 0 && dispatches > 0 {
+					b.ReportMetric(float64(dispatches)/secs, "events/s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSimCoreTPCBUserLFS covers the user-level system at the group
+// commit MPL, where commit-wait parking exercises the WaitQueue paths the
+// kernel rig mostly avoids.
+func BenchmarkSimCoreTPCBUserLFS(b *testing.B) {
+	var dispatches int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rig, cfg, err := simCoreBenchRig("user-lfs", 64, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := rig.RunMPL(cfg, simCoreBenchTxns, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dispatches += res.Dispatches
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 && dispatches > 0 {
+		b.ReportMetric(float64(dispatches)/secs, "events/s")
+	}
+}

@@ -12,12 +12,13 @@ import (
 
 // Result reports one benchmark run.
 type Result struct {
-	System  string
-	Txns    int
-	MPL     int           // multiprogramming level (0 = legacy single-client driver)
-	Retries int64         // deadlock-victim retries (MPL > 1 only)
-	Elapsed time.Duration // simulated time
-	TPS     float64
+	System     string
+	Txns       int
+	MPL        int           // multiprogramming level (0 = legacy single-client driver)
+	Retries    int64         // deadlock-victim retries (MPL > 1 only)
+	Dispatches int64         // scheduler dispatches (MPL driver only; deterministic)
+	Elapsed    time.Duration // simulated time
+	TPS        float64
 }
 
 func (r Result) String() string {
@@ -112,9 +113,8 @@ func RunBenchmarkMPLTraced(sys System, clock *sim.Clock, cfg Config, n, mpl int,
 	}
 
 	sched := sim.NewScheduler(clock)
-	if tr.Enabled() {
-		sched.SetDispatchHook(func(p *sim.Proc) { tr.Count("sched.dispatches", 1) })
-	}
+	var dispatches int64
+	sched.SetDispatchHook(func(p *sim.Proc) { dispatches++ })
 	start := clock.Now()
 	errs := make([]error, mpl)
 	retries := make([]int64, mpl)
@@ -158,6 +158,7 @@ func RunBenchmarkMPLTraced(sys System, clock *sim.Clock, cfg Config, n, mpl int,
 		})
 	}
 	sched.Run()
+	tr.Metrics().Set("sched.dispatches", dispatches)
 	for _, err := range errs {
 		if err != nil {
 			return Result{}, err
@@ -171,7 +172,7 @@ func RunBenchmarkMPLTraced(sys System, clock *sim.Clock, cfg Config, n, mpl int,
 	}
 	tr.ProcEnd()
 	elapsed := clock.Now() - start
-	res := Result{System: sys.Name(), Txns: n, MPL: mpl, Elapsed: elapsed}
+	res := Result{System: sys.Name(), Txns: n, MPL: mpl, Dispatches: dispatches, Elapsed: elapsed}
 	for _, r := range retries {
 		res.Retries += r
 	}

@@ -33,6 +33,12 @@ type RigOptions struct {
 	// default sizing follows the paper: the database occupies roughly
 	// half the disk.
 	DiskScale float64
+	// CacheBlocks overrides the computed per-pool buffer-cache size
+	// (0 = the paper-faithful default of one tenth of the database). High
+	// MPL runs need it: with no-steal buffering every uncommitted page
+	// stays held, so the pool must fit the union of all concurrent
+	// transactions' write sets.
+	CacheBlocks int
 	// CleanerMode selects how LFS-based rigs clean: "sync" (default) lets
 	// the flush path invoke the cleaner synchronously on the critical
 	// path; "idle" wires Rig.Idle to the incremental background cleaner so
@@ -156,6 +162,9 @@ func BuildRig(opts RigOptions) (*Rig, error) {
 	// pools (user + kernel), the embedded system gets the whole budget in
 	// its single kernel cache.
 	cache := max(int(dbPages/10), 96)
+	if opts.CacheBlocks > 0 {
+		cache = opts.CacheBlocks
+	}
 
 	clk := sim.NewClock()
 	var tr *trace.Tracer
