@@ -186,24 +186,19 @@ func (c *Clock) Yield() {
 		return
 	}
 	p.state = procRunnable
+	s.runnable.push(p)
 	p.park()
 }
 
 // OtherRunnable reports whether a runnable proc other than the current one
 // exists — i.e. whether waiting for more work to batch could ever pay off.
+// The runnable heap holds exactly the runnable procs that are not running,
+// so this is a length check.
 func (c *Clock) OtherRunnable() bool {
 	c.mu.Lock()
-	p, s := c.cur, c.sched
+	s := c.sched
 	c.mu.Unlock()
-	if s == nil {
-		return false
-	}
-	for _, q := range s.procs {
-		if q != p && q.state == procRunnable {
-			return true
-		}
-	}
-	return false
+	return s != nil && len(s.runnable) > 0
 }
 
 // LiveProcs returns the number of unfinished procs of the attached

@@ -63,10 +63,21 @@ func (p *Proc) Now() time.Duration { return p.now }
 // on a WaitQueue.
 func (p *Proc) BlockedTime() time.Duration { return p.blocked }
 
-// park hands control back to the scheduler and waits to be resumed. Called
-// only from the proc's own goroutine.
+// park hands control away from p and waits to be resumed: directly to the
+// earliest runnable proc when one exists (one channel handoff, no scheduler
+// round-trip), otherwise back to the scheduler goroutine for stall handling.
+// Called only from the proc's own goroutine, after p's state has been set to
+// procRunnable (yield, with p pushed on the runnable heap) or procBlocked
+// (WaitQueue.Wait).
 func (p *Proc) park() {
-	p.sched.parked <- struct{}{}
+	s := p.sched
+	if q := s.runnable.popMin(); q != nil {
+		s.startRun(q)
+		<-p.resume
+		return
+	}
+	s.handback = p
+	s.parked <- struct{}{}
 	<-p.resume
 }
 
@@ -77,9 +88,31 @@ func (p *Proc) park() {
 // Advance to the current proc; when Run returns, the global clock has been
 // advanced to the latest proc finish time, so MPL=1 code observes exactly
 // the same final clock it did under the direct-advance regime.
+//
+// Runnable procs that are not currently running live on a binary min-heap
+// keyed (virtual time, id), so choosing the next proc is O(log N) instead of
+// an O(N) scan and a yield's preemption check is an O(1) peek. The heap
+// never needs arbitrary-position updates: a proc's key is immutable while
+// queued (only the running proc's cursor advances, and the running proc is
+// never on the heap), state transitions happen only at the extremes — pop on
+// dispatch, push on yield/wake — and a woken proc is pushed by wake itself.
+//
+// Control passes between goroutines as a token carried by channel handoffs:
+// a proc that yields or blocks resumes its successor directly instead of
+// round-tripping through the scheduler goroutine, halving the channel
+// operations per context switch. The scheduler goroutine regains control
+// only when no successor is runnable (stall hooks, completion) or a proc
+// panics. Exactly one goroutine holds the token at any instant and every
+// transfer is a channel operation, so the heap, the live counter, and the
+// dispatch counter are safely unlocked: the happens-before edges of the
+// handoff channels order every access.
 type Scheduler struct {
 	clock        *Clock
 	procs        []*Proc
+	runnable     procHeap
+	live         int   // procs not yet done
+	dispatches   int64 // control transfers into a proc
+	handback     *Proc // proc that last returned control to the scheduler
 	parked       chan struct{}
 	started      bool
 	dispatchHook func(*Proc)
@@ -87,14 +120,21 @@ type Scheduler struct {
 
 // SetDispatchHook registers a function called once per dispatch, after the
 // chosen proc becomes current and before it resumes. Observability only: the
-// hook must not advance the clock or touch scheduler state. Must be set
-// before Run.
+// hook must not advance the clock or touch scheduler state. It runs on
+// whichever goroutine performs the handoff — the scheduler's or a yielding
+// proc's — but calls are serialized by the control token. Must be set before
+// Run.
 func (s *Scheduler) SetDispatchHook(fn func(*Proc)) {
 	if s.started {
 		panic("sim: SetDispatchHook after Scheduler.Run")
 	}
 	s.dispatchHook = fn
 }
+
+// Dispatches returns the number of times control has been transferred into a
+// proc — the discrete-event count wall-clock benchmarks normalize by. It is
+// deterministic: identically seeded runs dispatch identically.
+func (s *Scheduler) Dispatches() int64 { return s.dispatches }
 
 // NewScheduler attaches a scheduler to the clock. Only one scheduler may be
 // attached at a time; it detaches when Run returns.
@@ -120,6 +160,8 @@ func (s *Scheduler) Spawn(name string, body func()) *Proc {
 		resume: make(chan struct{}),
 	}
 	s.procs = append(s.procs, p)
+	s.runnable.push(p)
+	s.live++
 	return p
 }
 
@@ -144,6 +186,18 @@ func (s *Scheduler) Run() {
 					p.didPanic = true
 				}
 				p.state = procDone
+				s.live--
+				// Hand off to the next runnable proc directly; fall back
+				// to the scheduler when none exists or on panic (the
+				// scheduler re-raises immediately, before any other proc
+				// runs, preserving the fail-fast contract).
+				if !p.didPanic {
+					if q := s.runnable.popMin(); q != nil {
+						s.startRun(q)
+						return
+					}
+				}
+				s.handback = p
 				s.parked <- struct{}{}
 			}()
 			p.body()
@@ -151,19 +205,23 @@ func (s *Scheduler) Run() {
 	}
 
 	for {
-		p := s.pickRunnable()
+		p := s.runnable.popMin()
 		if p == nil {
-			if s.liveCount() == 0 {
+			if s.live == 0 {
 				break
 			}
-			if !s.clock.fireStallHooks() || s.pickRunnable() == nil {
+			if !s.clock.fireStallHooks() || s.runnable.empty() {
 				panic("sim: scheduler stalled with no runnable proc:\n" + s.dump())
 			}
 			continue
 		}
-		s.dispatch(p)
-		if p.didPanic {
-			panic(p.panicV)
+		s.startRun(p)
+		<-s.parked
+		h := s.handback
+		s.handback = nil
+		s.clock.setCurrent(nil)
+		if h.didPanic {
+			panic(h.panicV)
 		}
 	}
 
@@ -176,55 +234,29 @@ func (s *Scheduler) Run() {
 	s.clock.AdvanceTo(end)
 }
 
-// dispatch resumes p and waits for it to park again (yield, block, or exit).
-func (s *Scheduler) dispatch(p *Proc) {
+// startRun transfers control into p: make it current, count the dispatch,
+// and unpark its goroutine. The caller (scheduler loop, or the proc handing
+// off) holds the control token.
+func (s *Scheduler) startRun(p *Proc) {
 	s.clock.setCurrent(p)
+	s.dispatches++
 	if s.dispatchHook != nil {
 		s.dispatchHook(p)
 	}
 	p.resume <- struct{}{}
-	<-s.parked
-	s.clock.setCurrent(nil)
-}
-
-// pickRunnable returns the runnable proc with the smallest (now, id), or nil.
-func (s *Scheduler) pickRunnable() *Proc {
-	var best *Proc
-	for _, p := range s.procs {
-		if p.state != procRunnable {
-			continue
-		}
-		if best == nil || p.now < best.now {
-			best = p
-		}
-	}
-	return best
 }
 
 // liveCount returns the number of procs that have not finished.
 func (s *Scheduler) liveCount() int {
-	n := 0
-	for _, p := range s.procs {
-		if p.state != procDone {
-			n++
-		}
-	}
-	return n
+	return s.live
 }
 
 // shouldPreempt reports whether another runnable proc is strictly earlier in
 // the (time, id) order than the current proc — i.e. whether a yield must
-// actually reschedule.
+// actually reschedule. The current proc is never on the heap, so this is a
+// peek at the heap minimum.
 func (s *Scheduler) shouldPreempt(cur *Proc) bool {
-	for _, p := range s.procs {
-		if p == cur || p.state != procRunnable {
-			continue
-		}
-		if p.now < cur.now || (p.now == cur.now && p.id < cur.id) {
-			return true
-		}
-	}
-	return false
+	return len(s.runnable) > 0 && waitsBefore(s.runnable[0], cur)
 }
 
 // dump renders the proc table for the stall panic message.
@@ -236,29 +268,16 @@ func (s *Scheduler) dump() string {
 	return b.String()
 }
 
-// WaitQueue is a condition-variable analogue for virtual processes: Wait
-// suspends the calling proc (releasing the caller's mutex for the duration)
-// until Broadcast or WakeOne runs it again, and charges the wait to the
-// proc's blocked time. A waiter resumes at max(its own time, the waker's
-// time), preserving per-proc monotonicity. The zero value is ready to use.
-//
-// The waiters form a binary min-heap on (now, id). A blocked proc's cursor
-// cannot move — only wake touches it, and wake also removes the proc from
-// the queue — so the heap keys are immutable while queued and insertion
-// order never matters: WakeOne pops exactly the proc the previous
-// sort-on-every-wake implementation selected, in O(log n) instead of
-// O(n log n).
-//
-// WaitQueue is for proc context only; callers that may also run on real
-// goroutines (the -race concurrency tests) must keep a sync.Cond alongside
-// and select the branch with Clock.InProc.
-type WaitQueue struct {
-	waiters []*Proc
-}
+// procHeap is a binary min-heap of procs keyed (now, id). It backs both the
+// scheduler's runnable set and WaitQueue's waiters. Keys are immutable while
+// a proc is queued — only the running proc's cursor advances, and a queued
+// proc is by definition not running — so the heap never needs
+// arbitrary-position updates, only push and pop-min.
+type procHeap []*Proc
 
 // waitsBefore is the (now, id) heap order. Ids are unique, so the order is
-// total and the minimum is unambiguous — the determinism contract's wake
-// order.
+// total and the minimum is unambiguous — the determinism contract's dispatch
+// and wake order.
 func waitsBefore(a, b *Proc) bool {
 	if a.now != b.now {
 		return a.now < b.now
@@ -266,45 +285,69 @@ func waitsBefore(a, b *Proc) bool {
 	return a.id < b.id
 }
 
+func (h *procHeap) empty() bool { return len(*h) == 0 }
+
 // push inserts p, restoring the heap property upward.
-func (q *WaitQueue) push(p *Proc) {
-	q.waiters = append(q.waiters, p)
-	i := len(q.waiters) - 1
+func (h *procHeap) push(p *Proc) {
+	q := append(*h, p)
+	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !waitsBefore(q.waiters[i], q.waiters[parent]) {
+		if !waitsBefore(q[i], q[parent]) {
 			break
 		}
-		q.waiters[i], q.waiters[parent] = q.waiters[parent], q.waiters[i]
+		q[i], q[parent] = q[parent], q[i]
 		i = parent
 	}
+	*h = q
 }
 
-// pop removes and returns the minimum waiter, restoring the heap property
-// downward. Caller guarantees the queue is non-empty.
-func (q *WaitQueue) pop() *Proc {
-	top := q.waiters[0]
-	last := len(q.waiters) - 1
-	q.waiters[0] = q.waiters[last]
-	q.waiters[last] = nil // release the reference
-	q.waiters = q.waiters[:last]
+// popMin removes and returns the minimum proc, or nil when empty.
+func (h *procHeap) popMin() *Proc {
+	q := *h
+	if len(q) == 0 {
+		return nil
+	}
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = nil // release the reference
+	q = q[:last]
 	i := 0
 	for {
 		left, right := 2*i+1, 2*i+2
 		min := i
-		if left < last && waitsBefore(q.waiters[left], q.waiters[min]) {
+		if left < last && waitsBefore(q[left], q[min]) {
 			min = left
 		}
-		if right < last && waitsBefore(q.waiters[right], q.waiters[min]) {
+		if right < last && waitsBefore(q[right], q[min]) {
 			min = right
 		}
 		if min == i {
 			break
 		}
-		q.waiters[i], q.waiters[min] = q.waiters[min], q.waiters[i]
+		q[i], q[min] = q[min], q[i]
 		i = min
 	}
+	*h = q
 	return top
+}
+
+// WaitQueue is a condition-variable analogue for virtual processes: Wait
+// suspends the calling proc (releasing the caller's mutex for the duration)
+// until Broadcast or WakeOne runs it again, and charges the wait to the
+// proc's blocked time. A waiter resumes at max(its own time, the waker's
+// time), preserving per-proc monotonicity. The zero value is ready to use.
+//
+// The waiters form a procHeap, so insertion order never matters: WakeOne
+// pops exactly the proc the previous sort-on-every-wake implementation
+// selected, in O(log n) instead of O(n log n).
+//
+// WaitQueue is for proc context only; callers that may also run on real
+// goroutines (the -race concurrency tests) must keep a sync.Cond alongside
+// and select the branch with Clock.InProc.
+type WaitQueue struct {
+	waiters procHeap
 }
 
 // Empty reports whether no procs are waiting.
@@ -318,7 +361,7 @@ func (q *WaitQueue) Wait(c *Clock, mu sync.Locker) time.Duration {
 	if p == nil {
 		panic("sim: WaitQueue.Wait outside proc context")
 	}
-	q.push(p)
+	q.waiters.push(p)
 	start := p.now
 	p.state = procBlocked
 	mu.Unlock()
@@ -327,14 +370,17 @@ func (q *WaitQueue) Wait(c *Clock, mu sync.Locker) time.Duration {
 	return p.now - start
 }
 
-// wake marks p runnable at time at (or later, if p is already past it) and
-// accrues the blocked interval.
+// wake marks p runnable at time at (or later, if p is already past it),
+// accrues the blocked interval, and places p on the scheduler's runnable
+// heap. Callers must have dequeued p from their wait queue first: each block
+// is matched by exactly one wake, so p cannot already be on the heap.
 func (p *Proc) wake(at time.Duration) {
 	if at > p.now {
 		p.blocked += at - p.now
 		p.now = at
 	}
 	p.state = procRunnable
+	p.sched.runnable.push(p)
 }
 
 // Broadcast wakes every waiter at the waker's current time. Safe to call
@@ -357,6 +403,6 @@ func (q *WaitQueue) WakeOne(c *Clock) bool {
 	if len(q.waiters) == 0 {
 		return false
 	}
-	q.pop().wake(c.Now())
+	q.waiters.popMin().wake(c.Now())
 	return true
 }

@@ -22,12 +22,12 @@ func TestWaitQueueHeapProperty(t *testing.T) {
 		var q WaitQueue
 		var reference []*Proc
 		for _, p := range procs {
-			q.push(p)
+			q.waiters.push(p)
 			reference = append(reference, p)
 			checkHeap(t, &q)
 			// Interleave: occasionally pop mid-build.
 			if len(reference) > 1 && rng.Intn(3) == 0 {
-				got := q.pop()
+				got := q.waiters.popMin()
 				want := minProc(reference)
 				if got != want {
 					t.Fatalf("trial %d: pop = proc %d @%v, want proc %d @%v",
@@ -38,7 +38,7 @@ func TestWaitQueueHeapProperty(t *testing.T) {
 			}
 		}
 		for len(reference) > 0 {
-			got := q.pop()
+			got := q.waiters.popMin()
 			want := minProc(reference)
 			if got != want {
 				t.Fatalf("trial %d: drain pop = proc %d @%v, want proc %d @%v",

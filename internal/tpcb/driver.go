@@ -113,8 +113,6 @@ func RunBenchmarkMPLTraced(sys System, clock *sim.Clock, cfg Config, n, mpl int,
 	}
 
 	sched := sim.NewScheduler(clock)
-	var dispatches int64
-	sched.SetDispatchHook(func(p *sim.Proc) { dispatches++ })
 	start := clock.Now()
 	errs := make([]error, mpl)
 	retries := make([]int64, mpl)
@@ -158,6 +156,7 @@ func RunBenchmarkMPLTraced(sys System, clock *sim.Clock, cfg Config, n, mpl int,
 		})
 	}
 	sched.Run()
+	dispatches := sched.Dispatches()
 	tr.Metrics().Set("sched.dispatches", dispatches)
 	for _, err := range errs {
 		if err != nil {
