@@ -93,9 +93,10 @@ type Pool struct {
 	stats     Stats
 
 	tracer *trace.Tracer // nil = tracing off
-	// Counter names are precomputed at SetTracer time so the hot paths do no
-	// string concatenation.
-	ctrHit, ctrMiss, ctrEvict, ctrWriteBack string
+	// Counter handles are resolved at SetTracer time so the hot paths do no
+	// string concatenation and no registry lookups. Nil handles (no tracer)
+	// are free to Add to.
+	ctrHit, ctrMiss, ctrEvict, ctrWriteBack *trace.Counter
 }
 
 // SetTracer attaches a tracer under the given metric prefix (e.g.
@@ -105,10 +106,10 @@ type Pool struct {
 func (p *Pool) SetTracer(tr *trace.Tracer, prefix string) {
 	p.mu.Lock()
 	p.tracer = tr
-	p.ctrHit = prefix + ".hit"
-	p.ctrMiss = prefix + ".miss"
-	p.ctrEvict = prefix + ".evict"
-	p.ctrWriteBack = prefix + ".writeback"
+	p.ctrHit = tr.Counter(prefix + ".hit")
+	p.ctrMiss = tr.Counter(prefix + ".miss")
+	p.ctrEvict = tr.Counter(prefix + ".evict")
+	p.ctrWriteBack = tr.Counter(prefix + ".writeback")
 	p.mu.Unlock()
 }
 
@@ -163,7 +164,7 @@ func (p *Pool) Get(id BlockID, fetch Fetch) (*Buf, error) {
 		}
 		if !b.loading {
 			p.stats.Hits++
-			p.tracer.Count(p.ctrHit, 1)
+			p.ctrHit.Add(1)
 			b.pins++
 			p.lru.MoveToFront(b.elem)
 			p.mu.Unlock()
@@ -176,7 +177,7 @@ func (p *Pool) Get(id BlockID, fetch Fetch) (*Buf, error) {
 		p.cond.Wait()
 	}
 	p.stats.Misses++
-	p.tracer.Count(p.ctrMiss, 1)
+	p.ctrMiss.Add(1)
 	if err := p.makeRoomLocked(); err != nil {
 		p.mu.Unlock()
 		return nil, err
@@ -222,11 +223,11 @@ func (p *Pool) makeRoomLocked() error {
 				return err
 			}
 			p.stats.WriteBacks++
-			p.tracer.Count(p.ctrWriteBack, 1)
+			p.ctrWriteBack.Add(1)
 			b.dirty = false
 		}
 		p.stats.Evictions++
-		p.tracer.Count(p.ctrEvict, 1)
+		p.ctrEvict.Add(1)
 		p.removeLocked(b)
 		return nil
 	}
@@ -331,7 +332,7 @@ func (p *Pool) FlushAll() error {
 			return err
 		}
 		p.stats.WriteBacks++
-		p.tracer.Count(p.ctrWriteBack, 1)
+		p.ctrWriteBack.Add(1)
 		b.dirty = false
 	}
 	return nil

@@ -87,6 +87,9 @@ type Manager struct {
 	locks  *lock.Manager
 	opts   Options
 	tracer *trace.Tracer // from Options.Tracer; nil = tracing off
+	// Metric handles resolved at construction; nil handles are free.
+	ctrCommits, ctrAborts, ctrFlushes *trace.Counter
+	histLatency                       *trace.Hist
 
 	nextTxn uint64
 	// heldBy refcounts buffer holds across active and pending-commit
@@ -115,6 +118,10 @@ func New(fsys *lfs.FS, clock *sim.Clock, opts Options) *Manager {
 		tracer: opts.Tracer,
 		heldBy: make(map[buffer.BlockID]int),
 	}
+	m.ctrCommits = opts.Tracer.Counter("txn.commits")
+	m.ctrAborts = opts.Tracer.Counter("txn.aborts")
+	m.ctrFlushes = opts.Tracer.Counter("core.commitFlushes")
+	m.histLatency = opts.Tracer.Hist("txn.latency")
 	m.locks.SetClock(clock)
 	m.locks.SetTracer(opts.Tracer)
 	clock.OnStall(m.groupCommitStall)
@@ -205,7 +212,7 @@ func (p *Process) TxnBegin() error {
 		start: start,
 	}
 	m.stats.Begun++
-	m.tracer.Instant("txn", "txn.begin", trace.A("txn", p.txn.id))
+	m.tracer.Instant("txn", "txn.begin", trace.AU("txn", p.txn.id))
 	return nil
 }
 
@@ -237,9 +244,9 @@ func (p *Process) TxnCommit() error {
 	if m.tracer.Enabled() {
 		// The span closes when txn_commit returns to the process; a pending
 		// transaction's durability arrives later with the batch flush.
-		m.tracer.Complete("txn", "txn", t.start, trace.A("txn", t.id), trace.A("outcome", "commit"))
-		m.tracer.Observe("txn.latency", m.clock.Now()-t.start)
-		m.tracer.Count("txn.commits", 1)
+		m.tracer.Complete("txn", "txn", t.start, trace.AU("txn", t.id), trace.AS("outcome", "commit"))
+		m.histLatency.Observe(m.clock.Now() - t.start)
+		m.ctrCommits.Add(1)
 	}
 	return nil
 }
@@ -309,8 +316,8 @@ func (m *Manager) flushPendingLocked() error {
 	m.stats.PagesFlushed += int64(pages)
 	m.stats.BytesFlushed += int64(pages) * int64(m.fs.BlockSize())
 	if m.tracer.Enabled() {
-		span.End(trace.A("txns", len(m.pending)), trace.A("pages", pages))
-		m.tracer.Count("core.commitFlushes", 1)
+		span.End(trace.AI("txns", int64(len(m.pending))), trace.AI("pages", int64(pages)))
+		m.ctrFlushes.Add(1)
 	}
 	m.pending = m.pending[:0]
 	return nil
@@ -366,8 +373,8 @@ func (p *Process) TxnAbort() error {
 	p.txn = nil
 	m.stats.Aborted++
 	if m.tracer.Enabled() {
-		m.tracer.Complete("txn", "txn", t.start, trace.A("txn", t.id), trace.A("outcome", "abort"))
-		m.tracer.Count("txn.aborts", 1)
+		m.tracer.Complete("txn", "txn", t.start, trace.AU("txn", t.id), trace.AS("outcome", "abort"))
+		m.ctrAborts.Add(1)
 	}
 	return nil
 }

@@ -82,6 +82,7 @@ type Device struct {
 	fault  FaultFn
 	stats  Stats
 	tracer *trace.Tracer // nil = tracing off (every call is a cheap no-op)
+	rd, wr opTrace       // per-op cached span names and metric handles
 
 	lane       Lane
 	idleCredit time.Duration // foreground idle time not yet spent on background work
@@ -203,12 +204,25 @@ func New(model sim.DiskModel, clock *sim.Clock) *Device {
 	}
 }
 
+// opTrace caches one access direction's span name and metric handles so the
+// per-access hot path neither concatenates strings nor hashes metric names.
+type opTrace struct {
+	span   string
+	lat    *trace.Hist
+	ops    *trace.Counter
+	blocks *trace.Counter
+}
+
 // SetTracer attaches a tracer; each access then emits a disk.read/disk.write
 // complete event with its seek/rotation/transfer/queue breakdown and charges
 // per-proc time attribution. A nil tracer (the default) costs nothing.
 func (d *Device) SetTracer(tr *trace.Tracer) {
 	d.mu.Lock()
 	d.tracer = tr
+	d.rd = opTrace{span: "disk.read", lat: tr.Hist("disk.read"),
+		ops: tr.Counter("disk.reads"), blocks: tr.Counter("disk.read.blocks")}
+	d.wr = opTrace{span: "disk.write", lat: tr.Hist("disk.write"),
+		ops: tr.Counter("disk.writes"), blocks: tr.Counter("disk.write.blocks")}
 	d.mu.Unlock()
 }
 
@@ -256,7 +270,7 @@ func (d *Device) checkRange(block int64, n int) error {
 // exactly. Background accesses bypass the queue — they model work scheduled
 // into idle windows, and their overlap accounting below already bounds how
 // much of them the foreground can absorb.
-func (d *Device) charge(op string, block int64, n int) {
+func (d *Device) charge(ot *opTrace, block int64, n int) {
 	start := d.clock.Now()
 	var qwait time.Duration
 	if d.lane == Foreground {
@@ -299,14 +313,14 @@ func (d *Device) charge(op string, block int64, n int) {
 		if d.lane == Background {
 			lane = "bg"
 		}
-		d.tracer.Complete("disk", "disk."+op, start,
-			trace.A("block", block), trace.A("blocks", n),
-			trace.A("seek_ns", seek.Nanoseconds()), trace.A("rot_ns", rot.Nanoseconds()),
-			trace.A("xfer_ns", xfer.Nanoseconds()), trace.A("queue_ns", qwait.Nanoseconds()),
-			trace.A("lane", lane))
-		d.tracer.Observe("disk."+op, d.clock.Now()-start)
-		d.tracer.Count("disk."+op+"s", 1)
-		d.tracer.Count("disk."+op+".blocks", int64(n))
+		d.tracer.Complete("disk", ot.span, start,
+			trace.AI("block", block), trace.AI("blocks", int64(n)),
+			trace.AI("seek_ns", seek.Nanoseconds()), trace.AI("rot_ns", rot.Nanoseconds()),
+			trace.AI("xfer_ns", xfer.Nanoseconds()), trace.AI("queue_ns", qwait.Nanoseconds()),
+			trace.AS("lane", lane))
+		ot.lat.Observe(d.clock.Now() - start)
+		ot.ops.Add(1)
+		ot.blocks.Add(int64(n))
 	}
 }
 
@@ -359,7 +373,7 @@ func (d *Device) Read(block int64, buf []byte) error {
 	if err := d.checkFault("read", block); err != nil {
 		return err
 	}
-	d.charge("read", block, 1)
+	d.charge(&d.rd, block, 1)
 	d.stats.Reads++
 	d.stats.BlocksRead++
 	if src := d.blocks[block]; src != nil {
@@ -391,7 +405,7 @@ func (d *Device) Write(block int64, buf []byte) error {
 	if !d.noteWrite(block, [][]byte{buf}) {
 		return ErrCrashed
 	}
-	d.charge("write", block, 1)
+	d.charge(&d.wr, block, 1)
 	d.stats.Writes++
 	d.stats.BlocksWrit++
 	d.store(block, buf)
@@ -434,7 +448,7 @@ func (d *Device) WriteRun(start int64, bufs [][]byte) error {
 	if !d.noteWrite(start, bufs) {
 		return ErrCrashed
 	}
-	d.charge("write", start, len(bufs))
+	d.charge(&d.wr, start, len(bufs))
 	d.stats.Writes++
 	d.stats.BlocksWrit += int64(len(bufs))
 	for i, b := range bufs {
@@ -465,7 +479,7 @@ func (d *Device) ReadRun(start int64, bufs [][]byte) error {
 	if err := d.checkFaultRun("read", start, len(bufs)); err != nil {
 		return err
 	}
-	d.charge("read", start, len(bufs))
+	d.charge(&d.rd, start, len(bufs))
 	d.stats.Reads++
 	d.stats.BlocksRead += int64(len(bufs))
 	for i, b := range bufs {

@@ -602,9 +602,9 @@ func (fs *FS) cleanBatchLocked(victims []int64) error {
 	}
 	fs.stats.Cleaner.BlocksWritten += fs.stats.BlocksLogged - logged0
 	if fs.tracer.Enabled() {
-		span.End(trace.A("victims", len(victims)),
-			trace.A("copied", fs.stats.Cleaner.BlocksCopied-copied0),
-			trace.A("dead", fs.stats.Cleaner.BlocksDead-dead0))
+		span.End(trace.AI("victims", int64(len(victims))),
+			trace.AI("copied", fs.stats.Cleaner.BlocksCopied-copied0),
+			trace.AI("dead", fs.stats.Cleaner.BlocksDead-dead0))
 		fs.tracer.Count("cleaner.passes", 1)
 		fs.tracer.Count("cleaner.victims", int64(len(victims)))
 	}

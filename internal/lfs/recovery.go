@@ -140,7 +140,7 @@ func (fs *FS) writeCheckpointLocked() error {
 		return nil
 	}
 	span := fs.tracer.Begin("lfs", "lfs.checkpoint")
-	defer func() { span.End(trace.A("seq", fs.seq)) }()
+	defer func() { span.End(trace.AU("seq", fs.seq)) }()
 	var metaDirty []Ino
 	for _, ino := range detsort.Keys(fs.inodes) {
 		if fs.inodeMetaDirty(fs.inodes[ino]) {

@@ -104,6 +104,9 @@ type Env struct {
 	undo    map[uint64][]undoRec
 	stats   Stats
 	tracer  *trace.Tracer // from Options.Tracer; nil = tracing off
+	// Metric handles resolved at construction; nil handles are free.
+	ctrCommits, ctrAborts       *trace.Counter
+	histLatency, histCommitWait *trace.Hist
 
 	// Blocking group commit (multiprogramming only): commit records of
 	// concurrent transactions accumulate until the batch fills — or no other
@@ -138,6 +141,10 @@ func NewEnv(fsys vfs.FileSystem, clock *sim.Clock, opts Options) (*Env, error) {
 	env.pool = buffer.New(opts.CacheBlocks, fsys.BlockSize(), env.writeback)
 	env.pool.SetTracer(opts.Tracer, "buffer.user")
 	env.locks.SetTracer(opts.Tracer)
+	env.ctrCommits = opts.Tracer.Counter("txn.commits")
+	env.ctrAborts = opts.Tracer.Counter("txn.aborts")
+	env.histLatency = opts.Tracer.Hist("txn.latency")
+	env.histCommitWait = opts.Tracer.Hist("txn.commitWait")
 
 	if _, err := fsys.Stat(opts.LogPath); errors.Is(err, vfs.ErrNotExist) {
 		lg, err := wal.Create(fsys, opts.LogPath)
@@ -254,7 +261,7 @@ func (e *Env) Begin() *Txn {
 	e.stats.Begun++
 	start := e.clock.Now()
 	e.clock.Advance(e.costs.TxnOp + e.costs.Syscall) // subroutine + the syscalls it makes
-	e.tracer.Instant("txn", "txn.begin", trace.A("txn", id))
+	e.tracer.Instant("txn", "txn.begin", trace.AU("txn", id))
 	return &Txn{env: e, id: id, start: start}
 }
 
@@ -314,9 +321,9 @@ func (t *Txn) Commit() error {
 	delete(e.undo, t.id)
 	e.stats.Committed++
 	if e.tracer.Enabled() {
-		e.tracer.Complete("txn", "txn", t.start, trace.A("txn", t.id), trace.A("outcome", "commit"))
-		e.tracer.Observe("txn.latency", e.clock.Now()-t.start)
-		e.tracer.Count("txn.commits", 1)
+		e.tracer.Complete("txn", "txn", t.start, trace.AU("txn", t.id), trace.AS("outcome", "commit"))
+		e.histLatency.Observe(e.clock.Now() - t.start)
+		e.ctrCommits.Add(1)
 	}
 	return nil
 }
@@ -356,7 +363,7 @@ func (e *Env) noteCommitWait(d time.Duration) {
 	}
 	e.tracer.Complete("txn", "txn.commitWait", e.clock.Now()-d)
 	e.tracer.Attribute(trace.AttrCommitWait, d)
-	e.tracer.Observe("txn.commitWait", d)
+	e.histCommitWait.Observe(d)
 }
 
 // forceGroupLocked forces the log on behalf of every pending commit and
@@ -425,8 +432,8 @@ func (t *Txn) Abort() error {
 	delete(e.undo, t.id)
 	e.stats.Aborted++
 	if e.tracer.Enabled() {
-		e.tracer.Complete("txn", "txn", t.start, trace.A("txn", t.id), trace.A("outcome", "abort"))
-		e.tracer.Count("txn.aborts", 1)
+		e.tracer.Complete("txn", "txn", t.start, trace.AU("txn", t.id), trace.AS("outcome", "abort"))
+		e.ctrAborts.Add(1)
 	}
 	return nil
 }
@@ -526,6 +533,10 @@ func RecoverPaths(fsys vfs.FileSystem, clock *sim.Clock, opts Options, dbPaths [
 	env.pool = buffer.New(opts.CacheBlocks, fsys.BlockSize(), env.writeback)
 	env.pool.SetTracer(opts.Tracer, "buffer.user")
 	env.locks.SetTracer(opts.Tracer)
+	env.ctrCommits = opts.Tracer.Counter("txn.commits")
+	env.ctrAborts = opts.Tracer.Counter("txn.aborts")
+	env.histLatency = opts.Tracer.Hist("txn.latency")
+	env.histCommitWait = opts.Tracer.Hist("txn.commitWait")
 	for _, p := range dbPaths {
 		f, err := fsys.Open(p)
 		if errors.Is(err, vfs.ErrNotExist) {

@@ -102,9 +102,10 @@ type Manager struct {
 
 	// clk, when set, lets waiters inside virtual processes suspend in
 	// simulated time on simQ instead of parking their goroutine on cond.
-	clk    *sim.Clock
-	simQ   sim.WaitQueue
-	tracer *trace.Tracer // nil = tracing off
+	clk      *sim.Clock
+	simQ     sim.WaitQueue
+	tracer   *trace.Tracer // nil = tracing off
+	histWait *trace.Hist   // lock.wait latency handle (nil = tracing off)
 
 	// waitHook, when non-nil, is invoked (with mu held) each time a request
 	// is about to park. Tests use it to synchronize on "the waiter is
@@ -139,6 +140,7 @@ func (m *Manager) SetClock(clk *sim.Clock) {
 func (m *Manager) SetTracer(tr *trace.Tracer) {
 	m.mu.Lock()
 	m.tracer = tr
+	m.histWait = tr.Hist("lock.wait")
 	m.mu.Unlock()
 }
 
@@ -243,8 +245,8 @@ func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 			delete(m.waitsFor, txn)
 			m.stats.Deadlocks++
 			m.tracer.Instant("lock", "lock.deadlock",
-				trace.A("txn", uint64(txn)), trace.A("file", obj.File),
-				trace.A("block", obj.Block), trace.A("mode", mode.String()))
+				trace.AU("txn", uint64(txn)), trace.AU("file", obj.File),
+				trace.AI("block", obj.Block), trace.AS("mode", mode.String()))
 			return fmt.Errorf("%w: txn %d on %v (%s)", ErrDeadlock, txn, obj, mode)
 		}
 		if !waited {
@@ -267,10 +269,10 @@ func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 	if blocked > 0 && m.tracer.Enabled() {
 		now := m.clk.Now()
 		m.tracer.Complete("lock", "lock.wait", now-blocked,
-			trace.A("txn", uint64(txn)), trace.A("file", obj.File),
-			trace.A("block", obj.Block), trace.A("mode", mode.String()))
+			trace.AU("txn", uint64(txn)), trace.AU("file", obj.File),
+			trace.AI("block", obj.Block), trace.AS("mode", mode.String()))
 		m.tracer.Attribute(trace.AttrLock, blocked)
-		m.tracer.Observe("lock.wait", blocked)
+		m.histWait.Observe(blocked)
 	}
 	delete(m.waitsFor, txn)
 	h.holders[txn] = mode

@@ -5,9 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"time"
-
-	"repro/internal/detsort"
 )
 
 // WriteChrome writes the recorded events in the Chrome trace-event JSON
@@ -15,7 +14,7 @@ import (
 // Perfetto / chrome://tracing. Timestamps and durations are microseconds
 // with nanosecond precision kept in three decimals. Output is byte-identical
 // across same-seed runs: events are emitted in append order and the
-// metadata thread names iterate the proc map through detsort.
+// metadata thread names walk the slot table in ascending tid order.
 func (t *Tracer) WriteChrome(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
@@ -28,16 +27,22 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		bw.WriteString(line)
 	}
 	if t != nil {
-		t.mu.Lock()
 		emit(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"sim"}}`)
-		for _, tid := range detsort.Keys(t.procs) {
+		for tid, p := range t.procs {
+			if p == nil {
+				continue
+			}
 			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
-				tid, jsonString(t.procNameLocked(tid))))
+				tid, jsonString(t.procName(tid))))
 		}
-		for i := range t.events {
-			emit(chromeEvent(&t.events[i]))
+		for _, blk := range t.full {
+			for i := range blk {
+				emit(chromeEvent(&blk[i]))
+			}
 		}
-		t.mu.Unlock()
+		for i := range t.cur {
+			emit(chromeEvent(&t.cur[i]))
+		}
 	}
 	bw.WriteString("\n]}\n")
 	return bw.Flush()
@@ -52,7 +57,7 @@ func chromeEvent(e *Event) string {
 			if i > 0 {
 				args += ","
 			}
-			args += jsonString(a.Key) + ":" + jsonValue(a.Val)
+			args += jsonString(a.Key) + ":" + jsonValue(a)
 		}
 		args += "}"
 	}
@@ -84,10 +89,17 @@ func jsonString(s string) string {
 	return string(b)
 }
 
-func jsonValue(v any) string {
-	b, err := json.Marshal(v)
-	if err != nil {
-		return jsonString(fmt.Sprint(v))
+// jsonValue renders an Arg's value: integers as decimal literals, strings
+// JSON-escaped — the same bytes encoding/json produced for the old
+// interface-valued Arg, so trace files stay byte-comparable across the
+// tagged-union change.
+func jsonValue(a Arg) string {
+	switch a.kind {
+	case argUint:
+		return strconv.FormatUint(uint64(a.num), 10)
+	case argStr:
+		return jsonString(a.str)
+	default:
+		return strconv.FormatInt(a.num, 10)
 	}
-	return string(b)
 }

@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"sync"
 	"time"
 
 	"repro/internal/detsort"
@@ -26,7 +25,31 @@ var DefaultBounds = []time.Duration{
 	5 * time.Second,
 }
 
-// Hist is a fixed-bucket latency histogram.
+// Counter is a live handle on one named counter. Instrumented hot paths
+// resolve the handle once (Metrics.Counter or Tracer.Counter) and Add to it
+// directly, paying no map lookup per increment. A nil handle (from a nil
+// registry) is safe and free.
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by v.
+func (c *Counter) Add(v int64) {
+	if c != nil {
+		c.v += v
+	}
+}
+
+// Value returns the counter's current value.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Hist is a fixed-bucket latency histogram. Like Counter it doubles as a
+// live handle: resolve once, Observe directly.
 type Hist struct {
 	Bounds []time.Duration
 	Counts []int64 // len(Bounds)+1; last bucket is overflow
@@ -38,7 +61,11 @@ func newHist() *Hist {
 	return &Hist{Bounds: DefaultBounds, Counts: make([]int64, len(DefaultBounds)+1)}
 }
 
-func (h *Hist) observe(d time.Duration) {
+// Observe records d in the histogram. Safe on a nil handle.
+func (h *Hist) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
 	i := 0
 	for i < len(h.Bounds) && d >= h.Bounds[i] {
 		i++
@@ -57,16 +84,44 @@ func (h *Hist) Mean() time.Duration {
 }
 
 // Metrics is a registry of named counters and latency histograms. All
-// methods are nil-receiver safe.
+// methods are nil-receiver safe. Like the Tracer it relies on the
+// cooperative scheduling model instead of locks (see the package comment).
 type Metrics struct {
-	mu       sync.Mutex
-	counters map[string]int64
+	counters map[string]*Counter
 	hists    map[string]*Hist
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{counters: make(map[string]int64), hists: make(map[string]*Hist)}
+	return &Metrics{counters: make(map[string]*Counter), hists: make(map[string]*Hist)}
+}
+
+// Counter returns the live handle for the named counter, creating it on
+// first use (nil, which is safe to Add to, for a nil registry).
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	c := m.counters[name]
+	if c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Hist returns the live handle for the named histogram, creating it on
+// first use (nil, which is safe to Observe on, for a nil registry).
+func (m *Metrics) Hist(name string) *Hist {
+	if m == nil {
+		return nil
+	}
+	h := m.hists[name]
+	if h == nil {
+		h = newHist()
+		m.hists[name] = h
+	}
+	return h
 }
 
 // Add increments the named counter by v.
@@ -74,9 +129,7 @@ func (m *Metrics) Add(name string, v int64) {
 	if m == nil {
 		return
 	}
-	m.mu.Lock()
-	m.counters[name] += v
-	m.mu.Unlock()
+	m.Counter(name).Add(v)
 }
 
 // Set overwrites the named counter with v (used when folding in final
@@ -85,9 +138,7 @@ func (m *Metrics) Set(name string, v int64) {
 	if m == nil {
 		return
 	}
-	m.mu.Lock()
-	m.counters[name] = v
-	m.mu.Unlock()
+	m.Counter(name).v = v
 }
 
 // Observe records d in the named histogram, creating it on first use.
@@ -95,24 +146,15 @@ func (m *Metrics) Observe(name string, d time.Duration) {
 	if m == nil {
 		return
 	}
-	m.mu.Lock()
-	h := m.hists[name]
-	if h == nil {
-		h = newHist()
-		m.hists[name] = h
-	}
-	h.observe(d)
-	m.mu.Unlock()
+	m.Hist(name).Observe(d)
 }
 
-// Counter returns the named counter's current value.
-func (m *Metrics) Counter(name string) int64 {
+// CounterValue returns the named counter's current value.
+func (m *Metrics) CounterValue(name string) int64 {
 	if m == nil {
 		return 0
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.counters[name]
+	return m.counters[name].Value()
 }
 
 // HistSnapshot is the exported form of one histogram. Durations marshal as
@@ -142,10 +184,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	if m == nil {
 		return snap
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, k := range detsort.Keys(m.counters) {
-		snap.Counters[k] = m.counters[k]
+		snap.Counters[k] = m.counters[k].v
 	}
 	for _, k := range detsort.Keys(m.hists) {
 		h := m.hists[k]

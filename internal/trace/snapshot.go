@@ -6,8 +6,6 @@ import (
 	"io"
 	"strings"
 	"time"
-
-	"repro/internal/detsort"
 )
 
 // AttrRow is one proc's "where did simulated time go" breakdown over its
@@ -32,12 +30,9 @@ func (t *Tracer) Attribution() []AttrRow {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var rows []AttrRow
-	for _, tid := range detsort.Keys(t.procs) {
-		p := t.procs[tid]
-		if !p.started {
+	for tid, p := range t.procs {
+		if p == nil || !p.started {
 			continue
 		}
 		end := p.end
@@ -51,7 +46,7 @@ func (t *Tracer) Attribution() []AttrRow {
 			claimed += cat[c]
 		}
 		row := AttrRow{
-			Proc:         t.procNameLocked(tid),
+			Proc:         t.procName(tid),
 			Tid:          tid,
 			Elapsed:      end - p.start,
 			Compute:      max(0, end-p.start-claimed),

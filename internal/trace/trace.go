@@ -18,25 +18,102 @@
 //     (the MPL=1 exact-nanosecond conformance tests are the guard);
 //   - output is byte-identical across same-seed runs: events append in
 //     dispatch order (exactly one virtual process runs at a time), and every
-//     exporter iterates maps through internal/detsort.
+//     exporter walks its state in a deterministic order.
+//
+// The recording hot path is allocation-free in the steady state: Arg is a
+// tagged union (no interface boxing), events and their args are copied into
+// chunked arenas whose blocks are reused-never-moved, and per-proc state
+// lives in a slice indexed by proc slot. Like the simulation itself the
+// Tracer relies on the cooperative scheduling model for safety: exactly one
+// virtual process runs at a time and control moves by channel handoff, so
+// recording needs no locks. A Tracer must not be shared with goroutines
+// outside the simulation while a run is in progress.
 package trace
 
 import (
-	"sync"
 	"time"
 
 	"repro/internal/sim"
 )
 
+// argKind discriminates the Arg union.
+type argKind uint8
+
+const (
+	argInt  argKind = iota // signed integer
+	argUint                // unsigned integer
+	argStr                 // string
+)
+
 // Arg is one key/value annotation on an event. Args are an ordered slice,
-// not a map, so event encoding needs no sorting to be deterministic.
+// not a map, so event encoding needs no sorting to be deterministic. The
+// value is a tagged union of the three types the instrumentation actually
+// emits — integers, unsigned integers, and strings — so building an Arg
+// never boxes through an interface and never allocates.
 type Arg struct {
-	Key string
-	Val any
+	Key  string
+	str  string
+	num  int64
+	kind argKind
 }
 
-// A returns an Arg; it keeps call sites short.
-func A(key string, val any) Arg { return Arg{Key: key, Val: val} }
+// AI returns an integer-valued Arg.
+func AI(key string, v int64) Arg { return Arg{Key: key, num: v, kind: argInt} }
+
+// AU returns an unsigned-integer-valued Arg.
+func AU(key string, v uint64) Arg { return Arg{Key: key, num: int64(v), kind: argUint} }
+
+// AS returns a string-valued Arg.
+func AS(key string, v string) Arg { return Arg{Key: key, str: v, kind: argStr} }
+
+// A returns an Arg from an arbitrary value; it keeps cold call sites and
+// tests short. Hot paths should use the typed constructors (AI, AU, AS),
+// which cannot fall through to the string formatting below.
+func A(key string, val any) Arg {
+	switch v := val.(type) {
+	case int:
+		return AI(key, int64(v))
+	case int64:
+		return AI(key, v)
+	case int32:
+		return AI(key, int64(v))
+	case uint64:
+		return AU(key, v)
+	case uint32:
+		return AU(key, uint64(v))
+	case uint:
+		return AU(key, uint64(v))
+	case string:
+		return AS(key, v)
+	case time.Duration:
+		return AI(key, v.Nanoseconds())
+	default:
+		return AS(key, stringify(val))
+	}
+}
+
+// stringify is the cold fallback for A on unexpected types. Kept out of A so
+// the common cases stay inlinable.
+func stringify(val any) string {
+	type stringer interface{ String() string }
+	if s, ok := val.(stringer); ok {
+		return s.String()
+	}
+	return "?"
+}
+
+// Value returns the Arg's value re-boxed as an interface, for tests and
+// exporters that want the dynamic type back.
+func (a Arg) Value() any {
+	switch a.kind {
+	case argUint:
+		return uint64(a.num)
+	case argStr:
+		return a.str
+	default:
+		return a.num
+	}
+}
 
 // Event phases, following the Chrome trace-event format.
 const (
@@ -44,7 +121,8 @@ const (
 	PhaseInstant  = 'i' // a point event
 )
 
-// Event is one recorded trace event.
+// Event is one recorded trace event. Args points into the Tracer's arg
+// arena; it is immutable once recorded.
 type Event struct {
 	Name  string
 	Cat   string
@@ -97,36 +175,40 @@ func (c AttrCat) String() string {
 // brackets the slot with ProcStart/ProcEnd, the measured interval the
 // attribution report is computed against.
 type procAttr struct {
-	name    string
-	started bool
-	ended   bool
-	start   time.Duration
-	end     time.Duration
-	cat     [numAttrCats]time.Duration
-	base    [numAttrCats]time.Duration // cat at ProcStart; excludes setup work
+	name     string
+	started  bool
+	ended    bool
+	start    time.Duration
+	end      time.Duration
+	cat      [numAttrCats]time.Duration
+	base     [numAttrCats]time.Duration // cat at ProcStart; excludes setup work
+	override []AttrCat                  // attribution redirect stack (PushAttr)
 }
 
+// eventChunkSize is the arena block size for events and args. Blocks are
+// allocated whole and never moved, so event Args subslices stay valid, and
+// the steady-state cost of recording amortises to zero allocations.
+const eventChunkSize = 4096
+
 // Tracer records events, metrics, and per-proc time attribution against one
-// simulated clock. All methods are safe on a nil receiver (no-ops) and safe
-// for concurrent use, though within a deterministic run exactly one virtual
-// process executes at a time, which is what makes append order reproducible.
+// simulated clock. All methods are safe on a nil receiver (no-ops). Safety
+// under concurrency comes from the cooperative scheduling model (see the
+// package comment), not from locks.
 type Tracer struct {
-	mu       sync.Mutex
-	clock    *sim.Clock
-	events   []Event
-	metrics  *Metrics
-	procs    map[int]*procAttr
-	override map[int][]AttrCat // per-slot attribution redirect stack
+	clock   *sim.Clock
+	metrics *Metrics
+	procs   []*procAttr // indexed by proc slot (tid)
+
+	full   [][]Event // sealed event arena blocks, in record order
+	cur    []Event   // open event block, len < cap
+	nEvent int       // total recorded events across full + cur
+	args   []Arg     // open arg arena block; sealed blocks are only
+	// reachable through the events that point into them
 }
 
 // New returns a Tracer stamping events with clock's simulated time.
 func New(clock *sim.Clock) *Tracer {
-	return &Tracer{
-		clock:    clock,
-		metrics:  NewMetrics(),
-		procs:    make(map[int]*procAttr),
-		override: make(map[int][]AttrCat),
-	}
+	return &Tracer{clock: clock, metrics: NewMetrics()}
 }
 
 // Enabled reports whether the tracer is live; instrumentation that must do
@@ -142,19 +224,75 @@ func (t *Tracer) Metrics() *Metrics {
 	return t.metrics
 }
 
+// Counter returns a live handle on the named counter, or nil for a nil
+// tracer; nil handles are safe to Add to. Hot paths resolve their handles
+// once and skip the registry's per-call name lookup thereafter.
+func (t *Tracer) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	return t.metrics.Counter(name)
+}
+
+// Hist returns a live handle on the named latency histogram, or nil for a
+// nil tracer; nil handles are safe to Observe on.
+func (t *Tracer) Hist(name string) *Hist {
+	if t == nil {
+		return nil
+	}
+	return t.metrics.Hist(name)
+}
+
 // tid returns the current proc slot: proc id + 1, or 0 outside proc context.
-// Must be called without t.mu held (it takes the clock's lock).
 func (t *Tracer) tid() int {
 	return t.clock.CurrentProcID() + 1
 }
 
-func (t *Tracer) ensureProcLocked(tid int) *procAttr {
+// proc returns the slot's attribution record, growing the slot table on
+// first sight. Slots are dense small integers (proc id + 1), so a slice
+// beats a map on every record.
+func (t *Tracer) proc(tid int) *procAttr {
+	for tid >= len(t.procs) {
+		t.procs = append(t.procs, nil)
+	}
 	p := t.procs[tid]
 	if p == nil {
 		p = &procAttr{}
 		t.procs[tid] = p
 	}
 	return p
+}
+
+// newEvent appends a zeroed event to the arena and returns it for filling.
+func (t *Tracer) newEvent() *Event {
+	if len(t.cur) == cap(t.cur) {
+		if t.cur != nil {
+			t.full = append(t.full, t.cur)
+		}
+		t.cur = make([]Event, 0, eventChunkSize)
+	}
+	t.cur = append(t.cur, Event{})
+	t.nEvent++
+	return &t.cur[len(t.cur)-1]
+}
+
+// putArgs copies args into the arg arena and returns the stable copy. The
+// caller's slice (typically a stack-allocated variadic) is not retained, so
+// recording an event never forces the call site's args to escape.
+func (t *Tracer) putArgs(args []Arg) []Arg {
+	if len(args) == 0 {
+		return nil
+	}
+	if len(t.args)+len(args) > cap(t.args) {
+		n := eventChunkSize
+		if len(args) > n {
+			n = len(args)
+		}
+		t.args = make([]Arg, 0, n)
+	}
+	start := len(t.args)
+	t.args = append(t.args, args...)
+	return t.args[start:len(t.args):len(t.args)]
 }
 
 // Span is an in-progress operation opened by Begin. The zero Span (from a
@@ -190,13 +328,11 @@ func (t *Tracer) Complete(cat, name string, start time.Duration, args ...Arg) {
 	}
 	now := t.clock.Now()
 	tid := t.tid()
-	t.mu.Lock()
-	t.ensureProcLocked(tid)
-	t.events = append(t.events, Event{
-		Name: name, Cat: cat, Phase: PhaseComplete,
-		TS: start, Dur: now - start, Tid: tid, Args: args,
-	})
-	t.mu.Unlock()
+	t.proc(tid)
+	e := t.newEvent()
+	e.Name, e.Cat, e.Phase = name, cat, PhaseComplete
+	e.TS, e.Dur, e.Tid = start, now-start, tid
+	e.Args = t.putArgs(args)
 }
 
 // Instant records a point event at the current simulated time.
@@ -206,15 +342,15 @@ func (t *Tracer) Instant(cat, name string, args ...Arg) {
 	}
 	now := t.clock.Now()
 	tid := t.tid()
-	t.mu.Lock()
-	t.ensureProcLocked(tid)
-	t.events = append(t.events, Event{
-		Name: name, Cat: cat, Phase: PhaseInstant, TS: now, Tid: tid, Args: args,
-	})
-	t.mu.Unlock()
+	t.proc(tid)
+	e := t.newEvent()
+	e.Name, e.Cat, e.Phase = name, cat, PhaseInstant
+	e.TS, e.Tid = now, tid
+	e.Args = t.putArgs(args)
 }
 
-// Count adds v to the named counter.
+// Count adds v to the named counter. Hot paths should resolve a Counter
+// handle instead and skip the name lookup.
 func (t *Tracer) Count(name string, v int64) {
 	if t == nil {
 		return
@@ -222,7 +358,8 @@ func (t *Tracer) Count(name string, v int64) {
 	t.metrics.Add(name, v)
 }
 
-// Observe records d in the named latency histogram.
+// Observe records d in the named latency histogram. Hot paths should
+// resolve a Hist handle instead and skip the name lookup.
 func (t *Tracer) Observe(name string, d time.Duration) {
 	if t == nil {
 		return
@@ -235,10 +372,7 @@ func (t *Tracer) Attribute(c AttrCat, d time.Duration) {
 	if t == nil || d <= 0 {
 		return
 	}
-	tid := t.tid()
-	t.mu.Lock()
-	t.ensureProcLocked(tid).cat[c] += d
-	t.mu.Unlock()
+	t.proc(t.tid()).cat[c] += d
 }
 
 // AttributeIO charges foreground disk service and queue time, honouring any
@@ -248,16 +382,13 @@ func (t *Tracer) AttributeIO(service, queue time.Duration) {
 	if t == nil {
 		return
 	}
-	tid := t.tid()
-	t.mu.Lock()
-	p := t.ensureProcLocked(tid)
-	if st := t.override[tid]; len(st) > 0 {
+	p := t.proc(t.tid())
+	if st := p.override; len(st) > 0 {
 		p.cat[st[len(st)-1]] += service + queue
 	} else {
 		p.cat[AttrDisk] += service
 		p.cat[AttrQueue] += queue
 	}
-	t.mu.Unlock()
 }
 
 // PushAttr redirects the current proc's subsequent AttributeIO charges to
@@ -267,10 +398,8 @@ func (t *Tracer) PushAttr(c AttrCat) {
 	if t == nil {
 		return
 	}
-	tid := t.tid()
-	t.mu.Lock()
-	t.override[tid] = append(t.override[tid], c)
-	t.mu.Unlock()
+	p := t.proc(t.tid())
+	p.override = append(p.override, c)
 }
 
 // PopAttr undoes the innermost PushAttr of the current proc.
@@ -278,12 +407,10 @@ func (t *Tracer) PopAttr() {
 	if t == nil {
 		return
 	}
-	tid := t.tid()
-	t.mu.Lock()
-	if st := t.override[tid]; len(st) > 0 {
-		t.override[tid] = st[:len(st)-1]
+	p := t.proc(t.tid())
+	if len(p.override) > 0 {
+		p.override = p.override[:len(p.override)-1]
 	}
-	t.mu.Unlock()
 }
 
 // ProcStart brackets the start of the measured interval for the current
@@ -294,15 +421,12 @@ func (t *Tracer) ProcStart(name string) {
 		return
 	}
 	now := t.clock.Now()
-	tid := t.tid()
-	t.mu.Lock()
-	p := t.ensureProcLocked(tid)
+	p := t.proc(t.tid())
 	p.name = name
 	p.started = true
 	p.ended = false
 	p.start = now
 	p.base = p.cat
-	t.mu.Unlock()
 }
 
 // ProcEnd closes the measured interval opened by ProcStart.
@@ -312,22 +436,24 @@ func (t *Tracer) ProcEnd() {
 	}
 	now := t.clock.Now()
 	tid := t.tid()
-	t.mu.Lock()
-	if p := t.procs[tid]; p != nil && p.started {
-		p.end = now
-		p.ended = true
+	if tid < len(t.procs) {
+		if p := t.procs[tid]; p != nil && p.started {
+			p.end = now
+			p.ended = true
+		}
 	}
-	t.mu.Unlock()
 }
 
 // Events returns a copy of the recorded events, in append order.
 func (t *Tracer) Events() []Event {
-	if t == nil {
+	if t == nil || t.nEvent == 0 {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]Event(nil), t.events...)
+	out := make([]Event, 0, t.nEvent)
+	for _, blk := range t.full {
+		out = append(out, blk...)
+	}
+	return append(out, t.cur...)
 }
 
 // EventCount returns the number of recorded events.
@@ -335,15 +461,15 @@ func (t *Tracer) EventCount() int {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.events)
+	return t.nEvent
 }
 
-// procName resolves a slot's display name. Caller must hold t.mu.
-func (t *Tracer) procNameLocked(tid int) string {
-	if p := t.procs[tid]; p != nil && p.name != "" {
-		return p.name
+// procName resolves a slot's display name.
+func (t *Tracer) procName(tid int) string {
+	if tid < len(t.procs) {
+		if p := t.procs[tid]; p != nil && p.name != "" {
+			return p.name
+		}
 	}
 	if tid == 0 {
 		return "global"

@@ -85,12 +85,18 @@ type Manager struct {
 
 	stats  Stats
 	tracer *trace.Tracer // nil = tracing off
+	// Metric handles resolved at SetTracer time; nil handles are free.
+	ctrAbsorbed, ctrForces *trace.Counter
 }
 
 // SetTracer attaches a tracer; log forces then emit wal.force spans, commit
 // appends emit wal.commit instants, and absorbed commits count into the
 // wal.absorbed counter. A nil tracer costs nothing.
-func (m *Manager) SetTracer(tr *trace.Tracer) { m.tracer = tr }
+func (m *Manager) SetTracer(tr *trace.Tracer) {
+	m.tracer = tr
+	m.ctrAbsorbed = tr.Counter("wal.absorbed")
+	m.ctrForces = tr.Counter("wal.forces")
+}
 
 // Create initializes a fresh log file at path.
 func Create(fsys vfs.FileSystem, path string) (*Manager, error) {
@@ -248,7 +254,7 @@ func (m *Manager) LogCommit(txn uint64) (LSN, bool, error) {
 		return 0, false, ErrClosed
 	}
 	lsn := m.append(&Record{Type: RecCommit, Txn: txn})
-	m.tracer.Instant("wal", "wal.commit", trace.A("txn", txn), trace.A("lsn", int64(lsn)))
+	m.tracer.Instant("wal", "wal.commit", trace.AU("txn", txn), trace.AI("lsn", int64(lsn)))
 	m.pendingComms++
 	if m.pendingComms >= m.batch {
 		m.pendingComms = 0
@@ -271,7 +277,7 @@ func (m *Manager) AppendCommit(txn uint64) (LSN, error) {
 		return 0, ErrClosed
 	}
 	lsn := m.append(&Record{Type: RecCommit, Txn: txn})
-	m.tracer.Instant("wal", "wal.commit", trace.A("txn", txn), trace.A("lsn", int64(lsn)))
+	m.tracer.Instant("wal", "wal.commit", trace.AU("txn", txn), trace.AI("lsn", int64(lsn)))
 	return lsn, nil
 }
 
@@ -279,7 +285,7 @@ func (m *Manager) AppendCommit(txn uint64) (LSN, error) {
 // the log, for callers that batch via AppendCommit.
 func (m *Manager) NoteAbsorbed() {
 	m.stats.GroupCommits++
-	m.tracer.Count("wal.absorbed", 1)
+	m.ctrAbsorbed.Add(1)
 }
 
 // LogAbort appends an abort record (no force needed: undo was already
@@ -320,8 +326,8 @@ func (m *Manager) Force() error {
 	m.tail = m.end
 	m.buf = m.buf[:0]
 	m.stats.Forces++
-	span.End(trace.A("bytes", bytes))
-	m.tracer.Count("wal.forces", 1)
+	span.End(trace.AI("bytes", int64(bytes)))
+	m.ctrForces.Add(1)
 	return nil
 }
 
