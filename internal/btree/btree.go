@@ -186,27 +186,36 @@ func (t *Tree) readNode(pageNo int64) (*node, error) {
 	}
 	nkeys := int(le.Uint16(b[1:]))
 	off := nodeHeader
+	// Keys and values alias the page buffer b, which is private to this node:
+	// every mutation path replaces the slice headers (inserts copy the caller's
+	// bytes into fresh slices, splits copy headers wholesale), never writes
+	// through them, so aliasing is safe and saves a per-entry copy. The capped
+	// three-index subslices keep an append from one entry clobbering the next.
 	if n.leaf {
 		n.next = int64(le.Uint64(b[off:]))
 		off += 8
+		n.keys = make([][]byte, nkeys)
+		n.vals = make([][]byte, nkeys)
 		for i := 0; i < nkeys; i++ {
 			klen := int(le.Uint16(b[off:]))
 			vlen := int(le.Uint16(b[off+2:]))
 			off += 4
-			n.keys = append(n.keys, append([]byte(nil), b[off:off+klen]...))
+			n.keys[i] = b[off : off+klen : off+klen]
 			off += klen
-			n.vals = append(n.vals, append([]byte(nil), b[off:off+vlen]...))
+			n.vals[i] = b[off : off+vlen : off+vlen]
 			off += vlen
 		}
 	} else {
-		n.children = append(n.children, int64(le.Uint64(b[off:])))
+		n.keys = make([][]byte, nkeys)
+		n.children = make([]int64, nkeys+1)
+		n.children[0] = int64(le.Uint64(b[off:]))
 		off += 8
 		for i := 0; i < nkeys; i++ {
 			klen := int(le.Uint16(b[off:]))
 			off += 2
-			n.keys = append(n.keys, append([]byte(nil), b[off:off+klen]...))
+			n.keys[i] = b[off : off+klen : off+klen]
 			off += klen
-			n.children = append(n.children, int64(le.Uint64(b[off:])))
+			n.children[i+1] = int64(le.Uint64(b[off:]))
 			off += 8
 		}
 	}

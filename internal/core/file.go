@@ -80,13 +80,18 @@ func (p *Process) lockObject(obj lock.Object, mode lock.Mode) error {
 	// be released as soon as the batch flushes; do that now rather than
 	// sleeping on it.
 	m.mu.Lock()
-	for _, holder := range m.locks.Holders(obj) {
+	pending := false
+	m.locks.EachHolder(obj, func(holder lock.TxnID) bool {
 		if m.isPendingLocked(uint64(holder)) {
-			if err := m.flushPendingLocked(); err != nil {
-				m.mu.Unlock()
-				return err
-			}
-			break
+			pending = true
+			return false
+		}
+		return true
+	})
+	if pending {
+		if err := m.flushPendingLocked(); err != nil {
+			m.mu.Unlock()
+			return err
 		}
 	}
 	m.mu.Unlock()

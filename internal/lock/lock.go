@@ -84,10 +84,54 @@ type Stats struct {
 	DeadlockAborts int64
 }
 
-// head is the per-object lock state.
+// holderEntry is one (transaction, mode) pair in a head's holder list.
+type holderEntry struct {
+	txn  TxnID
+	mode Mode
+}
+
+// head is the per-object lock state. Holders live in a slice sorted by
+// transaction id: holder counts are tiny (one writer or a few readers), so
+// linear operations beat a map, and the maintained order makes every
+// traversal deterministic without sorting keys on each access.
 type head struct {
-	holders map[TxnID]Mode
+	holders []holderEntry
 	waiters int
+}
+
+// get returns txn's held mode, if any.
+func (h *head) get(txn TxnID) (Mode, bool) {
+	for _, e := range h.holders {
+		if e.txn == txn {
+			return e.mode, true
+		}
+	}
+	return 0, false
+}
+
+// set grants or upgrades txn's lock, keeping the slice sorted.
+func (h *head) set(txn TxnID, mode Mode) {
+	i := 0
+	for i < len(h.holders) && h.holders[i].txn < txn {
+		i++
+	}
+	if i < len(h.holders) && h.holders[i].txn == txn {
+		h.holders[i].mode = mode
+		return
+	}
+	h.holders = append(h.holders, holderEntry{})
+	copy(h.holders[i+1:], h.holders[i:])
+	h.holders[i] = holderEntry{txn: txn, mode: mode}
+}
+
+// remove drops txn from the holder list if present.
+func (h *head) remove(txn TxnID) {
+	for i, e := range h.holders {
+		if e.txn == txn {
+			h.holders = append(h.holders[:i], h.holders[i+1:]...)
+			return
+		}
+	}
 }
 
 // Manager is a lock manager. All methods are safe for concurrent use.
@@ -184,24 +228,46 @@ func (m *Manager) Holders(obj Object) []TxnID {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	h := m.table[obj]
-	if h == nil {
+	if h == nil || len(h.holders) == 0 {
 		return nil
 	}
-	return detsort.Keys(h.holders)
+	out := make([]TxnID, len(h.holders))
+	for i, e := range h.holders {
+		out[i] = e.txn
+	}
+	return out
+}
+
+// EachHolder calls fn for each transaction holding obj, in ascending
+// transaction order, stopping early if fn returns false. Unlike Holders it
+// allocates nothing, so callers on per-page-access paths can inspect holders
+// without heap traffic.
+func (m *Manager) EachHolder(obj Object, fn func(TxnID) bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h := m.table[obj]; h != nil {
+		for _, e := range h.holders {
+			if !fn(e.txn) {
+				return
+			}
+		}
+	}
 }
 
 // conflicts reports the set of other holders blocking txn's request, in
 // ascending transaction order. The order matters: it fixes the waits-for
 // edges and therefore which transaction a deadlock search reaches first, so
-// victim choice is stable across identically seeded runs.
+// victim choice is stable across identically seeded runs. The holder slice is
+// kept sorted, so iteration order is deterministic and grant checks (the
+// common, conflict-free case) allocate nothing.
 func (h *head) conflicts(txn TxnID, mode Mode) []TxnID {
 	var out []TxnID
-	for _, other := range detsort.Keys(h.holders) {
-		if other == txn {
+	for _, e := range h.holders {
+		if e.txn == txn {
 			continue
 		}
-		if mode == Write || h.holders[other] == Write {
-			out = append(out, other)
+		if mode == Write || e.mode == Write {
+			out = append(out, e.txn)
 		}
 	}
 	return out
@@ -218,10 +284,10 @@ func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 
 	h := m.table[obj]
 	if h == nil {
-		h = &head{holders: make(map[TxnID]Mode)}
+		h = &head{}
 		m.table[obj] = h
 	}
-	if held, ok := h.holders[txn]; ok {
+	if held, ok := h.get(txn); ok {
 		if held == Write || mode == Read {
 			return nil // already covered
 		}
@@ -275,7 +341,7 @@ func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 		m.histWait.Observe(blocked)
 	}
 	delete(m.waitsFor, txn)
-	h.holders[txn] = mode
+	h.set(txn, mode)
 	if m.byTxn[txn] == nil {
 		m.byTxn[txn] = make(map[Object]Mode)
 	}
@@ -333,7 +399,7 @@ func (m *Manager) wakeLocked() {
 
 func (m *Manager) releaseLocked(txn TxnID, obj Object) {
 	if h := m.table[obj]; h != nil {
-		delete(h.holders, txn)
+		h.remove(txn)
 		if len(h.holders) == 0 && h.waiters == 0 {
 			delete(m.table, obj)
 		}
@@ -360,7 +426,7 @@ func (m *Manager) ReleaseAll(txn TxnID) []Object {
 			written = append(written, obj)
 		}
 		if h := m.table[obj]; h != nil {
-			delete(h.holders, txn)
+			h.remove(txn)
 			if len(h.holders) == 0 && h.waiters == 0 {
 				delete(m.table, obj)
 			}
