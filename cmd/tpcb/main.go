@@ -12,22 +12,28 @@
 //	tpcb -system kernel-lfs -policy greedy
 //	tpcb -system kernel-lfs -cleaner idle -cleanbatch 8
 //	tpcb -system kernel-lfs -mpl 8 -trace trace.json -metrics metrics.json
+//	tpcb -system kernel-lfs -mpl 64 -cpuprofile cpu.pprof -wallstats
 //
 // -trace writes a Chrome trace-event file (load it at ui.perfetto.dev);
 // -metrics writes the full snapshot (result, stats sections, attribution,
 // metrics registry) as JSON. Both are byte-identical across runs with the
 // same flags: the simulation is deterministic and the tracer never perturbs
-// simulated time.
+// simulated time. -cpuprofile/-memprofile profile the simulator itself, and
+// -wallstats adds the (inherently nondeterministic) wall-clock speed line to
+// the report and the snapshot, so keep it off when diffing runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/lfs"
 	"repro/internal/sim"
 	"repro/internal/tpcb"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -43,6 +49,9 @@ func main() {
 	fastSync := flag.Bool("fastsync", false, "model fast user-level synchronization (no test-and-set penalty)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open at ui.perfetto.dev)")
 	metricsOut := flag.String("metrics", "", "write the metrics snapshot (result, stats, attribution, registry) as JSON")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run (go tool pprof)")
+	wallStats := flag.Bool("wallstats", false, "report simulator wall-clock speed (wall ns, dispatches, events/s); nondeterministic, so off by default")
 	flag.Parse()
 
 	if *cleaner != "sync" && *cleaner != "idle" {
@@ -76,17 +85,51 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var res tpcb.Result
+	start := sim.WallNow()
 	if *mpl > 1 {
 		res, err = rig.RunMPL(cfg, *txns, *mpl)
 	} else {
 		res, err = rig.Run(cfg, *txns)
 	}
+	wall := sim.WallNow().Sub(start)
 	if err != nil {
 		fatal(err)
 	}
 
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
 	snap := tpcb.CollectSnapshot(rig, res, rig.Tracer)
+	if *wallStats {
+		ws := &trace.WallStats{WallNS: wall.Nanoseconds(), Dispatches: res.Dispatches}
+		if secs := wall.Seconds(); secs > 0 {
+			ws.EventsPerSec = float64(res.Dispatches) / secs
+		}
+		snap.Wall = ws
+	}
 	fmt.Print(snap.Render())
 
 	if *traceOut != "" {

@@ -13,6 +13,7 @@
 //	txnbench -fig cleaner -json       # machine-readable output
 //	txnbench -fig 4 -cleaner idle -cleanbatch 8
 //	txnbench -fig bench -metrics BENCH_tpcb.json -trace trace.json
+//	txnbench -fig 4 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // All elapsed times are simulated: the workloads run on a simulated RZ55
 // disk with a DECstation-like CPU cost model (see internal/sim).
@@ -23,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/figures"
 )
@@ -36,7 +39,36 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit each report as a JSON object instead of a table")
 	traceOut := flag.String("trace", "", "with -fig bench: write the kernel-lfs run's Chrome trace-event JSON (open at ui.perfetto.dev)")
 	metricsOut := flag.String("metrics", "", "with -fig bench: write the full snapshot sweep as one JSON document")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the figure runs (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the figure runs (go tool pprof)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "txnbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "txnbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "txnbench: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "txnbench: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *cleaner != "" && *cleaner != "sync" && *cleaner != "idle" {
 		fmt.Fprintf(os.Stderr, "txnbench: unknown -cleaner %q (want sync or idle)\n", *cleaner)

@@ -17,7 +17,7 @@ import "regexp"
 // with short testdata import paths.
 var (
 	simCoreRE   = regexp.MustCompile(`(^|/)sim$`)
-	simScopedRE = regexp.MustCompile(`(^|/)internal/(lock|wal|lfs|ffs|core|libtp|buffer|disk|tpcb|figures|crashsweep|trace)(/|$)|^(lock|wal|lfs|ffs|core|libtp|buffer|disk|tpcb|figures|crashsweep|trace)$`)
+	simScopedRE = regexp.MustCompile(`(^|/)internal/(lock|wal|lfs|ffs|core|libtp|buffer|disk|tpcb|figures|crashsweep|trace|btree)(/|$)|^(lock|wal|lfs|ffs|core|libtp|buffer|disk|tpcb|figures|crashsweep|trace|btree)$`)
 )
 
 // IsSimCore reports whether pkgPath is the simulation core (internal/sim),
@@ -26,5 +26,5 @@ func IsSimCore(pkgPath string) bool { return simCoreRE.MatchString(pkgPath) }
 
 // IsSimScoped reports whether pkgPath is one of the simulation packages the
 // mapiter and rawgo analyzers bind: internal/{lock,wal,lfs,ffs,core,libtp,
-// buffer,disk,tpcb,figures,crashsweep,trace}.
+// buffer,disk,tpcb,figures,crashsweep,trace,btree}.
 func IsSimScoped(pkgPath string) bool { return simScopedRE.MatchString(pkgPath) }

@@ -5,43 +5,8 @@ import (
 	"testing"
 )
 
-// simCoreBenchTxns and simCoreBenchScale fix the workload of the simulator
-// wall-clock benchmarks. The numbers are wall-clock measurements of the
-// discrete-event core itself (scheduler dispatch, trace recording, disk-model
-// bookkeeping): the simulated result of every run is identical from one PR to
-// the next unless the simulation's behaviour deliberately changes, so ns/op
-// movements are pure simulator-speed movements. cmd/simbench runs the same
-// scenarios and records them in BENCH_simcore.json so CI can chart the
-// events/sec trajectory PR over PR.
-const (
-	simCoreBenchTxns  = 2000
-	simCoreBenchScale = 0.02
-)
-
-// simCoreBenchRig builds the standard benchmark rig for one scenario. MPL 8
-// and 64 run the paper-faithful sizing, which keeps the runs blocking-heavy
-// and therefore scheduler-heavy — the thing this benchmark exists to time.
-// MPL=256 cannot run under that sizing: with no-steal buffering 256
-// concurrent transactions hold the union of their uncommitted write sets in
-// the pool, and the defaults (cache = db/10, database ≈ half the disk) leave
-// too few free buffers and too few cleanable segments — so that scenario
-// alone gets a bigger pool and disk.
-func simCoreBenchRig(kind string, mpl int, traced bool) (*Rig, Config, error) {
-	cfg := ScaledConfig(simCoreBenchScale)
-	opts := RigOptions{
-		Kind:         kind,
-		Config:       cfg,
-		ExpectedTxns: simCoreBenchTxns,
-		GroupCommit:  8,
-		Trace:        traced,
-	}
-	if mpl > 64 {
-		opts.DiskScale = 3
-		opts.CacheBlocks = 2048
-	}
-	rig, err := BuildRig(opts)
-	return rig, cfg, err
-}
+// The scenarios (workload sizing, rig construction) live in simbench.go so
+// cmd/simbench measures exactly what these benchmarks measure.
 
 // BenchmarkSimCoreTPCB measures wall-clock speed of the discrete-event core
 // on the TPC-B workload at MPL 8, 64, and 256, traced and untraced. Rig
@@ -57,12 +22,12 @@ func BenchmarkSimCoreTPCB(b *testing.B) {
 				var dispatches int64
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
-					rig, cfg, err := simCoreBenchRig("kernel-lfs", mpl, traced)
+					rig, cfg, err := SimCoreBenchRig("kernel-lfs", mpl, traced)
 					if err != nil {
 						b.Fatal(err)
 					}
 					b.StartTimer()
-					res, err := rig.RunMPL(cfg, simCoreBenchTxns, mpl)
+					res, err := rig.RunMPL(cfg, SimCoreBenchTxns, mpl)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -83,12 +48,12 @@ func BenchmarkSimCoreTPCBUserLFS(b *testing.B) {
 	var dispatches int64
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		rig, cfg, err := simCoreBenchRig("user-lfs", 64, false)
+		rig, cfg, err := SimCoreBenchRig("user-lfs", 64, false)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		res, err := rig.RunMPL(cfg, simCoreBenchTxns, 64)
+		res, err := rig.RunMPL(cfg, SimCoreBenchTxns, 64)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,42 @@
+package tpcb
+
+// This file fixes the simulator wall-clock benchmark scenarios shared by the
+// in-package go-test benchmarks (bench_test.go) and cmd/simbench, which runs
+// the same scenarios and records them in BENCH_simcore.json so CI can chart
+// the events/sec trajectory PR over PR. The numbers are wall-clock
+// measurements of the discrete-event core itself (scheduler dispatch, trace
+// recording, disk-model bookkeeping): the simulated result of every run is
+// identical from one PR to the next unless the simulation's behaviour
+// deliberately changes, so wall-time movements are pure simulator-speed
+// movements.
+const (
+	// SimCoreBenchTxns is the transaction count of every benchmark scenario.
+	SimCoreBenchTxns = 2000
+	// SimCoreBenchScale is the TPC-B scale factor of every scenario.
+	SimCoreBenchScale = 0.02
+)
+
+// SimCoreBenchRig builds the standard benchmark rig for one scenario. MPL 8
+// and 64 run the paper-faithful sizing, which keeps the runs blocking-heavy
+// and therefore scheduler-heavy — the thing these benchmarks exist to time.
+// MPL=256 cannot run under that sizing: with no-steal buffering 256
+// concurrent transactions hold the union of their uncommitted write sets in
+// the pool, and the defaults (cache = db/10, database ≈ half the disk) leave
+// too few free buffers and too few cleanable segments — so that scenario
+// alone gets a bigger pool and disk.
+func SimCoreBenchRig(kind string, mpl int, traced bool) (*Rig, Config, error) {
+	cfg := ScaledConfig(SimCoreBenchScale)
+	opts := RigOptions{
+		Kind:         kind,
+		Config:       cfg,
+		ExpectedTxns: SimCoreBenchTxns,
+		GroupCommit:  8,
+		Trace:        traced,
+	}
+	if mpl > 64 {
+		opts.DiskScale = 3
+		opts.CacheBlocks = 2048
+	}
+	rig, err := BuildRig(opts)
+	return rig, cfg, err
+}

@@ -121,6 +121,18 @@ type EmbeddedSection struct {
 	BytesFlushed int64 `json:"bytes_flushed"`
 }
 
+// WallStats reports the simulator's own wall-clock performance for a run:
+// real time spent inside the scheduled run, scheduler dispatches executed,
+// and dispatches per wall-clock second. It measures the simulator, not the
+// simulated system, and is therefore inherently nondeterministic — the
+// collectors never fill it (snapshots must stay byte-identical across
+// same-flag runs); the CLIs populate it only when asked to with -wallstats.
+type WallStats struct {
+	WallNS       int64   `json:"wall_ns"`
+	Dispatches   int64   `json:"dispatches"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
 // Snapshot is the compact end-of-run report: the benchmark result, the
 // per-subsystem statistics, the per-proc time attribution, and the metrics
 // registry. It marshals to byte-stable JSON (encoding/json sorts map keys)
@@ -140,6 +152,7 @@ type Snapshot struct {
 	Embedded    *EmbeddedSection `json:"embedded,omitempty"`
 	Attribution []AttrRow        `json:"attribution,omitempty"`
 	Metrics     *MetricsSnapshot `json:"metrics,omitempty"`
+	Wall        *WallStats       `json:"wall,omitempty"`
 }
 
 // WriteJSON writes the snapshot as indented JSON.
@@ -192,6 +205,10 @@ func (s *Snapshot) Render() string {
 	if w := s.WAL; w != nil {
 		fmt.Fprintf(&b, "wal: %d records, %d bytes, %d forces, %d group-absorbed commits\n",
 			w.Records, w.BytesLogged, w.Forces, w.GroupCommits)
+	}
+	if w := s.Wall; w != nil {
+		fmt.Fprintf(&b, "wall: %v wall-clock, %d dispatches, %.0f events/s (simulator speed, nondeterministic)\n",
+			time.Duration(w.WallNS), w.Dispatches, w.EventsPerSec)
 	}
 	if len(s.Attribution) > 0 {
 		b.WriteString("\nwhere did simulated time go (per proc, measured interval):\n")
