@@ -35,6 +35,7 @@ func main() {
 	txns := flag.Int("txns", 250, "transactions in the golden run")
 	torn := flag.Bool("torn", true, "tear the crashing multi-block write (persist a prefix)")
 	scale := flag.Float64("diskscale", 0.7, "disk size scale (smaller exercises the cleaner)")
+	logSeg := flag.Int64("logseg", 0, "WAL segment rotation threshold in payload bytes for the user-level systems (0 = wal default; small values put crash points on rotation and truncation)")
 	jsonOut := flag.Bool("json", false, "emit each report as a JSON object instead of a table")
 	flag.Parse()
 
@@ -45,12 +46,13 @@ func main() {
 	failed := false
 	for _, sys := range systems {
 		rep, err := crashsweep.Run(crashsweep.Options{
-			System:    sys,
-			Txns:      *txns,
-			Seed:      *seed,
-			Torn:      *torn,
-			MaxPoints: *points,
-			DiskScale: *scale,
+			System:          sys,
+			Txns:            *txns,
+			Seed:            *seed,
+			Torn:            *torn,
+			MaxPoints:       *points,
+			DiskScale:       *scale,
+			LogSegmentBytes: *logSeg,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "crashsweep: %s: %v\n", sys, err)

@@ -47,6 +47,8 @@ func main() {
 	cleanBatch := flag.Int("cleanbatch", 0, "victims per batched cleaning pass (0 = LFS default)")
 	idleTrigger := flag.Int("idletrigger", 0, "free segments at which idle cleaning starts (0 = LFS default)")
 	fastSync := flag.Bool("fastsync", false, "model fast user-level synchronization (no test-and-set penalty)")
+	logSeg := flag.Int64("logseg", 0, "WAL segment rotation threshold in payload bytes (0 = wal default)")
+	logRetain := flag.Bool("logretain", false, "archive dead WAL segments at checkpoint instead of deleting them")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open at ui.perfetto.dev)")
 	metricsOut := flag.String("metrics", "", "write the metrics snapshot (result, stats, attribution, registry) as JSON")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run (go tool pprof)")
@@ -80,6 +82,8 @@ func main() {
 		CleanerMode:      *cleaner,
 		CleanBatch:       *cleanBatch,
 		IdleCleanTrigger: *idleTrigger,
+		LogSegmentBytes:  *logSeg,
+		LogRetain:        *logRetain,
 		Trace:            true,
 	})
 	if err != nil {

@@ -36,6 +36,8 @@ func main() {
 	txns := flag.Int("txns", 5000, "transactions per measured run")
 	cleaner := flag.String("cleaner", "", "override the LFS cleaning discipline for all rigs: sync or idle (default: each system's natural mode)")
 	cleanBatch := flag.Int("cleanbatch", 0, "victims per batched cleaning pass (0 = LFS default)")
+	logSeg := flag.Int64("logseg", 0, "WAL segment rotation threshold in payload bytes for the user-level systems (0 = wal default)")
+	logRetain := flag.Bool("logretain", false, "archive dead WAL segments at checkpoint instead of deleting them")
 	jsonOut := flag.Bool("json", false, "emit each report as a JSON object instead of a table")
 	traceOut := flag.String("trace", "", "with -fig bench: write the kernel-lfs run's Chrome trace-event JSON (open at ui.perfetto.dev)")
 	metricsOut := flag.String("metrics", "", "with -fig bench: write the full snapshot sweep as one JSON document")
@@ -74,7 +76,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "txnbench: unknown -cleaner %q (want sync or idle)\n", *cleaner)
 		os.Exit(2)
 	}
-	opts := figures.Options{Scale: *scale, Txns: *txns, CleanerMode: *cleaner, CleanBatch: *cleanBatch}
+	opts := figures.Options{
+		Scale: *scale, Txns: *txns, CleanerMode: *cleaner, CleanBatch: *cleanBatch,
+		LogSegmentBytes: *logSeg, LogRetain: *logRetain,
+	}
 
 	type job struct {
 		name string

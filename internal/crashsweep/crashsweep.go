@@ -30,6 +30,7 @@ import (
 	"repro/internal/libtp"
 	"repro/internal/tpcb"
 	"repro/internal/vfs"
+	"repro/internal/wal"
 )
 
 // Options configures a sweep.
@@ -56,6 +57,10 @@ type Options struct {
 	// DiskScale shrinks the rig's disk so the cleaner runs during the
 	// sweep (default 1.0).
 	DiskScale float64
+	// LogSegmentBytes bounds the WAL segment size for the user-level
+	// systems (0 = the wal default). Small segments make the sweep cross
+	// rotation, index-write, and checkpoint-truncation boundaries.
+	LogSegmentBytes int64
 }
 
 func (o *Options) fill() error {
@@ -102,8 +107,14 @@ type Report struct {
 	MeanRecovery    time.Duration `json:"mean_recovery_ns"`  // mean simulated recovery time
 	MaxRecovery     time.Duration `json:"max_recovery_ns"`   // worst simulated recovery time
 	CheckpointOps   int64         `json:"checkpoint_ops"`    // ops inside harness checkpoints/drain
-	CleanerTxnSpans int           `json:"cleaner_txn_spans"` // transactions whose span included cleaning
+	CleanerTxnSpans int           `json:"cleaner_txn_spans"` // transactions whose span included cleaning or a WAL segment event
 	MeanReplayTxns  int           `json:"mean_replay_txns"`  // mean committed txns at the crash point
+
+	// Recovery-scan totals, summed over surviving user-level recoveries:
+	// how much log the bounded recovery actually read.
+	ScanSegments int64 `json:"scan_segments,omitempty"`
+	ScanBlocks   int64 `json:"scan_blocks,omitempty"`
+	ScanRecords  int64 `json:"scan_records,omitempty"`
 }
 
 // OK reports whether the sweep found no violations.
@@ -125,6 +136,10 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  survived         %d/%d\n", r.Survived, r.Points)
 	fmt.Fprintf(&b, "  mean recovery    %v (max %v, simulated)\n", r.MeanRecovery, r.MaxRecovery)
 	fmt.Fprintf(&b, "  cleaner spans    %d  mean replay %d txns\n", r.CleanerTxnSpans, r.MeanReplayTxns)
+	if r.ScanSegments > 0 {
+		fmt.Fprintf(&b, "  recovery scans   %d segments, %d blocks, %d records (total over survivors)\n",
+			r.ScanSegments, r.ScanBlocks, r.ScanRecords)
+	}
 	for _, v := range r.Violations {
 		fmt.Fprintf(&b, "  VIOLATION op %d stage=%s committed=%d: %s\n",
 			v.WriteOp, v.Stage, v.Committed, v.Err)
@@ -141,10 +156,11 @@ type span struct {
 
 func buildRig(opts Options) (*tpcb.Rig, error) {
 	return tpcb.BuildRig(tpcb.RigOptions{
-		Kind:         opts.System,
-		Config:       opts.Config,
-		ExpectedTxns: opts.Txns,
-		DiskScale:    opts.DiskScale,
+		Kind:            opts.System,
+		Config:          opts.Config,
+		ExpectedTxns:    opts.Txns,
+		DiskScale:       opts.DiskScale,
+		LogSegmentBytes: opts.LogSegmentBytes,
 	})
 }
 
@@ -166,6 +182,18 @@ func lfsEvents(rig *tpcb.Rig) int64 {
 	return st.Checkpoints + st.Cleaner.Runs
 }
 
+// walEvents snapshots the WAL counters whose changes mark a span as dense:
+// segment rotations, seals, checkpoint truncations/archivals, and checkpoint
+// records. Crashing on every op of such spans covers torn blocks at segment
+// tails, half-written index files, and interrupted truncations.
+func walEvents(rig *tpcb.Rig) int64 {
+	if rig.Env == nil {
+		return 0
+	}
+	st := rig.Env.LogStats()
+	return st.Rotations + st.SegmentsSealed + st.SegmentsDeleted + st.SegmentsArchived + st.Checkpoints
+}
+
 // goldenRun executes the full workload once, recording the write-op spans of
 // every stage. The returned rig has completed the run (for final state
 // inspection); the spans drive crash-point sampling.
@@ -178,10 +206,10 @@ func goldenRun(opts Options) (*tpcb.Rig, []span, int64, error) {
 	gen := tpcb.NewGenerator(opts.Config)
 	spans := make([]span, 0, opts.Txns+opts.Txns/4+2)
 	prev := loadOps
-	events := lfsEvents(rig)
+	events := lfsEvents(rig) + walEvents(rig)
 	note := func(stage string) {
 		cur := rig.Dev.WriteOps()
-		if e := lfsEvents(rig); e != events && stage == "txn" {
+		if e := lfsEvents(rig) + walEvents(rig); e != events && stage == "txn" {
 			stage, events = "txn+event", e
 		}
 		if cur > prev {
@@ -314,51 +342,58 @@ func replayTo(opts Options, n int64) (*tpcb.Rig, []tpcb.Txn, *tpcb.Txn, string, 
 }
 
 // recoverAndVerify reboots the crashed device, runs the system's recovery
-// path, and checks every invariant. It returns the simulated recovery time.
-func recoverAndVerify(opts Options, rig *tpcb.Rig, committed []tpcb.Txn, inFlight *tpcb.Txn) (time.Duration, error) {
+// path, and checks every invariant. It returns the simulated recovery time
+// and, for the user-level systems, the WAL recovery's scan statistics.
+func recoverAndVerify(opts Options, rig *tpcb.Rig, committed []tpcb.Txn, inFlight *tpcb.Txn) (time.Duration, wal.ScanStats, error) {
 	rig.Dev.ClearCrash()
 	start := rig.Clock.Now()
+	libtpOpts := libtp.Options{LogSegmentBytes: opts.LogSegmentBytes}
+	var scan wal.ScanStats
 	var fsys vfs.FileSystem
 	switch opts.System {
 	case "kernel-lfs", "user-lfs":
 		fs2, err := lfs.Mount(rig.Dev, rig.Clock, lfs.Options{CacheBlocks: 256})
 		if err != nil {
-			return 0, fmt.Errorf("mount: %w", err)
+			return 0, scan, fmt.Errorf("mount: %w", err)
 		}
 		if opts.System == "user-lfs" {
-			if _, _, err := libtp.RecoverPaths(fs2, rig.Clock, libtp.Options{}, tpcb.DBPaths()); err != nil {
-				return 0, fmt.Errorf("wal recovery: %w", err)
+			_, walRep, err := libtp.RecoverPaths(fs2, rig.Clock, libtpOpts, tpcb.DBPaths())
+			if err != nil {
+				return 0, scan, fmt.Errorf("wal recovery: %w", err)
 			}
+			scan = walRep.Scan
 		}
 		rep, err := fs2.Fsck()
 		if err != nil {
-			return 0, fmt.Errorf("fsck: %w", err)
+			return 0, scan, fmt.Errorf("fsck: %w", err)
 		}
 		if !rep.OK() {
-			return 0, fmt.Errorf("fsck: inconsistent state: %+v", rep)
+			return 0, scan, fmt.Errorf("fsck: inconsistent state: %+v", rep)
 		}
 		fsys = fs2
 	case "user-ffs":
 		fs2, err := ffs.Mount(rig.Dev, rig.Clock, ffs.Options{CacheBlocks: 256})
 		if err != nil {
-			return 0, fmt.Errorf("mount: %w", err)
+			return 0, scan, fmt.Errorf("mount: %w", err)
 		}
 		// The bitmap rebuild MUST precede WAL replay: replay may extend
 		// files, and allocating from the stale bitmap could clobber
 		// durable blocks the inode table owns.
 		if _, err := fs2.Fsck(); err != nil {
-			return 0, fmt.Errorf("fsck: %w", err)
+			return 0, scan, fmt.Errorf("fsck: %w", err)
 		}
-		if _, _, err := libtp.RecoverPaths(fs2, rig.Clock, libtp.Options{}, tpcb.DBPaths()); err != nil {
-			return 0, fmt.Errorf("wal recovery: %w", err)
+		_, walRep, err := libtp.RecoverPaths(fs2, rig.Clock, libtpOpts, tpcb.DBPaths())
+		if err != nil {
+			return 0, scan, fmt.Errorf("wal recovery: %w", err)
 		}
+		scan = walRep.Scan
 		fsys = fs2
 	}
 	elapsed := rig.Clock.Now() - start
 	if err := tpcb.VerifyState(fsys, committed, inFlight); err != nil {
-		return elapsed, err
+		return elapsed, scan, err
 	}
-	return elapsed, nil
+	return elapsed, scan, nil
 }
 
 // Run executes the sweep and returns its deterministic report.
@@ -397,7 +432,7 @@ func Run(opts Options) (*Report, error) {
 			return nil, fmt.Errorf("crashsweep: point %d: %w", n, err)
 		}
 		replayTxnSum += int64(len(committed))
-		rt, verr := recoverAndVerify(opts, rig, committed, inFlight)
+		rt, scan, verr := recoverAndVerify(opts, rig, committed, inFlight)
 		if verr != nil {
 			rep.Violations = append(rep.Violations, Violation{
 				WriteOp: n, Committed: len(committed), Stage: stage, Err: verr.Error(),
@@ -405,6 +440,9 @@ func Run(opts Options) (*Report, error) {
 			continue
 		}
 		rep.Survived++
+		rep.ScanSegments += scan.Segments
+		rep.ScanBlocks += scan.Blocks
+		rep.ScanRecords += scan.Records
 		recoverySum += rt
 		if rt > rep.MaxRecovery {
 			rep.MaxRecovery = rt

@@ -49,6 +49,38 @@ func TestSweepKernelLFSTorn(t *testing.T) { runSweep(t, "kernel-lfs", true) }
 func TestSweepUserLFSTorn(t *testing.T)   { runSweep(t, "user-lfs", true) }
 func TestSweepUserFFSTorn(t *testing.T)   { runSweep(t, "user-ffs", true) }
 
+// TestSweepSmallSegmentsTorn is the rotation/truncation acceptance sweep:
+// tiny WAL segments make the workload rotate many times and every harness
+// checkpoint truncate dead segments, so crash points land on segment-file
+// creation, torn blocks at segment tails, index writes, anchor rewrites, and
+// interrupted truncations. Zero violations required.
+func TestSweepSmallSegmentsTorn(t *testing.T) {
+	for _, system := range []string{"user-lfs", "user-ffs"} {
+		t.Run(system, func(t *testing.T) {
+			opts := smallOpts(system, true)
+			opts.LogSegmentBytes = 4096
+			rep, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				for _, v := range rep.Violations {
+					t.Errorf("write op %d (stage %s, %d committed): %s", v.WriteOp, v.Stage, v.Committed, v.Err)
+				}
+				t.Fatalf("%d/%d crash points failed with small segments", len(rep.Violations), rep.Points)
+			}
+			if rep.ScanSegments == 0 || rep.ScanRecords == 0 {
+				t.Fatalf("sweep recorded no recovery-scan work: %+v", rep)
+			}
+			// The point of the configuration: the golden run must actually
+			// have crossed segment events inside transaction spans.
+			if rep.CleanerTxnSpans == 0 {
+				t.Fatal("no txn span crossed a WAL segment event; segments not small enough")
+			}
+		})
+	}
+}
+
 // TestSweepSamplingCoversCheckpoints checks the dense sampler actually put
 // points inside checkpoint processing, not just at commit boundaries.
 func TestSweepSamplingCoversCheckpoints(t *testing.T) {

@@ -22,6 +22,16 @@ func (fs *FS) readDirLocked(in *inode) ([]vfs.RawDirEntry, error) {
 
 func (fs *FS) writeDirLocked(in *inode, entries []vfs.RawDirEntry) error {
 	blob := vfs.EncodeDirEntries(entries)
+	// Pad the blob to whole blocks. The entry count inside the first block
+	// is then the sole authority on the directory's contents: a directory
+	// update that stays within one block is atomic on the device, even
+	// though FFS has no log to make the data block and the inode's new size
+	// durable together. Without the padding, a crash between the two writes
+	// leaves a size that disagrees with the entry count, and the blob no
+	// longer decodes.
+	if rem := len(blob) % fs.blockSize; rem != 0 {
+		blob = append(blob, make([]byte, fs.blockSize-rem)...)
+	}
 	if int64(len(blob)) < in.size {
 		if err := fs.truncateLocked(in, int64(len(blob))); err != nil {
 			return err

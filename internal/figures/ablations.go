@@ -29,7 +29,7 @@ func AblationSync(opts Options) (*SyncAblationReport, error) {
 	cfg := tpcb.ScaledConfig(opts.Scale)
 	rep := &SyncAblationReport{Opts: opts}
 	run := func(kind string, costs sim.CostModel) (float64, error) {
-		rig, err := tpcb.BuildRig(tpcb.RigOptions{Kind: kind, Config: cfg, Costs: costs, ExpectedTxns: opts.Txns})
+		rig, err := tpcb.BuildRig(opts.rigLogOptions(tpcb.RigOptions{Kind: kind, Config: cfg, Costs: costs, ExpectedTxns: opts.Txns}))
 		if err != nil {
 			return 0, err
 		}
@@ -110,8 +110,8 @@ func AblationCleaner(opts Options) (*CleanerAblationReport, error) {
 	rep := &CleanerAblationReport{Opts: opts}
 
 	run := func(kind, mode string) (tpcb.Result, *tpcb.Rig, error) {
-		rig, err := tpcb.BuildRig(tpcb.RigOptions{Kind: kind, Config: cfg, Costs: opts.Costs,
-			ExpectedTxns: opts.Txns, CleanerMode: mode, CleanBatch: opts.CleanBatch})
+		rig, err := tpcb.BuildRig(opts.rigLogOptions(tpcb.RigOptions{Kind: kind, Config: cfg, Costs: opts.Costs,
+			ExpectedTxns: opts.Txns, CleanerMode: mode, CleanBatch: opts.CleanBatch}))
 		if err != nil {
 			return tpcb.Result{}, nil, err
 		}
@@ -191,8 +191,8 @@ func AblationGroupCommit(opts Options) (*GroupCommitReport, error) {
 	cfg := tpcb.ScaledConfig(opts.Scale)
 	rep := &GroupCommitReport{Opts: opts, Batches: []int{1, 4, 16}}
 	for _, batch := range rep.Batches {
-		rig, err := tpcb.BuildRig(tpcb.RigOptions{Kind: "user-lfs", Config: cfg, Costs: opts.Costs,
-			GroupCommit: batch, ExpectedTxns: opts.Txns})
+		rig, err := tpcb.BuildRig(opts.rigLogOptions(tpcb.RigOptions{Kind: "user-lfs", Config: cfg, Costs: opts.Costs,
+			GroupCommit: batch, ExpectedTxns: opts.Txns}))
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +238,7 @@ func AblationCommitBytes(opts Options) (*CommitBytesReport, error) {
 	cfg := tpcb.ScaledConfig(opts.Scale)
 	rep := &CommitBytesReport{Opts: opts}
 
-	rigK, err := tpcb.BuildRig(tpcb.RigOptions{Kind: "kernel-lfs", Config: cfg, Costs: opts.Costs, ExpectedTxns: opts.Txns})
+	rigK, err := tpcb.BuildRig(opts.rigLogOptions(tpcb.RigOptions{Kind: "kernel-lfs", Config: cfg, Costs: opts.Costs, ExpectedTxns: opts.Txns}))
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +249,7 @@ func AblationCommitBytes(opts Options) (*CommitBytesReport, error) {
 	rep.KernelBytesPerTxn = float64(rigK.Core.Stats().BytesFlushed) / float64(opts.Txns)
 	rep.KernelTPS = resK.TPS
 
-	rigU, err := tpcb.BuildRig(tpcb.RigOptions{Kind: "user-lfs", Config: cfg, Costs: opts.Costs, ExpectedTxns: opts.Txns})
+	rigU, err := tpcb.BuildRig(opts.rigLogOptions(tpcb.RigOptions{Kind: "user-lfs", Config: cfg, Costs: opts.Costs, ExpectedTxns: opts.Txns}))
 	if err != nil {
 		return nil, err
 	}
@@ -290,8 +290,8 @@ func AblationCleanerPolicy(opts Options) (*CleanerPolicyReport, error) {
 	cfg := tpcb.ScaledConfig(opts.Scale)
 	rep := &CleanerPolicyReport{Opts: opts}
 	for _, pol := range []lfs.CleanerPolicy{lfs.Greedy, lfs.CostBenefit} {
-		rig, err := tpcb.BuildRig(tpcb.RigOptions{Kind: "kernel-lfs", Config: cfg, Costs: opts.Costs,
-			Policy: pol, ExpectedTxns: opts.Txns})
+		rig, err := tpcb.BuildRig(opts.rigLogOptions(tpcb.RigOptions{Kind: "kernel-lfs", Config: cfg, Costs: opts.Costs,
+			Policy: pol, ExpectedTxns: opts.Txns}))
 		if err != nil {
 			return nil, err
 		}

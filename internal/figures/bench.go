@@ -46,7 +46,7 @@ func Bench(opts Options) (*BenchReport, error) {
 					ropts.CleanerMode = "idle"
 				}
 			}
-			rig, err := tpcb.BuildRig(ropts)
+			rig, err := tpcb.BuildRig(opts.rigLogOptions(ropts))
 			if err != nil {
 				return nil, fmt.Errorf("bench %s mpl=%d: %w", kind, l.mpl, err)
 			}

@@ -49,6 +49,18 @@ type Options struct {
 	// GroupCommit is the batch size for the group-commit arm of the MPL
 	// sweep (default 8); the other arm always forces per commit.
 	GroupCommit int
+	// LogSegmentBytes bounds the user-level systems' WAL segment size
+	// (0 = the wal default); LogRetain archives dead segments at checkpoint
+	// instead of deleting them.
+	LogSegmentBytes int64
+	LogRetain       bool
+}
+
+// rigLogOptions copies the WAL segment knobs into a rig configuration.
+func (o Options) rigLogOptions(r tpcb.RigOptions) tpcb.RigOptions {
+	r.LogSegmentBytes = o.LogSegmentBytes
+	r.LogRetain = o.LogRetain
+	return r
 }
 
 func (o *Options) fill() {
@@ -104,7 +116,7 @@ func Figure4(opts Options) (*Figure4Report, error) {
 				ropts.CleanerMode = "idle"
 			}
 		}
-		rig, err := tpcb.BuildRig(ropts)
+		rig, err := tpcb.BuildRig(opts.rigLogOptions(ropts))
 		if err != nil {
 			return nil, fmt.Errorf("figure 4 %s: %w", kind, err)
 		}
@@ -327,7 +339,7 @@ func Figure67(opts Options) (*Figure67Report, error) {
 		scanCoalesced time.Duration
 	}
 	runOne := func(kind string) (sysResult, error) {
-		rig, err := tpcb.BuildRig(tpcb.RigOptions{Kind: kind, Config: cfg, Costs: opts.Costs, ExpectedTxns: opts.Txns})
+		rig, err := tpcb.BuildRig(opts.rigLogOptions(tpcb.RigOptions{Kind: kind, Config: cfg, Costs: opts.Costs, ExpectedTxns: opts.Txns}))
 		if err != nil {
 			return sysResult{}, err
 		}

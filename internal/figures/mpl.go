@@ -68,7 +68,7 @@ func FigureMPL(opts Options) (*FigureMPLReport, error) {
 						ropts.CleanerMode = "idle"
 					}
 				}
-				rig, err := tpcb.BuildRig(ropts)
+				rig, err := tpcb.BuildRig(opts.rigLogOptions(ropts))
 				if err != nil {
 					return nil, fmt.Errorf("mpl sweep %s gc=%d: %w", kind, gc, err)
 				}

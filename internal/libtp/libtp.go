@@ -47,8 +47,15 @@ type Options struct {
 	// GroupCommit batches log forces across this many commits (default 1
 	// = force at every commit).
 	GroupCommit int
-	// LogPath is the write-ahead log file (default "/libtp.log").
+	// LogPath is the write-ahead log's base path (default "/libtp.log");
+	// the log manager materializes rotated {LogPath}.{seq}.txnlog segments,
+	// sidecar indexes, and a {LogPath}.ckpt checkpoint anchor next to it.
 	LogPath string
+	// LogSegmentBytes is the log rotation threshold (0 = the wal default).
+	LogSegmentBytes int64
+	// LogRetain keeps dead log segments as read-only archives instead of
+	// deleting them at checkpoint truncation.
+	LogRetain bool
 	// Tracer, when non-nil, is wired through the environment's buffer pool,
 	// lock manager, and log manager, and transaction begin/commit/abort emit
 	// events with commit-wait attribution.
@@ -146,16 +153,15 @@ func NewEnv(fsys vfs.FileSystem, clock *sim.Clock, opts Options) (*Env, error) {
 	env.histLatency = opts.Tracer.Hist("txn.latency")
 	env.histCommitWait = opts.Tracer.Hist("txn.commitWait")
 
-	if _, err := fsys.Stat(opts.LogPath); errors.Is(err, vfs.ErrNotExist) {
-		lg, err := wal.Create(fsys, opts.LogPath)
+	walOpts := wal.Options{SegmentBytes: opts.LogSegmentBytes, Retain: opts.LogRetain}
+	if !wal.Exists(fsys, opts.LogPath) {
+		lg, err := wal.Create(fsys, opts.LogPath, walOpts)
 		if err != nil {
 			return nil, err
 		}
 		env.log = lg
-	} else if err != nil {
-		return nil, err
 	} else {
-		lg, err := wal.Open(fsys, opts.LogPath)
+		lg, err := wal.Open(fsys, opts.LogPath, walOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -163,8 +169,12 @@ func NewEnv(fsys vfs.FileSystem, clock *sim.Clock, opts Options) (*Env, error) {
 		if err != nil {
 			return nil, err
 		}
-		if len(recs) > 0 {
-			return nil, errors.New("libtp: log contains records; recover with RecoverPaths")
+		// A checkpoint record at the tail is the normal resting state of a
+		// cleanly checkpointed log; anything else needs recovery.
+		for _, r := range recs {
+			if r.Type != wal.RecCheckpoint {
+				return nil, errors.New("libtp: log contains records; recover with RecoverPaths")
+			}
 		}
 		env.log = lg
 	}
@@ -177,6 +187,10 @@ func NewEnv(fsys vfs.FileSystem, clock *sim.Clock, opts Options) (*Env, error) {
 
 // FS returns the underlying file system.
 func (e *Env) FS() vfs.FileSystem { return e.fs }
+
+// LogPath returns the write-ahead log's base path (segments and the
+// checkpoint anchor are materialized next to it).
+func (e *Env) LogPath() string { return e.opts.LogPath }
 
 // Stats returns a snapshot of the counters.
 func (e *Env) Stats() Stats {
@@ -477,8 +491,9 @@ func (e *Env) applyLocked(db uint64, page int64, offset uint32, data []byte) err
 	return nil
 }
 
-// Checkpoint flushes all dirty pages (log first — WAL rule), writes a
-// checkpoint record, and truncates the log. It requires quiescence.
+// Checkpoint flushes all dirty pages (log first — WAL rule), then writes a
+// checkpoint record; the log manager anchors it and truncates the dead
+// segments below the new low-water mark. It requires quiescence.
 func (e *Env) Checkpoint() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -496,10 +511,8 @@ func (e *Env) Checkpoint() error {
 			return err
 		}
 	}
-	if _, err := e.log.LogCheckpoint(); err != nil {
-		return err
-	}
-	return e.log.Reset()
+	_, err := e.log.LogCheckpoint()
+	return err
 }
 
 // recoverLocked replays the log into the (already opened) database files.
@@ -547,7 +560,8 @@ func RecoverPaths(fsys vfs.FileSystem, clock *sim.Clock, opts Options, dbPaths [
 		}
 		env.files[uint64(f.ID())] = f
 	}
-	lg, err := wal.Open(fsys, opts.LogPath)
+	scanStart := clock.Now()
+	lg, err := wal.Open(fsys, opts.LogPath, wal.Options{SegmentBytes: opts.LogSegmentBytes, Retain: opts.LogRetain})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -557,23 +571,29 @@ func RecoverPaths(fsys vfs.FileSystem, clock *sim.Clock, opts Options, dbPaths [
 	if err != nil {
 		return nil, nil, err
 	}
-	// Recovered pages must reach the files before the log is truncated.
+	scan := env.log.LastScanStats()
+	opts.Tracer.Hist("wal.recoveryScan").Observe(clock.Now() - scanStart)
+	opts.Tracer.Counter("wal.recoverySegments").Add(scan.Segments)
+	opts.Tracer.Counter("wal.recoveryBlocks").Add(scan.Blocks)
+	// Recovered pages must reach the files before a fresh checkpoint
+	// truncates the log they were recovered from.
 	for _, id := range detsort.Keys(env.files) {
 		if err := env.files[id].Sync(); err != nil {
 			return nil, nil, err
 		}
 	}
-	if err := env.log.Reset(); err != nil {
+	if _, err := env.log.LogCheckpoint(); err != nil {
 		return nil, nil, err
 	}
 	env.log.SetGroupCommit(opts.GroupCommit)
 	env.locks.SetClock(clock)
 	clock.OnStall(env.groupCommitStall)
-	return env, &RecoveryReport{Winners: w, Losers: l}, nil
+	return env, &RecoveryReport{Winners: w, Losers: l, Scan: scan}, nil
 }
 
 // RecoveryReport summarizes a recovery pass.
 type RecoveryReport struct {
-	Winners int // transactions redone
-	Losers  int // transactions undone
+	Winners int           // transactions redone
+	Losers  int           // transactions undone
+	Scan    wal.ScanStats // how much log the recovery scan had to read
 }

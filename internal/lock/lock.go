@@ -140,9 +140,19 @@ type Manager struct {
 	cond  *sync.Cond
 	table map[Object]*head
 	byTxn map[TxnID]map[Object]Mode
-	// waitsFor[t] is the set of transactions t is currently blocked on.
-	waitsFor map[TxnID]map[TxnID]bool
+	// waitsFor[t] is the list of transactions t is currently blocked on, in
+	// ascending transaction order (the order conflicts produces). Sorted
+	// slices rather than sets: edge counts are tiny, the deadlock DFS can
+	// walk them directly without materializing sorted keys, and iteration is
+	// deterministic by construction.
+	waitsFor map[TxnID][]TxnID
 	stats    Stats
+
+	// dfsSeen and dfsStack are reusable scratch for cycleLocked, so the
+	// deadlock check run before every block allocates nothing in the steady
+	// state. Guarded by mu like everything else.
+	dfsSeen  map[TxnID]bool
+	dfsStack []TxnID
 
 	// clk, when set, lets waiters inside virtual processes suspend in
 	// simulated time on simQ instead of parking their goroutine on cond.
@@ -162,7 +172,8 @@ func NewManager() *Manager {
 	m := &Manager{
 		table:    make(map[Object]*head),
 		byTxn:    make(map[TxnID]map[Object]Mode),
-		waitsFor: make(map[TxnID]map[TxnID]bool),
+		waitsFor: make(map[TxnID][]TxnID),
+		dfsSeen:  make(map[TxnID]bool),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
@@ -301,12 +312,9 @@ func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 		if len(blockers) == 0 {
 			break
 		}
-		// Deadlock check before blocking.
-		bs := make(map[TxnID]bool, len(blockers))
-		for _, b := range blockers {
-			bs[b] = true
-		}
-		m.waitsFor[txn] = bs
+		// Deadlock check before blocking. blockers is already in ascending
+		// transaction order; it becomes txn's waits-for edge list as is.
+		m.waitsFor[txn] = blockers
 		if m.cycleLocked(txn) {
 			delete(m.waitsFor, txn)
 			m.stats.Deadlocks++
@@ -356,27 +364,27 @@ func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 
 // cycleLocked reports whether txn is part of a waits-for cycle. Holder
 // relations are implied by waitsFor edges; a cycle exists when following
-// edges from txn reaches txn again. The DFS visits edges in ascending
-// transaction order so the search (and the victim it implies) is identical
-// across runs.
+// edges from txn reaches txn again. The edge lists are sorted slices, so the
+// traversal is deterministic without per-node key sorting, and the iterative
+// DFS reuses the manager's scratch structures: the check that guards every
+// block is allocation-free in the steady state.
 func (m *Manager) cycleLocked(start TxnID) bool {
-	seen := map[TxnID]bool{}
-	var dfs func(t TxnID) bool
-	dfs = func(t TxnID) bool {
-		for _, next := range detsort.Keys(m.waitsFor[t]) {
+	clear(m.dfsSeen)
+	m.dfsStack = append(m.dfsStack[:0], start)
+	for len(m.dfsStack) > 0 {
+		t := m.dfsStack[len(m.dfsStack)-1]
+		m.dfsStack = m.dfsStack[:len(m.dfsStack)-1]
+		for _, next := range m.waitsFor[t] {
 			if next == start {
 				return true
 			}
-			if !seen[next] {
-				seen[next] = true
-				if dfs(next) {
-					return true
-				}
+			if !m.dfsSeen[next] {
+				m.dfsSeen[next] = true
+				m.dfsStack = append(m.dfsStack, next)
 			}
 		}
-		return false
 	}
-	return dfs(start)
+	return false
 }
 
 // Unlock releases one lock early. Two-phase discipline normally releases

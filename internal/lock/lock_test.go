@@ -186,6 +186,36 @@ func TestUpgradeDeadlock(t *testing.T) {
 	}
 }
 
+func TestCycleCheckAllocationFree(t *testing.T) {
+	// The deadlock check runs before every block; it must not allocate in
+	// the steady state. Build the waits-for graph directly (Lock would park
+	// the goroutine) and probe it under AllocsPerRun.
+	m := NewManager()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id := TxnID(1); id < 8; id++ {
+		m.waitsFor[id] = []TxnID{id + 1}
+	}
+	m.cycleLocked(1) // warm the reusable scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		if m.cycleLocked(1) {
+			t.Error("chain has no cycle")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cycleLocked allocates %v per acyclic probe, want 0", allocs)
+	}
+	m.waitsFor[8] = []TxnID{1} // close the cycle
+	allocs = testing.AllocsPerRun(100, func() {
+		if !m.cycleLocked(1) {
+			t.Error("cycle not found")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cycleLocked allocates %v per cyclic probe, want 0", allocs)
+	}
+}
+
 func TestReleaseAllReturnsWriteSet(t *testing.T) {
 	m := NewManager()
 	m.Lock(1, obj(0), Read)

@@ -61,6 +61,15 @@ func CollectSnapshot(rig *Rig, res Result, tr *trace.Tracer) *trace.Snapshot {
 			BytesLogged:  ws.BytesLogged,
 			Forces:       ws.Forces,
 			GroupCommits: ws.GroupCommits,
+
+			Segments:         ws.Segments,
+			Rotations:        ws.Rotations,
+			SegmentsSealed:   ws.SegmentsSealed,
+			SegmentsDeleted:  ws.SegmentsDeleted,
+			SegmentsArchived: ws.SegmentsArchived,
+			Checkpoints:      ws.Checkpoints,
+			IndexEntries:     ws.IndexEntries,
+			IndexWrites:      ws.IndexWrites,
 		}
 	}
 	if rig.Core != nil {

@@ -50,6 +50,13 @@ type RigOptions struct {
 	// IdleCleanTrigger overrides the free-segment level below which the
 	// background cleaner starts working (0 = the LFS default).
 	IdleCleanTrigger int
+	// LogSegmentBytes bounds the WAL's segment payload size for the
+	// user-level rigs (0 = the wal default). Small segments force frequent
+	// rotations; checkpoints then truncate dead segments.
+	LogSegmentBytes int64
+	// LogRetain archives dead WAL segments at checkpoint instead of
+	// deleting them.
+	LogRetain bool
 	// Trace, when true, makes BuildRig construct a trace.Tracer on the
 	// rig's clock and thread it through every layer — disk, file system,
 	// buffer pools, lock table, log manager, transaction system — and
@@ -183,7 +190,7 @@ func BuildRig(opts RigOptions) (*Rig, error) {
 		}
 		fsys.Pool().SetTracer(tr, "buffer.ffs")
 		rig.FS = fsys
-		env, err := libtp.NewEnv(fsys, clk, libtp.Options{CacheBlocks: cache, Costs: opts.Costs, GroupCommit: opts.GroupCommit, Tracer: tr})
+		env, err := libtp.NewEnv(fsys, clk, libtp.Options{CacheBlocks: cache, Costs: opts.Costs, GroupCommit: opts.GroupCommit, LogSegmentBytes: opts.LogSegmentBytes, LogRetain: opts.LogRetain, Tracer: tr})
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +204,7 @@ func BuildRig(opts RigOptions) (*Rig, error) {
 		fsys.SetTracer(tr)
 		fsys.Pool().SetTracer(tr, "buffer.lfs")
 		rig.FS, rig.LFS = fsys, fsys
-		env, err := libtp.NewEnv(fsys, clk, libtp.Options{CacheBlocks: cache, Costs: opts.Costs, GroupCommit: opts.GroupCommit, Tracer: tr})
+		env, err := libtp.NewEnv(fsys, clk, libtp.Options{CacheBlocks: cache, Costs: opts.Costs, GroupCommit: opts.GroupCommit, LogSegmentBytes: opts.LogSegmentBytes, LogRetain: opts.LogRetain, Tracer: tr})
 		if err != nil {
 			return nil, err
 		}

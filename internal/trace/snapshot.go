@@ -101,6 +101,15 @@ type WALSection struct {
 	BytesLogged  int64 `json:"bytes_logged"`
 	Forces       int64 `json:"forces"`
 	GroupCommits int64 `json:"group_commits"`
+
+	Segments         int64 `json:"segments,omitempty"`
+	Rotations        int64 `json:"rotations,omitempty"`
+	SegmentsSealed   int64 `json:"segments_sealed,omitempty"`
+	SegmentsDeleted  int64 `json:"segments_deleted,omitempty"`
+	SegmentsArchived int64 `json:"segments_archived,omitempty"`
+	Checkpoints      int64 `json:"checkpoints,omitempty"`
+	IndexEntries     int64 `json:"index_entries,omitempty"`
+	IndexWrites      int64 `json:"index_writes,omitempty"`
 }
 
 // LockSection mirrors lock.Stats.
@@ -205,6 +214,11 @@ func (s *Snapshot) Render() string {
 	if w := s.WAL; w != nil {
 		fmt.Fprintf(&b, "wal: %d records, %d bytes, %d forces, %d group-absorbed commits\n",
 			w.Records, w.BytesLogged, w.Forces, w.GroupCommits)
+		if w.Segments > 0 {
+			fmt.Fprintf(&b, "wal: %d segments (%d rotations, %d sealed), %d deleted, %d archived, %d checkpoints, %d index entries in %d writes\n",
+				w.Segments, w.Rotations, w.SegmentsSealed, w.SegmentsDeleted,
+				w.SegmentsArchived, w.Checkpoints, w.IndexEntries, w.IndexWrites)
+		}
 	}
 	if w := s.Wall; w != nil {
 		fmt.Fprintf(&b, "wall: %v wall-clock, %d dispatches, %.0f events/s (simulator speed, nondeterministic)\n",

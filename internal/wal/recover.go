@@ -1,0 +1,499 @@
+package wal
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/vfs"
+)
+
+// ScanStats measures the cost of one recovery scan: how much of the log had
+// to be read to bring the database to a consistent state. Bounded recovery
+// means these numbers track the tail since the last checkpoint, not total
+// log history.
+type ScanStats struct {
+	StartLSN   LSN   `json:"start_lsn"`
+	Segments   int64 `json:"segments"`
+	Blocks     int64 `json:"blocks"`
+	Records    int64 `json:"records"`
+	Bytes      int64 `json:"bytes"` // payload bytes examined
+	IndexSeeks int64 `json:"index_seeks"`
+}
+
+// Create initializes a fresh segmented log rooted at base: it writes the
+// checkpoint anchor ({base}.ckpt) and prepares the first segment, whose
+// file materializes lazily at the first force.
+func Create(fsys vfs.FileSystem, base string, opts Options) (*Manager, error) {
+	opts = opts.withDefaults()
+	af, err := fsys.Create(anchorName(base))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := af.WriteAt(encodeAnchor(anchor{ckptLSN: 0, lowWater: 1}), 0); err != nil {
+		return nil, err
+	}
+	// A full file-system sync: the anchor's directory entry must be durable
+	// too, or a crash leaves the log undiscoverable.
+	if err := fsys.Sync(); err != nil {
+		return nil, err
+	}
+	return &Manager{
+		fsys: fsys, base: base, opts: opts, anchorF: af,
+		lowWater: 1, batch: 1,
+		writers: []*segWriter{{seq: 1}},
+	}, nil
+}
+
+// Exists reports whether a log rooted at base exists (its anchor file does).
+func Exists(fsys vfs.FileSystem, base string) bool {
+	_, err := fsys.Stat(anchorName(base))
+	return err == nil
+}
+
+// Open opens an existing segmented log for recovery and further appending.
+// The open itself is bounded: it reads the anchor, lists the log directory,
+// finishes any truncation a crash interrupted, and loads only the last live
+// segment (whose torn tail, if any, it discards physically). Everything
+// older is touched again only if a recovery scan needs it.
+func Open(fsys vfs.FileSystem, base string, opts Options) (*Manager, error) {
+	opts = opts.withDefaults()
+	af, err := fsys.Open(anchorName(base))
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, anchorSize)
+	n, err := af.ReadAt(raw, 0)
+	if err != nil {
+		return nil, err
+	}
+	a, anchorOK := decodeAnchor(raw[:n])
+
+	segs, err := discoverSegments(fsys, base)
+	if err != nil {
+		return nil, err
+	}
+	if !anchorOK {
+		// Unreadable anchor (it is written atomically, so this means
+		// external damage): fall back to scanning everything present.
+		a = anchor{ckptLSN: 0, lowWater: 1}
+		if len(segs) > 0 {
+			a.lowWater = segs[0]
+		}
+	}
+
+	m := &Manager{
+		fsys: fsys, base: base, opts: opts, anchorF: af,
+		lowWater: a.lowWater, ckptLSN: a.ckptLSN, batch: 1,
+	}
+
+	// Finish any interrupted truncation: segments below the anchored
+	// low-water mark are dead (with Retain they are archives and stay).
+	var live []uint64
+	removed := false
+	for _, seq := range segs {
+		if seq >= a.lowWater {
+			live = append(live, seq)
+			continue
+		}
+		if !opts.Retain {
+			if err := removeIfExists(fsys, segName(base, seq)); err != nil {
+				return nil, err
+			}
+			if err := removeIfExists(fsys, idxName(base, seq)); err != nil {
+				return nil, err
+			}
+			m.stats.SegmentsDeleted++
+			removed = true
+		}
+	}
+
+	// Attach the highest live segment as the active writer. A segment whose
+	// header never became durable holds no acknowledged data (the header is
+	// synced before any block write), so it is deleted and the previous
+	// segment becomes active again.
+	for len(live) > 0 {
+		seq := live[len(live)-1]
+		w, ok, err := m.openSegment(seq)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			if err := removeIfExists(fsys, segName(base, seq)); err != nil {
+				return nil, err
+			}
+			if err := removeIfExists(fsys, idxName(base, seq)); err != nil {
+				return nil, err
+			}
+			live = live[:len(live)-1]
+			removed = true
+			continue
+		}
+		m.writers = []*segWriter{w}
+		break
+	}
+	if m.writers == nil {
+		m.writers = []*segWriter{{seq: a.lowWater}}
+	}
+	if removed {
+		// Same barrier truncateBelow needs: flush the unlinks' deletion
+		// records together with the directory update, so a later log-only
+		// sync cannot persist one without the other (see truncateBelow).
+		if err := fsys.Sync(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Sanity: a checkpoint LSN must point into the live log. The anchor is
+	// written only after the checkpoint record is durable, so this fires
+	// only on external damage; degrade to scanning from the low-water mark.
+	if m.ckptLSN != 0 {
+		w := m.active()
+		seg := m.ckptLSN.Segment()
+		if seg < m.lowWater || seg > w.seq ||
+			(seg == w.seq && m.ckptLSN.Offset() > 0 && m.ckptLSN.Offset() >= w.durable) {
+			m.ckptLSN = 0
+		}
+	}
+	return m, nil
+}
+
+// openSegment loads segment seq as the active writer: validates the header,
+// reassembles the durable payload stream, discards a torn tail physically
+// (rewriting the tail block with the reduced length and truncating the
+// file), and rewrites the segment's index to match. ok=false means the
+// header itself is unreadable (the segment holds no durable data).
+func (m *Manager) openSegment(seq uint64) (*segWriter, bool, error) {
+	f, err := m.fsys.Open(segName(m.base, seq))
+	if err != nil {
+		return nil, false, err
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, false, err
+	}
+	raw := make([]byte, size)
+	if n, err := f.ReadAt(raw, 0); err != nil {
+		f.Close()
+		return nil, false, err
+	} else {
+		raw = raw[:n]
+	}
+	if got, ok := decodeSegHeader(raw); !ok || got != seq {
+		f.Close()
+		return nil, false, nil
+	}
+
+	stream, _, _ := assembleStream(raw)
+	validEnd, starts := parseStream(stream)
+
+	w := &segWriter{seq: seq, f: f, stream: stream[:validEnd:validEnd], durable: validEnd, starts: starts}
+
+	// Physically discard the torn tail: those bytes were never acknowledged
+	// durable, and clearing them keeps waldump output and later rewrites
+	// unambiguous.
+	if int64(len(stream)) > validEnd || size > blockFileOff((validEnd+PayloadSize-1)/PayloadSize) {
+		if validEnd == 0 {
+			if err := f.Truncate(blockFileOff(0)); err != nil {
+				f.Close()
+				return nil, false, err
+			}
+		} else {
+			last := (validEnd - 1) / PayloadSize
+			var blk [BlockSize]byte
+			encodeBlock(blk[:], w.stream[last*PayloadSize:validEnd], w.firstRecIn(last*PayloadSize, validEnd), w.contAt(last*PayloadSize))
+			if _, err := f.WriteAt(blk[:], blockFileOff(last)); err != nil {
+				f.Close()
+				return nil, false, err
+			}
+			if err := f.Truncate(blockFileOff(last) + BlockSize); err != nil {
+				f.Close()
+				return nil, false, err
+			}
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, false, err
+		}
+	}
+
+	// Rewrite the index from the recovered stream (a crash may have left it
+	// behind or torn; it is advisory, so rebuild is cheap and simple).
+	idxF, err := m.fsys.Open(idxName(m.base, seq))
+	if err != nil {
+		if idxF, err = m.fsys.Create(idxName(m.base, seq)); err != nil {
+			f.Close()
+			return nil, false, err
+		}
+	}
+	w.idxF = idxF
+	var buf []byte
+	complete := validEnd / PayloadSize
+	for b := int64(0); b < complete; b++ {
+		fr := w.firstRecIn(b*PayloadSize, (b+1)*PayloadSize)
+		if fr == noFirstRec {
+			continue
+		}
+		var e [indexEntrySize]byte
+		encodeIndexEntry(e[:], indexEntry{lsn: makeLSN(seq, b*PayloadSize+int64(fr)), block: b})
+		buf = append(buf, e[:]...)
+	}
+	if len(buf) > 0 {
+		if _, err := idxF.WriteAt(buf, 0); err != nil {
+			return nil, false, err
+		}
+	}
+	if err := idxF.Truncate(int64(len(buf))); err != nil {
+		return nil, false, err
+	}
+	w.idxNext = complete
+	w.idxCnt = int64(len(buf) / indexEntrySize)
+	return w, true, nil
+}
+
+// assembleStream concatenates the payloads of the valid data blocks of a
+// raw segment image (header block included), stopping at the first invalid
+// block or after a partial (tail) block. It returns the payload stream, the
+// number of blocks read, and whether assembly stopped early on an invalid
+// block (torn).
+func assembleStream(raw []byte) (stream []byte, blocks int64, torn bool) {
+	for off := BlockSize; off+BlockSize <= len(raw); off += BlockSize {
+		bi, ok := decodeBlock(raw[off : off+BlockSize])
+		if !ok {
+			return stream, blocks, true
+		}
+		blocks++
+		stream = append(stream, raw[off+blockHdrSize:off+blockHdrSize+bi.dataLen]...)
+		if bi.dataLen < PayloadSize {
+			break // a partial block is by construction the last
+		}
+	}
+	return stream, blocks, false
+}
+
+// parseStream walks a payload stream record by record, returning the end of
+// the last complete record and every record-start offset before it.
+func parseStream(stream []byte) (validEnd int64, starts []int64) {
+	off := 0
+	for off < len(stream) {
+		_, sz, err := decodeRecord(stream[off:])
+		if err != nil {
+			break
+		}
+		starts = append(starts, int64(off))
+		off += sz
+	}
+	return int64(off), starts
+}
+
+// Scan reads every intact record from the last checkpoint onward (from the
+// low-water segment's start if no checkpoint is anchored). A torn or
+// corrupt tail terminates the scan without error (those records were never
+// acknowledged durable).
+func (m *Manager) Scan() ([]Record, error) {
+	recs, stats, err := m.scanFrom(m.ckptLSN)
+	if err != nil {
+		return nil, err
+	}
+	m.lastScan = stats
+	return recs, nil
+}
+
+// scanFrom reads the durable records with LSN >= from, in order. from == 0
+// means the start of the low-water segment. Sealed segments are read from
+// disk — the first via an index seek when its index helps — and the active
+// segment is served from the in-memory durable stream.
+func (m *Manager) scanFrom(from LSN) ([]Record, ScanStats, error) {
+	if from == 0 {
+		from = makeLSN(m.lowWater, 0)
+	}
+	stats := ScanStats{StartLSN: from}
+	act := m.active()
+	var recs []Record
+	for seq := from.Segment(); seq <= act.seq; seq++ {
+		if seq == act.seq {
+			// Active segment: decode straight from the durable stream.
+			stats.Segments++
+			start := int64(0)
+			if seq == from.Segment() {
+				start = from.Offset()
+			}
+			i := sort.Search(len(act.starts), func(i int) bool { return act.starts[i] >= start })
+			for ; i < len(act.starts) && act.starts[i] < act.durable; i++ {
+				off := act.starts[i]
+				r, sz, err := decodeRecord(act.stream[off:act.durable])
+				if err != nil || off+int64(sz) > act.durable {
+					break
+				}
+				r.LSN = makeLSN(seq, off)
+				recs = append(recs, r)
+				stats.Records++
+				stats.Bytes += int64(sz)
+			}
+			if act.durable > start {
+				stats.Blocks += (act.durable+PayloadSize-1)/PayloadSize - start/PayloadSize
+			}
+			break
+		}
+		segRecs, segStats, torn, err := m.scanSealed(seq, from)
+		if err != nil {
+			return nil, stats, err
+		}
+		recs = append(recs, segRecs...)
+		stats.Segments += segStats.Segments
+		stats.Blocks += segStats.Blocks
+		stats.Records += segStats.Records
+		stats.Bytes += segStats.Bytes
+		stats.IndexSeeks += segStats.IndexSeeks
+		if torn {
+			// Data past a torn point was never acknowledged (segments drain
+			// strictly in order), so the scan ends here.
+			break
+		}
+	}
+	return recs, stats, nil
+}
+
+// scanSealed reads one sealed segment from disk. For the segment containing
+// `from` it consults the index to skip the blocks before the target.
+func (m *Manager) scanSealed(seq uint64, from LSN) (recs []Record, stats ScanStats, torn bool, err error) {
+	f, err := m.fsys.Open(segName(m.base, seq))
+	if err != nil {
+		if vfsNotExist(err) {
+			// A live segment file that is missing means nothing was ever
+			// forced to it (files materialize lazily); skip, not torn.
+			return nil, stats, false, nil
+		}
+		return nil, stats, false, err
+	}
+	defer f.Close()
+	stats.Segments++
+
+	size, err := f.Size()
+	if err != nil {
+		return nil, stats, false, err
+	}
+
+	// Index seek: start reading at the block containing the first record
+	// >= from, instead of block 0.
+	startBlock := int64(0)
+	streamBase := int64(0) // stream offset of startBlock's first payload byte
+	target := int64(0)     // skip records below this stream offset
+	if seq == from.Segment() && from.Offset() > 0 {
+		target = from.Offset()
+		if e, ok := indexSeek(readIndex(m.fsys, m.base, seq), from); ok {
+			startBlock = e.block
+			streamBase = e.block * PayloadSize
+			stats.IndexSeeks++
+		}
+	}
+
+	fileOff := blockFileOff(startBlock)
+	if fileOff > size {
+		return nil, stats, false, nil
+	}
+	raw := make([]byte, size-fileOff+BlockSize)
+	n, err := f.ReadAt(raw, fileOff-BlockSize) // include header block for assembleStream's framing
+	if err != nil {
+		return nil, stats, false, err
+	}
+	raw = raw[:n]
+	if startBlock == 0 {
+		if got, ok := decodeSegHeader(raw); !ok || got != seq {
+			return nil, stats, true, nil
+		}
+	}
+	stream, blocks, torn := assembleStream(raw)
+	stats.Blocks += blocks
+
+	// Find the first record start: at streamBase the index entry guarantees
+	// a record boundary (or we started at block 0 where offset 0 is one).
+	off := int64(0)
+	for off < int64(len(stream)) {
+		r, sz, derr := decodeRecord(stream[off:])
+		if derr != nil {
+			torn = torn || off < int64(len(stream))
+			break
+		}
+		if streamBase+off >= target {
+			r.LSN = makeLSN(seq, streamBase+off)
+			recs = append(recs, r)
+			stats.Records++
+		}
+		stats.Bytes += int64(sz)
+		off += int64(sz)
+	}
+	return recs, stats, torn, nil
+}
+
+func vfsNotExist(err error) bool {
+	return errors.Is(err, vfs.ErrNotExist)
+}
+
+// Recover replays the log from the last checkpoint. Transactions fall into
+// three classes:
+//
+//   - committed (commit record present): their updates are redone in log
+//     order;
+//   - explicitly aborted (abort record present): they are ALSO redone in
+//     log order — the transaction layer logs compensation updates
+//     (after-image = restored before-image) before the abort record, so
+//     replaying the whole sequence reproduces the rollback without ever
+//     moving backwards in history. This is how compensation log records
+//     keep an abort from clobbering later committed writes at recovery.
+//   - in-flight losers (neither record): their before-images are applied
+//     in reverse order. Strict two-phase locking guarantees no later
+//     transaction wrote the same bytes (the loser still held its write
+//     locks at the crash), so reverse undo is safe.
+//
+// apply writes a byte range into a database page. The scan cost is recorded
+// in LastScanStats.
+func (m *Manager) Recover(apply func(file uint64, block int64, offset uint32, data []byte) error) (winners, losers int, err error) {
+	recs, err := m.Scan()
+	if err != nil {
+		return 0, 0, err
+	}
+	committed := map[uint64]bool{}
+	aborted := map[uint64]bool{}
+	seen := map[uint64]bool{}
+	var seenOrder []uint64 // first-appearance order; no map iteration needed
+	for _, r := range recs {
+		switch r.Type {
+		case RecCommit:
+			committed[r.Txn] = true
+		case RecAbort:
+			aborted[r.Txn] = true
+		case RecUpdate:
+			if !seen[r.Txn] {
+				seen[r.Txn] = true
+				seenOrder = append(seenOrder, r.Txn)
+			}
+		}
+	}
+	// Redo committed and aborted-with-compensation transactions forward.
+	for _, r := range recs {
+		if r.Type == RecUpdate && (committed[r.Txn] || aborted[r.Txn]) {
+			if err := apply(r.File, r.Block, r.Offset, r.After); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	// Undo in-flight losers backward.
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		if r.Type == RecUpdate && !committed[r.Txn] && !aborted[r.Txn] {
+			if err := apply(r.File, r.Block, r.Offset, r.Before); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	w, l := 0, 0
+	for _, txn := range seenOrder {
+		if committed[txn] {
+			w++
+		} else {
+			l++
+		}
+	}
+	return w, l, nil
+}

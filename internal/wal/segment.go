@@ -1,0 +1,332 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// On-disk layout. The log is a sequence of rotated segment files named
+// {base}.{seq}.txnlog, each a fixed-size header block followed by 4 KB data
+// blocks. Every data block is independently CRC-protected and records may
+// span block boundaries (the continuation flag marks a block that begins
+// mid-record), so a torn write at a segment tail invalidates exactly the
+// blocks it tore and nothing before them. Each segment has a sidecar index
+// {base}.{seq}.idx of fixed-size entries (LSN of the first record starting
+// in a block → block number), binary-searchable so recovery can seek
+// straight to the block holding the last checkpoint instead of scanning the
+// segment from byte 0. A small anchor file {base}.ckpt records the LSN of
+// the last durable checkpoint and the low-water segment sequence; segments
+// below the low-water mark are dead and are deleted (or retained read-only
+// when archival is configured) by checkpoint-driven truncation.
+const (
+	// BlockSize is the log block size: one file-system block, so a block
+	// write is atomic on both the no-overwrite LFS and the in-place FFS.
+	BlockSize = 4096
+	// blockHdrSize is the per-block header: crc(4) flags(2) dataLen(2)
+	// firstRec(2) reserved(6).
+	blockHdrSize = 16
+	// PayloadSize is the record bytes carried per block.
+	PayloadSize = BlockSize - blockHdrSize
+
+	// segMagic identifies a segment header block ("WSG1").
+	segMagic = 0x31475357
+	// anchorMagic identifies the checkpoint anchor file ("WCKP").
+	anchorMagic = 0x504b4357
+	// formatVersion is the segment/anchor format version.
+	formatVersion = 1
+
+	// flagContinuation marks a block whose first payload bytes continue a
+	// record begun in the previous block.
+	flagContinuation = 1 << 0
+
+	// noFirstRec is the firstRec sentinel for a block that contains no
+	// record start (pure continuation).
+	noFirstRec = 0xFFFF
+
+	// indexEntrySize is the fixed size of one index entry:
+	// lsn(8) block(4) crc(4).
+	indexEntrySize = 16
+
+	// anchorSize is the serialized anchor: magic(4) ver(2) pad(2)
+	// ckptLSN(8) lowWater(8) crc(4).
+	anchorSize = 28
+)
+
+// LSN is a log sequence number: a (segment sequence, stream offset) pair
+// packed into one ordered integer. The stream offset is the byte position of
+// the record in the segment's logical payload stream (block payloads
+// concatenated), so LSNs compare correctly across forces, rotations, and
+// recovery.
+type LSN int64
+
+const lsnOffBits = 40 // 1 TiB per segment, ~8.3M segments
+
+// makeLSN packs a segment sequence and payload-stream offset.
+func makeLSN(seq uint64, off int64) LSN {
+	return LSN(int64(seq)<<lsnOffBits | off)
+}
+
+// Segment returns the segment sequence number the LSN falls in.
+func (l LSN) Segment() uint64 { return uint64(l) >> lsnOffBits }
+
+// Offset returns the payload-stream offset within the segment.
+func (l LSN) Offset() int64 { return int64(l) & (1<<lsnOffBits - 1) }
+
+// String renders an LSN as seq:offset.
+func (l LSN) String() string {
+	return fmt.Sprintf("%d:%d", l.Segment(), l.Offset())
+}
+
+// File naming.
+
+func segName(base string, seq uint64) string {
+	return fmt.Sprintf("%s.%d.txnlog", base, seq)
+}
+
+func idxName(base string, seq uint64) string {
+	return fmt.Sprintf("%s.%d.idx", base, seq)
+}
+
+func anchorName(base string) string { return base + ".ckpt" }
+
+// parseSegName extracts the sequence number from a directory entry name if
+// it matches {baseName}.{seq}.txnlog.
+func parseSegName(baseName, entry string) (uint64, bool) {
+	if !strings.HasPrefix(entry, baseName+".") || !strings.HasSuffix(entry, ".txnlog") {
+		return 0, false
+	}
+	mid := entry[len(baseName)+1 : len(entry)-len(".txnlog")]
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil || seq == 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// discoverSegments lists the existing segment sequence numbers for base, in
+// ascending order, by reading the base's parent directory.
+func discoverSegments(fsys vfs.FileSystem, base string) ([]uint64, error) {
+	dirParts, baseName, ok := vfs.SplitDirBase(base)
+	if !ok {
+		return nil, fmt.Errorf("wal: malformed log base %q", base)
+	}
+	dir := "/" + strings.Join(dirParts, "/")
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if e.IsDir {
+			continue
+		}
+		if seq, ok := parseSegName(baseName, e.Name); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// Segment header block.
+
+func encodeSegHeader(seq uint64) []byte {
+	b := make([]byte, BlockSize)
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], segMagic)
+	le.PutUint16(b[4:], formatVersion)
+	le.PutUint64(b[8:], seq)
+	le.PutUint32(b[16:], BlockSize)
+	le.PutUint32(b[20:], crc32.ChecksumIEEE(b[0:20]))
+	return b
+}
+
+func decodeSegHeader(b []byte) (seq uint64, ok bool) {
+	if len(b) < 24 {
+		return 0, false
+	}
+	le := binary.LittleEndian
+	if le.Uint32(b[0:]) != segMagic || le.Uint16(b[4:]) != formatVersion {
+		return 0, false
+	}
+	if le.Uint32(b[16:]) != BlockSize {
+		return 0, false
+	}
+	if le.Uint32(b[20:]) != crc32.ChecksumIEEE(b[0:20]) {
+		return 0, false
+	}
+	return le.Uint64(b[8:]), true
+}
+
+// blockFileOff returns the file offset of data block n (block 0 is the
+// first data block; the header occupies the file's first BlockSize bytes).
+func blockFileOff(n int64) int64 { return BlockSize * (n + 1) }
+
+// encodeBlock fills dst (BlockSize bytes) with a data block: header +
+// payload + zero padding. firstRec is the payload offset of the first record
+// starting in the block, or noFirstRec; cont marks a continuation block.
+func encodeBlock(dst, payload []byte, firstRec int, cont bool) {
+	le := binary.LittleEndian
+	for i := range dst {
+		dst[i] = 0
+	}
+	var flags uint16
+	if cont {
+		flags |= flagContinuation
+	}
+	le.PutUint16(dst[4:], flags)
+	le.PutUint16(dst[6:], uint16(len(payload)))
+	le.PutUint16(dst[8:], uint16(firstRec))
+	copy(dst[blockHdrSize:], payload)
+	le.PutUint32(dst[0:], crc32.ChecksumIEEE(dst[4:blockHdrSize+len(payload)]))
+}
+
+// blockInfo is a decoded data-block header.
+type blockInfo struct {
+	dataLen  int
+	firstRec int // payload offset, or noFirstRec
+	cont     bool
+}
+
+// decodeBlock validates a data block and returns its header. ok is false for
+// a torn, corrupt, or never-written block — the durable stream ends at the
+// previous block.
+func decodeBlock(b []byte) (blockInfo, bool) {
+	if len(b) < BlockSize {
+		return blockInfo{}, false
+	}
+	le := binary.LittleEndian
+	dataLen := int(le.Uint16(b[6:]))
+	if dataLen == 0 || dataLen > PayloadSize {
+		return blockInfo{}, false
+	}
+	if le.Uint32(b[0:]) != crc32.ChecksumIEEE(b[4:blockHdrSize+dataLen]) {
+		return blockInfo{}, false
+	}
+	return blockInfo{
+		dataLen:  dataLen,
+		firstRec: int(le.Uint16(b[8:])),
+		cont:     le.Uint16(b[4:])&flagContinuation != 0,
+	}, true
+}
+
+// Index entries.
+
+type indexEntry struct {
+	lsn   LSN
+	block int64
+}
+
+func encodeIndexEntry(dst []byte, e indexEntry) {
+	le := binary.LittleEndian
+	le.PutUint64(dst[0:], uint64(e.lsn))
+	le.PutUint32(dst[8:], uint32(e.block))
+	le.PutUint32(dst[12:], crc32.ChecksumIEEE(dst[0:12]))
+}
+
+func decodeIndexEntry(b []byte) (indexEntry, bool) {
+	if len(b) < indexEntrySize {
+		return indexEntry{}, false
+	}
+	le := binary.LittleEndian
+	if le.Uint32(b[12:]) != crc32.ChecksumIEEE(b[0:12]) {
+		return indexEntry{}, false
+	}
+	return indexEntry{lsn: LSN(le.Uint64(b[0:])), block: int64(le.Uint32(b[8:]))}, true
+}
+
+// readIndex loads and validates a segment's index file. Entries must be
+// strictly increasing in both LSN and block and belong to segment seq; the
+// scan stops at the first invalid entry (a torn index write). A missing or
+// empty index is not an error — recovery falls back to scanning the segment.
+func readIndex(fsys vfs.FileSystem, base string, seq uint64) []indexEntry {
+	f, err := fsys.Open(idxName(base, seq))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil || size < indexEntrySize {
+		return nil
+	}
+	raw := make([]byte, size)
+	n, err := f.ReadAt(raw, 0)
+	if err != nil {
+		return nil
+	}
+	raw = raw[:n]
+	var out []indexEntry
+	for off := 0; off+indexEntrySize <= len(raw); off += indexEntrySize {
+		e, ok := decodeIndexEntry(raw[off:])
+		if !ok || e.lsn.Segment() != seq || e.block < 0 {
+			break
+		}
+		if len(out) > 0 && (e.lsn <= out[len(out)-1].lsn || e.block <= out[len(out)-1].block) {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// indexSeek returns the data block to start reading from to find target, and
+// the stream offset of the first record starting there: the last entry with
+// lsn <= target. ok is false when the index cannot help (empty, or target
+// precedes the first entry) and the caller should scan from block 0.
+func indexSeek(entries []indexEntry, target LSN) (indexEntry, bool) {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if entries[mid].lsn <= target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return indexEntry{}, false
+	}
+	return entries[lo-1], true
+}
+
+// Anchor file.
+
+type anchor struct {
+	ckptLSN  LSN
+	lowWater uint64
+}
+
+func encodeAnchor(a anchor) []byte {
+	b := make([]byte, anchorSize)
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], anchorMagic)
+	le.PutUint16(b[4:], formatVersion)
+	le.PutUint64(b[8:], uint64(a.ckptLSN))
+	le.PutUint64(b[16:], a.lowWater)
+	le.PutUint32(b[24:], crc32.ChecksumIEEE(b[0:24]))
+	return b
+}
+
+func decodeAnchor(b []byte) (anchor, bool) {
+	if len(b) < anchorSize {
+		return anchor{}, false
+	}
+	le := binary.LittleEndian
+	if le.Uint32(b[0:]) != anchorMagic || le.Uint16(b[4:]) != formatVersion {
+		return anchor{}, false
+	}
+	if le.Uint32(b[24:]) != crc32.ChecksumIEEE(b[0:24]) {
+		return anchor{}, false
+	}
+	a := anchor{ckptLSN: LSN(le.Uint64(b[8:])), lowWater: le.Uint64(b[16:])}
+	if a.lowWater == 0 {
+		return anchor{}, false
+	}
+	return a, true
+}

@@ -3,10 +3,14 @@
 // logging of byte ranges within pages, supporting both redo and undo
 // recovery, with group commit to amortize the cost of forcing the log.
 //
-// The log is an append-only file on whichever file system the database lives
-// on. Each record carries its transaction, the page it touched, the byte
-// range, and the before- and after-images; commit forces the log to disk
-// (possibly after batching several transactions — group commit, [3]).
+// The log is a sequence of rotated segment files ({base}.{seq}.txnlog) on
+// whichever file system the database lives on, each built from CRC-protected
+// 4 KB blocks (see segment.go for the on-disk format). Each record carries
+// its transaction, the page it touched, the byte range, and the before- and
+// after-images; commit forces the log to disk (possibly after batching
+// several transactions — group commit, [3]). Checkpoints advance a low-water
+// mark recorded in a small anchor file and truncate (or archive) the dead
+// segments below it, so recovery reads the live tail, never total history.
 package wal
 
 import (
@@ -14,14 +18,11 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sort"
 
-	"repro/internal/detsort"
 	"repro/internal/trace"
 	"repro/internal/vfs"
 )
-
-// LSN is a log sequence number: the byte offset of a record in the log file.
-type LSN int64
 
 // RecType discriminates log records.
 type RecType uint8
@@ -34,7 +35,9 @@ const (
 	// RecAbort marks a transaction rolled back.
 	RecAbort
 	// RecCheckpoint records that all dirty pages up to this point were
-	// flushed and lists no active transactions (quiescent checkpoint).
+	// flushed and lists no active transactions (quiescent checkpoint). Its
+	// File field carries the low-water segment sequence the checkpoint
+	// established.
 	RecCheckpoint
 )
 
@@ -50,9 +53,6 @@ type Record struct {
 	After  []byte
 }
 
-// headerSize is the reserved area at the start of the log file.
-const headerSize = 512
-
 const recFixed = 4 + 4 + 1 + 8 + 8 + 8 + 4 + 4 + 4 // len crc type txn file block off blen alen
 
 // Errors.
@@ -61,21 +61,98 @@ var (
 	ErrClosed  = errors.New("wal: log closed")
 )
 
+// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+// is zero: a segment seals once its payload stream reaches this size.
+const DefaultSegmentBytes = 1 << 20
+
+// Options configures the segmented log.
+type Options struct {
+	// SegmentBytes is the rotation threshold: once a segment's payload
+	// stream would exceed it, the segment seals and a new one opens.
+	// 0 means DefaultSegmentBytes.
+	SegmentBytes int64
+	// Retain keeps dead segments on disk (read-only archives for online
+	// backup) instead of deleting them at checkpoint truncation.
+	Retain bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	return o
+}
+
 // Stats counts log activity.
 type Stats struct {
 	Records      int64
-	BytesLogged  int64
+	BytesLogged  int64 // record bytes appended (excludes block framing)
 	Forces       int64 // log forces (synchronous flushes)
 	GroupCommits int64 // commits absorbed into a pending batch
+
+	Segments         int64 // segment files created
+	Rotations        int64 // active-segment seals due to the size threshold
+	SegmentsSealed   int64 // sealed segments fully flushed and closed
+	SegmentsDeleted  int64 // dead segments removed by checkpoint truncation
+	SegmentsArchived int64 // dead segments retained as read-only archives
+	Checkpoints      int64 // checkpoints anchored
+	IndexEntries     int64 // index entries emitted
+	IndexWrites      int64 // index file write batches
 }
 
-// Manager is a write-ahead log.
+// segWriter is the in-memory state of one not-yet-finalized segment: the
+// whole payload stream (records back to the segment's first byte, so tail
+// blocks can be recomposed on rewrite), the durable prefix, and the record
+// start offsets that drive block headers and the index.
+type segWriter struct {
+	seq     uint64
+	f       vfs.File // nil until the first force creates the file
+	idxF    vfs.File
+	stream  []byte  // payload stream: encoded records, contiguous
+	durable int64   // stream prefix durable on disk
+	starts  []int64 // record-start offsets into stream, ascending
+	idxNext int64   // next block to consider for index emission
+	idxCnt  int64   // index entries written so far
+	sealed  bool    // rotation happened; finalize at next force
+}
+
+func (w *segWriter) end() int64 { return int64(len(w.stream)) }
+
+// firstRecIn returns the payload offset (relative to lo) of the first record
+// starting in stream[lo:hi], or noFirstRec.
+func (w *segWriter) firstRecIn(lo, hi int64) int {
+	i := sort.Search(len(w.starts), func(i int) bool { return w.starts[i] >= lo })
+	if i < len(w.starts) && w.starts[i] < hi {
+		return int(w.starts[i] - lo)
+	}
+	return noFirstRec
+}
+
+// contAt reports whether stream position lo falls mid-record (the block
+// beginning there needs the continuation flag).
+func (w *segWriter) contAt(lo int64) bool {
+	if lo == 0 {
+		return false
+	}
+	i := sort.Search(len(w.starts), func(i int) bool { return w.starts[i] >= lo })
+	return !(i < len(w.starts) && w.starts[i] == lo)
+}
+
+// Manager is a write-ahead log over rotated segments.
 type Manager struct {
-	f      vfs.File
-	buf    []byte // unflushed tail
-	tail   int64  // durable end of log (file offset)
-	end    int64  // logical end including buffered records
-	closed bool
+	fsys vfs.FileSystem
+	base string
+	opts Options
+
+	// writers holds the unfinalized segments in ascending sequence order;
+	// the last is the active segment new records append to. Everything
+	// before it is sealed and drains (in order — a sealed segment is fully
+	// durable before the next segment's file even exists) at Force.
+	writers  []*segWriter
+	lowWater uint64 // lowest live segment sequence
+	ckptLSN  LSN    // last anchored checkpoint, 0 = none
+	anchorF  vfs.File
+	closed   bool
 
 	// Group commit: force the log only once every batch commits, or
 	// immediately when batch <= 1 ("sufficiently more transactions have
@@ -83,75 +160,26 @@ type Manager struct {
 	batch        int
 	pendingComms int
 
-	stats  Stats
-	tracer *trace.Tracer // nil = tracing off
+	blockBuf []byte // reusable block-composition scratch for Force
+
+	stats    Stats
+	lastScan ScanStats
+	tracer   *trace.Tracer // nil = tracing off
 	// Metric handles resolved at SetTracer time; nil handles are free.
-	ctrAbsorbed, ctrForces *trace.Counter
+	ctrAbsorbed, ctrForces, ctrRotations, ctrSealed, ctrTruncated, ctrIdxWrites *trace.Counter
 }
 
 // SetTracer attaches a tracer; log forces then emit wal.force spans, commit
-// appends emit wal.commit instants, and absorbed commits count into the
-// wal.absorbed counter. A nil tracer costs nothing.
+// appends emit wal.commit instants, rotations and truncations emit instants,
+// and the wal.* counters accumulate. A nil tracer costs nothing.
 func (m *Manager) SetTracer(tr *trace.Tracer) {
 	m.tracer = tr
 	m.ctrAbsorbed = tr.Counter("wal.absorbed")
 	m.ctrForces = tr.Counter("wal.forces")
-}
-
-// Create initializes a fresh log file at path.
-func Create(fsys vfs.FileSystem, path string) (*Manager, error) {
-	f, err := fsys.Create(path)
-	if err != nil {
-		return nil, err
-	}
-	hdr := make([]byte, headerSize)
-	binary.LittleEndian.PutUint32(hdr, 0x57414c31) // "WAL1"
-	if _, err := f.WriteAt(hdr, 0); err != nil {
-		return nil, err
-	}
-	// A full file-system sync, not just an fsync of the file: the log's
-	// directory entry must be durable too, or a crash before the first
-	// checkpoint leaves the log unreachable by path.
-	if err := fsys.Sync(); err != nil {
-		return nil, err
-	}
-	return &Manager{f: f, tail: headerSize, end: headerSize, batch: 1}, nil
-}
-
-// Open opens an existing log file for recovery and further appending.
-func Open(fsys vfs.FileSystem, path string) (*Manager, error) {
-	f, err := fsys.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	m := &Manager{f: f, batch: 1}
-	// The durable end is found by scanning (the trailing record's end);
-	// Scan tolerates a torn tail.
-	recs, err := m.Scan()
-	if err != nil {
-		return nil, err
-	}
-	end := int64(headerSize)
-	if n := len(recs); n > 0 {
-		last := recs[n-1]
-		end = int64(last.LSN) + int64(recSize(&last))
-	}
-	// Discard the torn tail on disk, not just logically: a crash mid-force
-	// can leave a half-written record (bad CRC) past the last intact one.
-	// Those bytes were never acknowledged durable; truncating them keeps a
-	// later partial overwrite from ever resurrecting stale record fragments.
-	if size, err := f.Size(); err != nil {
-		return nil, err
-	} else if size > end {
-		if err := f.Truncate(end); err != nil {
-			return nil, err
-		}
-		if err := f.Sync(); err != nil {
-			return nil, err
-		}
-	}
-	m.tail, m.end = end, end
-	return m, nil
+	m.ctrRotations = tr.Counter("wal.rotations")
+	m.ctrSealed = tr.Counter("wal.sealed")
+	m.ctrTruncated = tr.Counter("wal.truncated")
+	m.ctrIdxWrites = tr.Counter("wal.indexWrites")
 }
 
 // SetGroupCommit sets the commit batch size: the log is forced once per
@@ -166,8 +194,30 @@ func (m *Manager) SetGroupCommit(batch int) {
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats { return m.stats }
 
-// End returns the logical end of the log.
-func (m *Manager) End() LSN { return LSN(m.end) }
+// LastScanStats reports the cost of the most recent recovery scan.
+func (m *Manager) LastScanStats() ScanStats { return m.lastScan }
+
+// CheckpointLSN returns the last anchored checkpoint LSN (0 if none).
+func (m *Manager) CheckpointLSN() LSN { return m.ckptLSN }
+
+// LowWater returns the lowest live segment sequence.
+func (m *Manager) LowWater() uint64 { return m.lowWater }
+
+// active returns the segment new records append to.
+func (m *Manager) active() *segWriter { return m.writers[len(m.writers)-1] }
+
+// End returns the logical end of the log (the LSN the next record gets).
+func (m *Manager) End() LSN {
+	w := m.active()
+	return makeLSN(w.seq, w.end())
+}
+
+// FlushedTo reports the durable end of the log. Pages whose most recent
+// update has LSN < FlushedTo may be written to the database (WAL rule).
+func (m *Manager) FlushedTo() LSN {
+	w := m.writers[0]
+	return makeLSN(w.seq, w.durable)
+}
 
 func recSize(r *Record) int { return recFixed + len(r.Before) + len(r.After) }
 
@@ -223,13 +273,24 @@ func decodeRecord(b []byte) (Record, int, error) {
 	return r, size, nil
 }
 
-// append adds a record to the in-memory tail and returns its LSN.
+// append adds a record to the active segment's in-memory stream, rotating
+// first if the record would push the stream past the segment threshold, and
+// returns its LSN. Pure memory — no I/O happens until Force.
 func (m *Manager) append(r *Record) LSN {
-	lsn := LSN(m.end)
-	r.LSN = lsn
 	enc := encodeRecord(r)
-	m.buf = append(m.buf, enc...)
-	m.end += int64(len(enc))
+	w := m.active()
+	if w.end() > 0 && w.end()+int64(len(enc)) > m.opts.SegmentBytes {
+		w.sealed = true
+		m.stats.Rotations++
+		m.ctrRotations.Add(1)
+		m.tracer.Instant("wal", "wal.rotate", trace.AU("seq", w.seq+1))
+		w = &segWriter{seq: w.seq + 1}
+		m.writers = append(m.writers, w)
+	}
+	lsn := makeLSN(w.seq, w.end())
+	r.LSN = lsn
+	w.starts = append(w.starts, w.end())
+	w.stream = append(w.stream, enc...)
 	m.stats.Records++
 	m.stats.BytesLogged += int64(len(enc))
 	return lsn
@@ -271,7 +332,9 @@ func (m *Manager) LogCommit(txn uint64) (LSN, bool, error) {
 // touching the manager's own group-commit batching. The multiprogramming
 // commit path uses it: there the environment owns the batching policy,
 // blocking concurrent committers on a shared flush event, and calls Force
-// itself when the batch fills (or the scheduler's timeout arm fires).
+// itself when the batch fills (or the scheduler's timeout arm fires). A
+// rotation triggered mid-batch is safe: the sealed segment simply drains
+// ahead of the active one inside the batch's eventual Force.
 func (m *Manager) AppendCommit(txn uint64) (LSN, error) {
 	if m.closed {
 		return 0, ErrClosed
@@ -297,156 +360,272 @@ func (m *Manager) LogAbort(txn uint64) (LSN, error) {
 	return m.append(&Record{Type: RecAbort, Txn: txn}), nil
 }
 
-// LogCheckpoint appends a quiescent-checkpoint record and forces the log.
+// LogCheckpoint appends a quiescent-checkpoint record, forces the log,
+// anchors the checkpoint (LSN + low-water segment) in the anchor file, and
+// truncates the now-dead segments below the low-water mark. The ordering is
+// crash-safe at every step: until the anchor write is durable, recovery uses
+// the previous checkpoint (whose segments still exist); after it, the dead
+// segments are unreferenced and deleting them is idempotent (Open finishes
+// an interrupted truncation).
 func (m *Manager) LogCheckpoint() (LSN, error) {
 	if m.closed {
 		return 0, ErrClosed
 	}
-	lsn := m.append(&Record{Type: RecCheckpoint})
-	return lsn, m.Force()
+	r := Record{Type: RecCheckpoint}
+	// The record lands in whatever segment is active after a possible
+	// rotation; that segment becomes the new low-water mark. Stamp it into
+	// the record for offline inspection (the anchor is authoritative).
+	// Mirrors append's rotation condition; recSize is File-independent.
+	w := m.active()
+	r.File = w.seq
+	if w.end() > 0 && w.end()+int64(recSize(&r)) > m.opts.SegmentBytes {
+		r.File = w.seq + 1
+	}
+	lsn := m.append(&r)
+	if err := m.Force(); err != nil {
+		return lsn, err
+	}
+	newLow := lsn.Segment()
+	if err := m.writeAnchor(anchor{ckptLSN: lsn, lowWater: newLow}); err != nil {
+		return lsn, err
+	}
+	m.ckptLSN = lsn
+	if err := m.truncateBelow(newLow); err != nil {
+		return lsn, err
+	}
+	m.stats.Checkpoints++
+	m.pendingComms = 0
+	return lsn, nil
 }
 
-// Force flushes all buffered records to the log file and syncs it — the
-// log force at the heart of WAL.
+// writeAnchor atomically replaces the checkpoint anchor (a single sub-block
+// write, atomic on both file systems).
+func (m *Manager) writeAnchor(a anchor) error {
+	if _, err := m.anchorF.WriteAt(encodeAnchor(a), 0); err != nil {
+		return err
+	}
+	return m.anchorF.Sync()
+}
+
+// truncateBelow deletes (or, with Retain, archives in place) every segment
+// with sequence below newLow. Deletion durability is not required: if the
+// crash eats a removal, Open finds the stale segment below the anchored
+// low-water mark and deletes it again. The full-FS sync after the removals
+// IS required, though — an LFS-style host queues each unlink's deletion
+// record for its next flush, whichever file triggers it, while the updated
+// directory block stays dirty in memory. Without the barrier, the next
+// commit force (a log-file-only sync) would persist the inode deletions
+// alone, and a crash there recovers directory entries pointing at dead
+// inodes. The sync flushes the deletions and the directory update as one
+// atomic batch.
+func (m *Manager) truncateBelow(newLow uint64) error {
+	removed := false
+	for seq := m.lowWater; seq < newLow; seq++ {
+		if m.opts.Retain {
+			m.stats.SegmentsArchived++
+			continue
+		}
+		if err := removeIfExists(m.fsys, segName(m.base, seq)); err != nil {
+			return err
+		}
+		if err := removeIfExists(m.fsys, idxName(m.base, seq)); err != nil {
+			return err
+		}
+		removed = true
+		m.stats.SegmentsDeleted++
+		m.ctrTruncated.Add(1)
+		m.tracer.Instant("wal", "wal.truncate", trace.AU("seq", seq))
+	}
+	m.lowWater = newLow
+	if removed {
+		return m.fsys.Sync()
+	}
+	return nil
+}
+
+func removeIfExists(fsys vfs.FileSystem, path string) error {
+	err := fsys.Remove(path)
+	if errors.Is(err, vfs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// dirty reports whether Force has anything to do.
+func (m *Manager) dirty() bool {
+	for _, w := range m.writers {
+		if w.sealed || w.durable < w.end() {
+			return true
+		}
+	}
+	return false
+}
+
+// Force flushes all buffered records to the segment files and syncs them —
+// the log force at the heart of WAL. Segments drain strictly in sequence
+// order: a sealed segment is fully durable (data, index, close) before the
+// next segment's file is created, so a crash can tear at most the last
+// segment on disk.
 func (m *Manager) Force() error {
 	if m.closed {
 		return ErrClosed
 	}
-	if len(m.buf) == 0 {
+	if !m.dirty() {
 		return nil
 	}
 	span := m.tracer.Begin("wal", "wal.force")
-	bytes := len(m.buf)
-	if _, err := m.f.WriteAt(m.buf, m.tail); err != nil {
-		return err
+	var bytes int64
+	for {
+		w := m.writers[0]
+		n, err := m.flushWriter(w)
+		if err != nil {
+			return err
+		}
+		bytes += n
+		if !w.sealed {
+			break
+		}
+		if err := m.finalizeWriter(w); err != nil {
+			return err
+		}
+		m.writers = m.writers[1:]
 	}
-	if err := m.f.Sync(); err != nil {
-		return err
-	}
-	m.tail = m.end
-	m.buf = m.buf[:0]
 	m.stats.Forces++
-	span.End(trace.AI("bytes", int64(bytes)))
+	span.End(trace.AI("bytes", bytes))
 	m.ctrForces.Add(1)
 	return nil
 }
 
-// FlushedTo reports the durable end of the log. Pages whose most recent
-// update has LSN < FlushedTo may be written to the database (WAL rule).
-func (m *Manager) FlushedTo() LSN { return LSN(m.tail) }
-
-// Scan reads every intact record from the start of the log. A torn or
-// corrupt tail terminates the scan without error (those records were never
-// acknowledged durable).
-func (m *Manager) Scan() ([]Record, error) {
-	size, err := m.f.Size()
-	if err != nil {
-		return nil, err
+// flushWriter makes w's whole stream durable: composes the dirty block
+// range (including a rewrite of the previously-partial tail block), writes
+// it in one contiguous I/O, syncs, then emits index entries for the blocks
+// that are now complete. Returns the count of newly durable stream bytes.
+func (m *Manager) flushWriter(w *segWriter) (int64, error) {
+	end := w.end()
+	if w.durable >= end {
+		return 0, nil
 	}
-	if size <= headerSize {
-		return nil, nil
-	}
-	raw := make([]byte, size-headerSize)
-	n, err := m.f.ReadAt(raw, headerSize)
-	if err != nil {
-		return nil, err
-	}
-	raw = raw[:n]
-	var recs []Record
-	off := 0
-	for off < len(raw) {
-		r, sz, err := decodeRecord(raw[off:])
-		if err != nil {
-			break // torn tail
+	if w.f == nil {
+		if err := m.createSegment(w); err != nil {
+			return 0, err
 		}
-		r.LSN = LSN(headerSize + off)
-		recs = append(recs, r)
-		off += sz
 	}
-	return recs, nil
+	b0 := w.durable / PayloadSize
+	b1 := (end - 1) / PayloadSize
+	need := int((b1 - b0 + 1) * BlockSize)
+	if cap(m.blockBuf) < need {
+		m.blockBuf = make([]byte, need)
+	}
+	buf := m.blockBuf[:need]
+	for b := b0; b <= b1; b++ {
+		lo := b * PayloadSize
+		hi := lo + PayloadSize
+		if hi > end {
+			hi = end
+		}
+		dst := buf[(b-b0)*BlockSize : (b-b0+1)*BlockSize]
+		encodeBlock(dst, w.stream[lo:hi], w.firstRecIn(lo, hi), w.contAt(lo))
+	}
+	if _, err := w.f.WriteAt(buf, blockFileOff(b0)); err != nil {
+		return 0, err
+	}
+	if err := w.f.Sync(); err != nil {
+		return 0, err
+	}
+	written := end - w.durable
+	w.durable = end
+	return written, m.flushIndex(w, false)
 }
 
-// Recover replays the log. Transactions fall into three classes:
-//
-//   - committed (commit record present): their updates are redone in log
-//     order;
-//   - explicitly aborted (abort record present): they are ALSO redone in
-//     log order — the transaction layer logs compensation updates
-//     (after-image = restored before-image) before the abort record, so
-//     replaying the whole sequence reproduces the rollback without ever
-//     moving backwards in history. This is how compensation log records
-//     keep an abort from clobbering later committed writes at recovery.
-//   - in-flight losers (neither record): their before-images are applied
-//     in reverse order. Strict two-phase locking guarantees no later
-//     transaction wrote the same bytes (the loser still held its write
-//     locks at the crash), so reverse undo is safe.
-//
-// apply writes a byte range into a database page.
-func (m *Manager) Recover(apply func(file uint64, block int64, offset uint32, data []byte) error) (winners, losers int, err error) {
-	recs, err := m.Scan()
+// createSegment lazily materializes w's segment and index files, making
+// their directory entries durable before any data is acknowledged.
+func (m *Manager) createSegment(w *segWriter) error {
+	f, err := m.fsys.Create(segName(m.base, w.seq))
 	if err != nil {
-		return 0, 0, err
-	}
-	committed := map[uint64]bool{}
-	aborted := map[uint64]bool{}
-	seen := map[uint64]bool{}
-	for _, r := range recs {
-		switch r.Type {
-		case RecCommit:
-			committed[r.Txn] = true
-		case RecAbort:
-			aborted[r.Txn] = true
-		case RecUpdate:
-			seen[r.Txn] = true
-		}
-	}
-	// Redo committed and aborted-with-compensation transactions forward.
-	for _, r := range recs {
-		if r.Type == RecUpdate && (committed[r.Txn] || aborted[r.Txn]) {
-			if err := apply(r.File, r.Block, r.Offset, r.After); err != nil {
-				return 0, 0, err
-			}
-		}
-	}
-	// Undo in-flight losers backward.
-	for i := len(recs) - 1; i >= 0; i-- {
-		r := recs[i]
-		if r.Type == RecUpdate && !committed[r.Txn] && !aborted[r.Txn] {
-			if err := apply(r.File, r.Block, r.Offset, r.Before); err != nil {
-				return 0, 0, err
-			}
-		}
-	}
-	w, l := 0, 0
-	for _, txn := range detsort.Keys(seen) {
-		if committed[txn] {
-			w++
-		} else {
-			l++
-		}
-	}
-	return w, l, nil
-}
-
-// Reset truncates the log after a quiescent checkpoint (all data pages
-// flushed, no active transactions): recovery will find an empty log.
-func (m *Manager) Reset() error {
-	if m.closed {
-		return ErrClosed
-	}
-	m.buf = m.buf[:0]
-	if err := m.f.Truncate(headerSize); err != nil {
 		return err
 	}
-	if err := m.f.Sync(); err != nil {
+	if _, err := f.WriteAt(encodeSegHeader(w.seq), 0); err != nil {
 		return err
 	}
-	m.tail, m.end = headerSize, headerSize
-	m.pendingComms = 0
+	idxF, err := m.fsys.Create(idxName(m.base, w.seq))
+	if err != nil {
+		return err
+	}
+	// A full file-system sync, not just an fsync of the file: the segment's
+	// directory entry must be durable too, or a crash leaves acknowledged
+	// log data unreachable by path.
+	if err := m.fsys.Sync(); err != nil {
+		return err
+	}
+	w.f, w.idxF = f, idxF
+	m.stats.Segments++
 	return nil
 }
 
-// Close flushes and closes the log file.
+// flushIndex appends index entries for blocks that became complete (or, at
+// finalize time, for the partial tail block too). The index is advisory:
+// it is not synced until the segment seals, and recovery falls back to a
+// full segment scan when it is missing or torn.
+func (m *Manager) flushIndex(w *segWriter, final bool) error {
+	limit := w.durable / PayloadSize // first incomplete block
+	if final && w.durable%PayloadSize != 0 {
+		limit++
+	}
+	if w.idxNext >= limit || w.idxF == nil {
+		return nil
+	}
+	var buf []byte
+	for b := w.idxNext; b < limit; b++ {
+		lo := b * PayloadSize
+		hi := lo + PayloadSize
+		if hi > w.durable {
+			hi = w.durable
+		}
+		fr := w.firstRecIn(lo, hi)
+		if fr == noFirstRec {
+			continue
+		}
+		var e [indexEntrySize]byte
+		encodeIndexEntry(e[:], indexEntry{lsn: makeLSN(w.seq, lo+int64(fr)), block: b})
+		buf = append(buf, e[:]...)
+		m.stats.IndexEntries++
+	}
+	w.idxNext = limit
+	if len(buf) == 0 {
+		return nil
+	}
+	if _, err := w.idxF.WriteAt(buf, w.idxCnt*indexEntrySize); err != nil {
+		return err
+	}
+	w.idxCnt += int64(len(buf) / indexEntrySize)
+	m.stats.IndexWrites++
+	m.ctrIdxWrites.Add(1)
+	return nil
+}
+
+// finalizeWriter completes a sealed, fully-flushed segment: emits the tail
+// block's index entry, syncs and closes the index, and closes the data file.
+func (m *Manager) finalizeWriter(w *segWriter) error {
+	if w.f != nil {
+		if err := m.flushIndex(w, true); err != nil {
+			return err
+		}
+		if err := w.idxF.Sync(); err != nil {
+			return err
+		}
+		if err := w.idxF.Close(); err != nil {
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			return err
+		}
+	}
+	m.stats.SegmentsSealed++
+	m.ctrSealed.Add(1)
+	return nil
+}
+
+// Close flushes and closes the log files.
 func (m *Manager) Close() error {
 	if m.closed {
 		return nil
@@ -455,10 +634,22 @@ func (m *Manager) Close() error {
 		return err
 	}
 	m.closed = true
-	return m.f.Close()
+	for _, w := range m.writers {
+		if w.f != nil {
+			if err := w.idxF.Close(); err != nil {
+				return err
+			}
+			if err := w.f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return m.anchorF.Close()
 }
 
 // String describes the log position.
 func (m *Manager) String() string {
-	return fmt.Sprintf("wal{end=%d durable=%d}", m.end, m.tail)
+	w := m.active()
+	return fmt.Sprintf("wal{seg=%d end=%d durable=%d low=%d ckpt=%s}",
+		w.seq, w.end(), w.durable, m.lowWater, m.ckptLSN)
 }

@@ -3,6 +3,7 @@ package wal
 import (
 	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -12,7 +13,7 @@ import (
 	"repro/internal/vfs"
 )
 
-func newLog(t *testing.T) (*Manager, vfs.FileSystem) {
+func newFS(t *testing.T) vfs.FileSystem {
 	t.Helper()
 	clk := sim.NewClock()
 	dev := disk.New(sim.SmallModel(), clk)
@@ -20,11 +21,22 @@ func newLog(t *testing.T) (*Manager, vfs.FileSystem) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Create(fsys, "/log")
+	return fsys
+}
+
+func newLogOpts(t *testing.T, opts Options) (*Manager, vfs.FileSystem) {
+	t.Helper()
+	fsys := newFS(t)
+	m, err := Create(fsys, "/log", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return m, fsys
+}
+
+func newLog(t *testing.T) (*Manager, vfs.FileSystem) {
+	t.Helper()
+	return newLogOpts(t, Options{})
 }
 
 func TestAppendAndScan(t *testing.T) {
@@ -53,10 +65,23 @@ func TestAppendAndScan(t *testing.T) {
 	}
 }
 
+func TestLSNEncoding(t *testing.T) {
+	l := makeLSN(7, 12345)
+	if l.Segment() != 7 || l.Offset() != 12345 {
+		t.Fatalf("lsn %v: segment=%d offset=%d", l, l.Segment(), l.Offset())
+	}
+	if makeLSN(1, 100) >= makeLSN(2, 0) {
+		t.Fatal("LSNs must order across segments")
+	}
+	if makeLSN(3, 5) >= makeLSN(3, 6) {
+		t.Fatal("LSNs must order within a segment")
+	}
+}
+
 func TestCommitForcesLog(t *testing.T) {
 	m, _ := newLog(t)
 	m.LogUpdate(1, 1, 0, 0, []byte("a"), []byte("b"))
-	if m.FlushedTo() != headerSize {
+	if m.FlushedTo() != makeLSN(1, 0) {
 		t.Fatal("update alone should not force")
 	}
 	_, durable, err := m.LogCommit(1)
@@ -103,12 +128,12 @@ func TestReopenFindsEnd(t *testing.T) {
 	if err := m.Close(); err != nil {
 		t.Fatal(err)
 	}
-	m2, err := Open(fsys, "/log")
+	m2, err := Open(fsys, "/log", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m2.End() != end {
-		t.Fatalf("reopened end = %d, want %d", m2.End(), end)
+		t.Fatalf("reopened end = %v, want %v", m2.End(), end)
 	}
 	// Appending after reopen works.
 	m2.LogUpdate(2, 1, 0, 0, []byte("c"), []byte("d"))
@@ -125,16 +150,23 @@ func TestTornTailIgnored(t *testing.T) {
 	m, fsys := newLog(t)
 	m.LogUpdate(1, 1, 0, 0, []byte("good"), []byte("good"))
 	m.LogCommit(1)
-	// Simulate a torn write: garbage appended directly to the file.
-	f, err := fsys.Open("/log")
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: a garbage block appended to the segment file.
+	f, err := fsys.Open("/log.1.txnlog")
 	if err != nil {
 		t.Fatal(err)
 	}
 	sz, _ := f.Size()
-	f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3}, sz)
+	garbage := make([]byte, BlockSize)
+	for i := range garbage {
+		garbage[i] = 0xde
+	}
+	f.WriteAt(garbage, sz)
 	f.Sync()
 	f.Close()
-	m2, err := Open(fsys, "/log")
+	m2, err := Open(fsys, "/log", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,34 +296,44 @@ func TestAbortDoesNotClobberLaterCommit(t *testing.T) {
 	}
 }
 
-func TestResetTruncates(t *testing.T) {
+func TestCheckpointBoundsScan(t *testing.T) {
 	m, _ := newLog(t)
 	m.LogUpdate(1, 1, 0, 0, []byte("a"), []byte("b"))
 	m.LogCommit(1)
-	if err := m.Reset(); err != nil {
+	if _, err := m.LogCheckpoint(); err != nil {
 		t.Fatal(err)
 	}
 	recs, err := m.Scan()
-	if err != nil || len(recs) != 0 {
-		t.Fatalf("after reset: %d records, err %v", len(recs), err)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// The log keeps working after reset.
+	if len(recs) != 1 || recs[0].Type != RecCheckpoint {
+		t.Fatalf("after checkpoint: %d records (want just the checkpoint), first %+v", len(recs), recs[0])
+	}
+	// The log keeps working after a checkpoint.
 	m.LogUpdate(2, 1, 0, 0, []byte("c"), []byte("d"))
 	m.LogCommit(2)
 	recs, _ = m.Scan()
-	if len(recs) != 2 {
-		t.Fatalf("after reset+append: %d records", len(recs))
+	if len(recs) != 3 {
+		t.Fatalf("after checkpoint+append: %d records, want 3", len(recs))
 	}
 }
 
 func TestCheckpointRecord(t *testing.T) {
 	m, _ := newLog(t)
-	if _, err := m.LogCheckpoint(); err != nil {
+	lsn, err := m.LogCheckpoint()
+	if err != nil {
 		t.Fatal(err)
+	}
+	if m.CheckpointLSN() != lsn {
+		t.Fatalf("CheckpointLSN = %v, want %v", m.CheckpointLSN(), lsn)
 	}
 	recs, _ := m.Scan()
 	if len(recs) != 1 || recs[0].Type != RecCheckpoint {
 		t.Fatalf("recs = %+v", recs)
+	}
+	if recs[0].File != m.LowWater() {
+		t.Fatalf("checkpoint record low-water = %d, want %d", recs[0].File, m.LowWater())
 	}
 }
 
@@ -329,7 +371,9 @@ func TestLogRoundTripProperty(t *testing.T) {
 		Off    uint8
 		Commit bool
 	}) bool {
-		m, _ := newLog(t)
+		// A tiny segment threshold makes even short op sequences rotate, so
+		// the property covers record placement across segment boundaries.
+		m, _ := newLogOpts(t, Options{SegmentBytes: 160})
 		var expected []Record
 		for _, op := range ops {
 			if op.Commit {
@@ -437,46 +481,51 @@ func TestRecoverDeterministic(t *testing.T) {
 	}
 }
 
-// TestTornRecordTruncatedOnOpen appends a deliberately torn record — a
-// prefix of a genuine encoded record, as a crash mid-force would leave — and
-// checks that Open both stops the scan at the last intact record and
-// physically truncates the torn bytes, so recovery never fails the mount and
-// later appends start from a clean tail.
-func TestTornRecordTruncatedOnOpen(t *testing.T) {
+// TestTornSpanningRecordTruncatedOnOpen forces a record that spans several
+// blocks, then destroys the blocks holding its tail — as a torn multi-block
+// force would — and checks that Open stops at the last whole record and
+// physically truncates the torn bytes, so later appends start from a clean
+// tail.
+func TestTornSpanningRecordTruncatedOnOpen(t *testing.T) {
 	m, fsys := newLog(t)
 	m.LogUpdate(1, 1, 0, 0, []byte("good"), []byte("good"))
 	m.LogCommit(1)
-	intactEnd := int64(m.End())
+	intactEnd := m.End()
+	// A record big enough to span blocks: before+after ≈ 2.5 blocks.
+	big := make([]byte, 5*PayloadSize/4)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	m.LogUpdate(9, 1, 3, 0, big, big)
+	m.Force()
 	if err := m.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Build a valid record, then write only half of it at the tail.
-	torn := encodeRecord(&Record{Type: RecUpdate, Txn: 9, File: 1, Block: 3,
-		Before: []byte("beforebefore"), After: []byte("afterafter")})
-	torn = torn[:len(torn)/2]
-	f, err := fsys.Open("/log")
+	// Tear the force: clobber every data block after the first.
+	f, err := fsys.Open("/log.1.txnlog")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteAt(torn, intactEnd); err != nil {
-		t.Fatal(err)
-	}
+	sz, _ := f.Size()
+	garbage := make([]byte, sz-2*BlockSize)
+	f.WriteAt(garbage, 2*BlockSize)
 	f.Sync()
 	f.Close()
 
-	m2, err := Open(fsys, "/log")
+	m2, err := Open(fsys, "/log", Options{})
 	if err != nil {
-		t.Fatalf("open with torn record must not fail: %v", err)
+		t.Fatalf("open with torn tail must not fail: %v", err)
 	}
-	if int64(m2.End()) != intactEnd {
-		t.Fatalf("end = %d, want %d (torn record dropped)", m2.End(), intactEnd)
+	if m2.End() != intactEnd {
+		t.Fatalf("end = %v, want %v (torn record dropped)", m2.End(), intactEnd)
 	}
-	f2, err := fsys.Open("/log")
+	f2, err := fsys.Open("/log.1.txnlog")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sz, _ := f2.Size(); sz != intactEnd {
-		t.Fatalf("file size %d after open, want %d (torn tail truncated)", sz, intactEnd)
+	wantSize := blockFileOff((intactEnd.Offset()-1)/PayloadSize) + BlockSize
+	if sz, _ := f2.Size(); sz != wantSize {
+		t.Fatalf("file size %d after open, want %d (torn tail truncated)", sz, wantSize)
 	}
 	f2.Close()
 	// Recovery over the truncated log sees exactly the intact transaction.
@@ -495,5 +544,424 @@ func TestTornRecordTruncatedOnOpen(t *testing.T) {
 	}
 	if recs, _ := m2.Scan(); len(recs) != 4 {
 		t.Fatalf("%d records after append, want 4", len(recs))
+	}
+}
+
+func TestRotationAcrossSegments(t *testing.T) {
+	m, fsys := newLogOpts(t, Options{SegmentBytes: 300})
+	const n = 40
+	for txn := uint64(1); txn <= n; txn++ {
+		m.LogUpdate(txn, 1, int64(txn), 0, []byte("bbbb"), []byte("aaaa"))
+		if _, _, err := m.LogCommit(txn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.Rotations == 0 || st.Segments < 2 {
+		t.Fatalf("expected rotations with a 300-byte threshold: %+v", st)
+	}
+	recs, err := m.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2*n {
+		t.Fatalf("scan across segments = %d records, want %d", len(recs), 2*n)
+	}
+	// LSNs strictly increase, crossing segment sequences.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].LSN <= recs[i-1].LSN {
+			t.Fatalf("LSNs not increasing: %v then %v", recs[i-1].LSN, recs[i].LSN)
+		}
+	}
+	if first, last := recs[0].LSN.Segment(), recs[len(recs)-1].LSN.Segment(); last <= first {
+		t.Fatalf("expected records in multiple segments, got %d..%d", first, last)
+	}
+	// Sealed segment files exist on disk.
+	if _, err := fsys.Stat(segName("/log", 1)); err != nil {
+		t.Fatalf("segment 1 missing: %v", err)
+	}
+	// Recovery across the whole multi-segment log sees every winner.
+	store := pageStore{}
+	w, l, err := m.Recover(store.apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != n || l != 0 {
+		t.Fatalf("winners=%d losers=%d, want %d/0", w, l, n)
+	}
+}
+
+func TestCheckpointTruncatesDeadSegments(t *testing.T) {
+	m, fsys := newLogOpts(t, Options{SegmentBytes: 300})
+	for txn := uint64(1); txn <= 30; txn++ {
+		m.LogUpdate(txn, 1, int64(txn), 0, []byte("bbbb"), []byte("aaaa"))
+		m.LogCommit(txn)
+	}
+	low := m.LowWater()
+	if low != 1 {
+		t.Fatalf("low water before checkpoint = %d, want 1", low)
+	}
+	if _, err := m.LogCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if m.LowWater() <= low {
+		t.Fatal("checkpoint did not advance the low-water mark")
+	}
+	if st.SegmentsDeleted == 0 {
+		t.Fatalf("checkpoint did not delete dead segments: %+v", st)
+	}
+	for seq := uint64(1); seq < m.LowWater(); seq++ {
+		if _, err := fsys.Stat(segName("/log", seq)); err == nil {
+			t.Fatalf("dead segment %d still exists", seq)
+		}
+		if _, err := fsys.Stat(idxName("/log", seq)); err == nil {
+			t.Fatalf("dead index %d still exists", seq)
+		}
+	}
+	// The live tail still scans.
+	recs, err := m.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Type != RecCheckpoint {
+		t.Fatalf("post-truncation scan = %d records", len(recs))
+	}
+}
+
+func TestRetainArchivesDeadSegments(t *testing.T) {
+	m, fsys := newLogOpts(t, Options{SegmentBytes: 300, Retain: true})
+	for txn := uint64(1); txn <= 30; txn++ {
+		m.LogUpdate(txn, 1, int64(txn), 0, []byte("bbbb"), []byte("aaaa"))
+		m.LogCommit(txn)
+	}
+	if _, err := m.LogCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.SegmentsArchived == 0 || st.SegmentsDeleted != 0 {
+		t.Fatalf("retain should archive, not delete: %+v", st)
+	}
+	for seq := uint64(1); seq < m.LowWater(); seq++ {
+		if _, err := fsys.Stat(segName("/log", seq)); err != nil {
+			t.Fatalf("archived segment %d missing: %v", seq, err)
+		}
+	}
+	// Archives survive a reopen too (Open must not garbage-collect them).
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(fsys, "/log", Options{Retain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq < m2.LowWater(); seq++ {
+		if _, err := fsys.Stat(segName("/log", seq)); err != nil {
+			t.Fatalf("archived segment %d lost at reopen: %v", seq, err)
+		}
+	}
+}
+
+// TestBoundedRecoveryScan is the acceptance test for bounded recovery: after
+// a checkpoint followed by more traffic and a reopen, the recovery scan
+// starts at the checkpoint — reading only segments at or after its low-water
+// mark — not at the beginning of history.
+func TestBoundedRecoveryScan(t *testing.T) {
+	m, fsys := newLogOpts(t, Options{SegmentBytes: 300})
+	for txn := uint64(1); txn <= 30; txn++ {
+		m.LogUpdate(txn, 1, int64(txn), 0, []byte("bbbb"), []byte("aaaa"))
+		m.LogCommit(txn)
+	}
+	if _, err := m.LogCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := m.CheckpointLSN()
+	totalSegs := m.stats.Segments
+	for txn := uint64(31); txn <= 36; txn++ {
+		m.LogUpdate(txn, 1, int64(txn), 0, []byte("bbbb"), []byte("aaaa"))
+		m.LogCommit(txn)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(fsys, "/log", Options{SegmentBytes: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := pageStore{}
+	w, _, err := m2.Recover(store.apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 6 {
+		t.Fatalf("winners = %d, want 6 (post-checkpoint only)", w)
+	}
+	scan := m2.LastScanStats()
+	if scan.StartLSN != ckpt {
+		t.Fatalf("scan started at %v, want the checkpoint %v", scan.StartLSN, ckpt)
+	}
+	if scan.StartLSN.Segment() < m2.LowWater() {
+		t.Fatalf("scan start segment %d below low water %d", scan.StartLSN.Segment(), m2.LowWater())
+	}
+	liveSegs := int64(m2.active().seq - ckpt.Segment() + 1)
+	if scan.Segments > liveSegs {
+		t.Fatalf("scan touched %d segments, live tail is only %d", scan.Segments, liveSegs)
+	}
+	if scan.Segments >= totalSegs {
+		t.Fatalf("scan touched %d segments — not bounded (history had %d)", scan.Segments, totalSegs)
+	}
+}
+
+// TestIndexSeekSkipsBlocks checks that recovery over a sealed segment uses
+// its index to seek to the checkpoint's block instead of scanning the
+// segment from block 0.
+func TestIndexSeekSkipsBlocks(t *testing.T) {
+	// Large records so the checkpoint lands several blocks into a segment,
+	// and a segment holds many blocks.
+	m, fsys := newLogOpts(t, Options{SegmentBytes: 16 * PayloadSize})
+	big := make([]byte, PayloadSize/2)
+	for txn := uint64(1); txn <= 8; txn++ {
+		m.LogUpdate(txn, 1, int64(txn), 0, big, big)
+		m.LogCommit(txn)
+	}
+	if _, err := m.LogCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := m.CheckpointLSN()
+	if ckpt.Offset() == 0 {
+		t.Fatal("test needs a checkpoint mid-segment")
+	}
+	// Roll past the checkpoint's segment so it seals (indexes are synced at
+	// seal, and only sealed segments are index-seeked).
+	for txn := uint64(9); txn <= 40; txn++ {
+		m.LogUpdate(txn, 1, int64(txn), 0, big, big)
+		m.LogCommit(txn)
+	}
+	if m.active().seq == ckpt.Segment() {
+		t.Fatal("test needs the checkpoint segment sealed")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(fsys, "/log", Options{SegmentBytes: 16 * PayloadSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := pageStore{}
+	if _, _, err := m2.Recover(store.apply); err != nil {
+		t.Fatal(err)
+	}
+	scan := m2.LastScanStats()
+	if scan.IndexSeeks == 0 {
+		t.Fatalf("recovery did not use the index: %+v", scan)
+	}
+	// The seek must actually skip the pre-checkpoint blocks: the first
+	// segment has ckpt.Offset()/PayloadSize blocks before the target.
+	skippable := ckpt.Offset() / PayloadSize
+	full := int64(0)
+	for seq := ckpt.Segment(); seq <= m2.active().seq; seq++ {
+		full += 16 // up to 16 payload blocks per segment at this threshold
+	}
+	if skippable > 1 && scan.Blocks > full-skippable+1 {
+		t.Fatalf("scan read %d blocks; expected the index to skip ~%d", scan.Blocks, skippable)
+	}
+}
+
+// TestGroupCommitAcrossRotation exercises the mid-batch rotation case: a
+// batch of AppendCommit records straddles a segment boundary, and the single
+// Force that commits the batch must make both segments durable, in order.
+func TestGroupCommitAcrossRotation(t *testing.T) {
+	m, fsys := newLogOpts(t, Options{SegmentBytes: 200})
+	const n = 12
+	for txn := uint64(1); txn <= n; txn++ {
+		m.LogUpdate(txn, 1, int64(txn), 0, []byte("bb"), []byte("aa"))
+		if _, err := m.AppendCommit(txn); err != nil {
+			t.Fatal(err)
+		}
+		if txn > 1 {
+			m.NoteAbsorbed()
+		}
+	}
+	if len(m.writers) < 2 {
+		t.Fatalf("batch did not straddle a rotation (writers=%d); shrink SegmentBytes", len(m.writers))
+	}
+	if err := m.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Forces; got != 1 {
+		t.Fatalf("Forces = %d, want 1 for the whole batch", got)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every commit in the batch is durable and ordered after reopen.
+	m2, err := Open(fsys, "/log", Options{SegmentBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := m2.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var commits []uint64
+	for _, r := range recs {
+		if r.Type == RecCommit {
+			commits = append(commits, r.Txn)
+		}
+	}
+	if len(commits) != n {
+		t.Fatalf("%d durable commits after mid-batch rotation, want %d", len(commits), n)
+	}
+	for i, txn := range commits {
+		if txn != uint64(i+1) {
+			t.Fatalf("commit order broken: %v", commits)
+		}
+	}
+}
+
+// TestTwoRunByteIdenticalMultiSegment runs an identical multi-segment
+// workload (with mid-batch rotations) twice on fresh file systems, crashes
+// into recovery, and requires byte-identical segment files, identical apply
+// traces, and identical scan stats — the determinism contract for the
+// segmented log.
+func TestTwoRunByteIdenticalMultiSegment(t *testing.T) {
+	type applied struct {
+		File   uint64
+		Block  int64
+		Offset uint32
+		Data   string
+	}
+	run := func() (map[string][]byte, []applied, ScanStats) {
+		fsys := newFS(t)
+		m, err := Create(fsys, "/log", Options{SegmentBytes: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for txn := uint64(1); txn <= 25; txn++ {
+			m.LogUpdate(txn, 1, int64(txn%5), uint32(txn%7), []byte("bbbb"), []byte("aaaa"))
+			if _, err := m.AppendCommit(txn); err != nil {
+				t.Fatal(err)
+			}
+			if txn%4 == 0 { // group-commit style batched forces across rotations
+				if err := m.Force(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if txn == 12 {
+				if _, err := m.LogCheckpoint(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		m.Force()
+		// Crash: no Close. Reopen and recover.
+		m2, err := Open(fsys, "/log", Options{SegmentBytes: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace []applied
+		if _, _, err := m2.Recover(func(file uint64, block int64, offset uint32, data []byte) error {
+			trace = append(trace, applied{file, block, offset, string(data)})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		scan := m2.LastScanStats()
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		files := map[string][]byte{}
+		seqs, err := discoverSegments(fsys, "/log")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seq := range seqs {
+			for _, name := range []string{segName("/log", seq), idxName("/log", seq)} {
+				f, err := fsys.Open(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sz, _ := f.Size()
+				raw := make([]byte, sz)
+				f.ReadAt(raw, 0)
+				f.Close()
+				files[name] = raw
+			}
+		}
+		return files, trace, scan
+	}
+
+	files1, trace1, scan1 := run()
+	files2, trace2, scan2 := run()
+	if !reflect.DeepEqual(trace1, trace2) {
+		t.Fatal("recovery apply traces diverged between identical runs")
+	}
+	if scan1 != scan2 {
+		t.Fatalf("scan stats diverged: %+v vs %+v", scan1, scan2)
+	}
+	if len(files1) == 0 || len(files1) != len(files2) {
+		t.Fatalf("segment file sets differ: %d vs %d", len(files1), len(files2))
+	}
+	for name, raw := range files1 {
+		if !bytes.Equal(raw, files2[name]) {
+			t.Fatalf("segment file %s not byte-identical between runs", name)
+		}
+	}
+}
+
+func TestDumpReadableOnCleanAndTornLogs(t *testing.T) {
+	m, fsys := newLogOpts(t, Options{SegmentBytes: 300})
+	for txn := uint64(1); txn <= 10; txn++ {
+		m.LogUpdate(txn, 1, int64(txn), 0, []byte("bbbb"), []byte("aaaa"))
+		m.LogCommit(txn)
+	}
+	m.LogCheckpoint()
+	m.LogUpdate(11, 1, 11, 0, []byte("bbbb"), []byte("aaaa"))
+	m.LogCommit(11)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Dump(&b, fsys, "/log"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"anchor", "segment", "block", "index", "commit", "ckpt", "low-water"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump output missing %q:\n%s", want, out)
+		}
+	}
+	// Tear the active segment and dump again: must report, not fail.
+	seqs, _ := discoverSegments(fsys, "/log")
+	f, err := fsys.Open(segName("/log", seqs[len(seqs)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := f.Size()
+	f.WriteAt(make([]byte, BlockSize), sz)
+	f.Sync()
+	f.Close()
+	b.Reset()
+	if err := Dump(&b, fsys, "/log"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "BAD CRC") {
+		t.Fatal("dump did not flag the torn block")
+	}
+}
+
+func TestScanStatsAccountsBlocks(t *testing.T) {
+	m, _ := newLog(t)
+	big := make([]byte, 3*PayloadSize/2)
+	m.LogUpdate(1, 1, 0, 0, big, big) // spans several blocks
+	m.LogCommit(1)
+	if _, err := m.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	scan := m.LastScanStats()
+	if scan.Records != 2 || scan.Blocks < 3 || scan.Bytes == 0 {
+		t.Fatalf("scan stats = %+v", scan)
 	}
 }
