@@ -31,6 +31,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 )
 
 // TestData returns the absolute path of the calling test's testdata
@@ -57,6 +58,68 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 			t.Fatalf("analysistest: loading %s: %v", name, err)
 		}
 		check(t, a, pkg)
+	}
+}
+
+// RunProgram loads every named golden package into one type-checked set,
+// builds the whole-program call graph over it, applies the global analyzer
+// once, and matches its diagnostics against `// want` annotations gathered
+// from all the packages. Golden trees for the call-graph analyzers model the
+// real module in miniature: a sibling "sim" package stands in for the
+// simulation core so token-entry registration resolves structurally.
+func RunProgram(t *testing.T, dir string, a *callgraph.Analyzer, pkgs ...string) {
+	t.Helper()
+	l, err := newLoader(filepath.Join(dir, "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var loaded []*analysis.Package
+	for _, name := range pkgs {
+		pkg, err := l.load(name)
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", name, err)
+		}
+		loaded = append(loaded, pkg)
+	}
+	prog := callgraph.Build(loaded)
+
+	type diag struct {
+		file string
+		line int
+		msg  string
+	}
+	var got []diag
+	for _, d := range a.Run(prog) {
+		p := prog.Fset.Position(d.Pos)
+		got = append(got, diag{filepath.Base(p.Filename), p.Line, d.Message})
+	}
+
+	var wants []*want
+	for _, pkg := range loaded {
+		w, err := collectWants(pkg)
+		if err != nil {
+			t.Fatalf("parsing expectations in %s: %v", pkg.ImportPath, err)
+		}
+		wants = append(wants, w...)
+	}
+	for _, d := range got {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != d.file || w.line != d.line || !w.re.MatchString(d.msg) {
+				continue
+			}
+			w.matched = true
+			matched = true
+			break
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.file, d.line, d.msg)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
 	}
 }
 

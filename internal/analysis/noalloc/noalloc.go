@@ -1,0 +1,401 @@
+// Package noalloc statically enforces the zero-allocation hot-path
+// invariant (DESIGN.md §7).
+//
+// Functions whose doc comment carries //simlint:noalloc are roots; the
+// analyzer walks the call graph (internal/analysis/callgraph) and flags
+// heap-allocating constructs in every in-module function reachable from a
+// root, including function literals defined on the path:
+//
+//   - new/make and map/slice composite literals, plus &T{...};
+//   - append (growth cannot be ruled out statically);
+//   - function literals used as values (closure allocation);
+//   - explicit conversions to interface types, assignments of concrete
+//     values into interface variables, and variadic ...interface{} calls
+//     (boxing);
+//   - string concatenation and string<->[]byte/[]rune conversions;
+//   - calls into a denylist of allocating standard-library functions
+//     (fmt.*, strconv.*, errors.New, strings.Builder methods, ...).
+//
+// Pointer-shaped operands (pointers, channels, maps, funcs, unsafe.Pointer)
+// and constants do not box and are not flagged for interface conversion.
+// Standard-library calls not on the denylist are allowed: the AllocsPerRun
+// regression tests remain the dynamic backstop for those.
+//
+// Suppression is //simlint:alloc(reason). On a function declaration's doc
+// comment it exempts the whole function and stops the walk (the function is
+// a justified allocation site, e.g. a cold arena-refill slope). On a
+// statement's line — or the line above it — it justifies that line's
+// allocations and prunes call edges leaving that line. Reasons are
+// mandatory.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+// Analyzer is the global noalloc analyzer.
+var Analyzer = &callgraph.Analyzer{
+	Name: "noalloc",
+	Doc:  "flag heap allocations reachable from //simlint:noalloc functions",
+	Run:  run,
+}
+
+// deniedPkgs are standard-library packages every call into which allocates
+// (or formats, which implies allocation).
+var deniedPkgs = map[string]bool{
+	"fmt": true, "log": true, "os": true, "reflect": true,
+	"regexp": true, "encoding/json": true, "bufio": true, "strconv": true,
+}
+
+// deniedFuncs are individual standard-library functions known to allocate,
+// keyed by callgraph.FuncID.
+var deniedFuncs = map[string]bool{
+	"errors.New": true, "errors.Join": true,
+	"sort.Sort": true, "sort.Stable": true, "sort.Slice": true, "sort.SliceStable": true,
+	"strings.Join": true, "strings.Repeat": true, "strings.Clone": true,
+	"strings.Split": true, "strings.Fields": true, "strings.Replace": true,
+	"strings.ReplaceAll": true, "strings.ToUpper": true, "strings.ToLower": true,
+	"bytes.Join": true, "bytes.Repeat": true, "bytes.Clone": true,
+	"bytes.Split": true, "bytes.Fields": true,
+	"hash/crc32.New": true, "hash/crc32.NewIEEE": true,
+}
+
+// deniedRecvs are standard-library types whose methods build up allocated
+// state, keyed by "pkgpath.TypeName".
+var deniedRecvs = map[string]bool{
+	"strings.Builder": true, "bytes.Buffer": true,
+}
+
+func run(prog *callgraph.Program) []analysis.Diagnostic {
+	c := &checker{prog: prog, lineAnnots: map[*ast.File]map[int]analysis.Annotation{}}
+
+	// Roots: //simlint:noalloc declarations. Decl-level //simlint:alloc
+	// exempts a function entirely and prunes the walk at it.
+	var roots []*callgraph.Func
+	exempt := map[*callgraph.Func]bool{}
+	for _, f := range prog.FuncsSorted() {
+		if f.Decl == nil {
+			continue
+		}
+		if _, ok := analysis.DocAnnotation(f.Decl.Doc, analysis.AnnotNoalloc); ok {
+			roots = append(roots, f)
+		}
+		if a, ok := analysis.DocAnnotation(f.Decl.Doc, analysis.AnnotAlloc); ok {
+			exempt[f] = true
+			c.requireReason(a)
+		}
+	}
+
+	parent := prog.Reach(roots, callgraph.WalkOpts{
+		Contains: true,
+		Prune:    func(f *callgraph.Func) bool { return exempt[f] },
+		PruneEdge: func(from *callgraph.Func, e callgraph.Edge) bool {
+			// A line-level //simlint:alloc justifies the calls leaving that
+			// line too: the edge is pruned so the callee is not dragged onto
+			// the hot path by a justified call site.
+			_, ok := c.suppression(from, e.Pos)
+			return ok
+		},
+	})
+
+	for _, f := range prog.FuncsSorted() {
+		if _, reached := parent[f]; !reached || exempt[f] {
+			continue
+		}
+		c.checkBody(f, parent)
+	}
+	return c.diags
+}
+
+type checker struct {
+	prog       *callgraph.Program
+	diags      []analysis.Diagnostic
+	lineAnnots map[*ast.File]map[int]analysis.Annotation
+	// reasonSeen dedupes missing-justification reports per annotation.
+	reasonSeen map[token.Pos]bool
+}
+
+// suppression returns the //simlint:alloc annotation covering pos (same line
+// or the line above), if any.
+func (c *checker) suppression(f *callgraph.Func, pos token.Pos) (analysis.Annotation, bool) {
+	m, ok := c.lineAnnots[f.File]
+	if !ok {
+		m = analysis.AnnotationsByLine(c.prog.Fset, f.File, analysis.AnnotAlloc)
+		c.lineAnnots[f.File] = m
+	}
+	line := c.prog.Fset.Position(pos).Line
+	if a, ok := m[line]; ok {
+		return a, true
+	}
+	if a, ok := m[line-1]; ok {
+		return a, true
+	}
+	return analysis.Annotation{}, false
+}
+
+// report emits a diagnostic unless a line suppression covers it; suppressions
+// must carry a justification.
+func (c *checker) report(f *callgraph.Func, pos token.Pos, msg string, parent map[*callgraph.Func]*callgraph.Func) {
+	if a, ok := c.suppression(f, pos); ok {
+		c.requireReason(a)
+		return
+	}
+	c.diags = append(c.diags, analysis.Diagnostic{
+		Pos:     pos,
+		Message: msg + " on noalloc path " + callgraph.Witness(parent, f),
+	})
+}
+
+// requireReason reports a //simlint:alloc annotation written without a
+// justification.
+func (c *checker) requireReason(a analysis.Annotation) {
+	if a.Reason != "" {
+		return
+	}
+	if c.reasonSeen == nil {
+		c.reasonSeen = map[token.Pos]bool{}
+	}
+	if c.reasonSeen[a.Pos] {
+		return
+	}
+	c.reasonSeen[a.Pos] = true
+	c.diags = append(c.diags, analysis.Diagnostic{
+		Pos:     a.Pos,
+		Message: "simlint:alloc suppression requires a (reason)",
+	})
+}
+
+// checkBody scans one reachable function for allocating constructs. Nested
+// literals are separate nodes and are scanned on their own.
+func (c *checker) checkBody(f *callgraph.Func, parent map[*callgraph.Func]*callgraph.Func) {
+	info := f.Pkg.TypesInfo
+	// Denied external calls are detected on edges, which already carry the
+	// resolved callee.
+	for _, e := range f.Calls {
+		if e.External == nil {
+			continue
+		}
+		if why := deniedCall(e.External); why != "" {
+			c.report(f, e.Pos, "call to "+why+" allocates", parent)
+		}
+	}
+
+	immediateLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(f.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != f.Lit && !immediateLits[n] {
+				c.report(f, n.Pos(), "closure creation allocates", parent)
+			}
+			return false // nested bodies are their own nodes
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				immediateLits[lit] = true
+			}
+			c.checkCall(f, n, parent)
+		case *ast.CompositeLit:
+			c.checkComposite(f, n, parent)
+			return false // inner literals are part of the same allocation
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.report(f, n.Pos(), "&composite literal allocates", parent)
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && !isConst(info, n) && isString(info.TypeOf(n.X)) {
+				c.report(f, n.Pos(), "string concatenation allocates", parent)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) {
+					c.checkBoxing(f, info.TypeOf(n.Lhs[i]), rhs, parent)
+				}
+			}
+		case *ast.ValueSpec:
+			var lt types.Type
+			if n.Type != nil {
+				lt = info.TypeOf(n.Type)
+			}
+			for _, v := range n.Values {
+				c.checkBoxing(f, lt, v, parent)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating builtins, allocating conversions, and boxing at
+// call sites.
+func (c *checker) checkCall(f *callgraph.Func, call *ast.CallExpr, parent map[*callgraph.Func]*callgraph.Func) {
+	info := f.Pkg.TypesInfo
+	fun := ast.Unparen(call.Fun)
+
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				c.report(f, call.Pos(), "new allocates", parent)
+			case "make":
+				c.report(f, call.Pos(), "make allocates", parent)
+			case "append":
+				c.report(f, call.Pos(), "append may grow its backing array", parent)
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		to := tv.Type
+		from := info.TypeOf(call.Args[0])
+		switch {
+		case isInterface(to) && boxes(info, call.Args[0], from):
+			c.report(f, call.Pos(), "conversion to interface type boxes its operand", parent)
+		case isString(to) && from != nil && isByteOrRuneSlice(from):
+			c.report(f, call.Pos(), "[]byte/[]rune to string conversion allocates", parent)
+		case isByteOrRuneSlice(to) && isString(from) && !isConst(info, call.Args[0]):
+			c.report(f, call.Pos(), "string to []byte/[]rune conversion allocates", parent)
+		}
+		return
+	}
+
+	// Boxing into interface parameters, including variadic ...interface{}.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis != token.NoPos)
+		c.checkBoxing(f, pt, arg, parent)
+	}
+}
+
+// checkBoxing flags storing a boxing-shaped concrete value into an interface
+// destination.
+func (c *checker) checkBoxing(f *callgraph.Func, dst types.Type, src ast.Expr, parent map[*callgraph.Func]*callgraph.Func) {
+	if dst == nil || !isInterface(dst) {
+		return
+	}
+	if boxes(f.Pkg.TypesInfo, src, f.Pkg.TypesInfo.TypeOf(src)) {
+		c.report(f, src.Pos(), "interface conversion boxes a concrete value", parent)
+	}
+}
+
+// checkComposite flags composite literals with heap-allocating shapes.
+func (c *checker) checkComposite(f *callgraph.Func, lit *ast.CompositeLit, parent map[*callgraph.Func]*callgraph.Func) {
+	t := f.Pkg.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		c.report(f, lit.Pos(), "map literal allocates", parent)
+	case *types.Slice:
+		c.report(f, lit.Pos(), "slice literal allocates", parent)
+	}
+	// Plain struct/array value literals stay on the stack unless their
+	// address escapes; &T{...} is caught at the UnaryExpr.
+}
+
+// paramType returns the type arg i is assigned to, unwrapping variadic
+// parameters when the call does not forward a slice with "...".
+func paramType(sig *types.Signature, i int, hasEllipsis bool) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 && !hasEllipsis {
+		if s, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+// boxes reports whether storing src (of type from) into an interface
+// allocates: constants, nils, pointer-shaped values, and values already of
+// interface type do not box.
+func boxes(info *types.Info, src ast.Expr, from types.Type) bool {
+	if from == nil || isInterface(from) {
+		return false
+	}
+	if isConst(info, src) {
+		return false
+	}
+	if tv, ok := info.Types[ast.Unparen(src)]; ok && tv.IsNil() {
+		return false
+	}
+	switch from.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // pointer-shaped: stored directly in the iface word
+	case *types.Basic:
+		if from.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.Value != nil
+}
+
+// deniedCall classifies an out-of-module callee against the allocation
+// denylist, returning a display name when denied and "" when allowed.
+func deniedCall(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	id := callgraph.FuncID(fn)
+	path := fn.Pkg().Path()
+	switch {
+	case deniedPkgs[path]:
+		return path + "." + strings.TrimPrefix(id, path+".")
+	case deniedFuncs[id]:
+		return id
+	default:
+		if i := strings.LastIndexByte(id, '.'); i > 0 && deniedRecvs[id[:i]] {
+			return "(" + id[:i] + ")." + id[i+1:]
+		}
+	}
+	return ""
+}

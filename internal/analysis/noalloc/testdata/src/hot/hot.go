@@ -1,0 +1,108 @@
+// Package hot is a golden model of an annotated hot path: roots, transitive
+// callees, interface dispatch, every allocating construct class, and both
+// suppression forms.
+package hot
+
+import "fmt"
+
+// Emit models a trace-emit root seeded with deliberate violations.
+//
+//simlint:noalloc
+func Emit(n int) string {
+	buf := make([]byte, n) // want `make allocates`
+	p := new(int)          // want `new allocates`
+	*p = n
+	buf = append(buf, byte(n)) // want `append may grow its backing array`
+	_ = buf
+	s := fmt.Sprintf("ev%d", n) // want `call to fmt\.Sprintf allocates` `interface conversion boxes a concrete value`
+	return s
+}
+
+// Reach is a root whose violation sits in a transitive callee.
+//
+//simlint:noalloc
+func Reach(n int) { helper(n) }
+
+// helper is unannotated but dragged onto the hot path by Reach.
+func helper(n int) {
+	xs := []int{n} // want `slice literal allocates`
+	_ = xs
+	m := map[int]int{n: n} // want `map literal allocates`
+	_ = m
+}
+
+// Constructs covers the remaining allocating shapes.
+//
+//simlint:noalloc
+func Constructs(a, b string, n int) {
+	f := func() int { return n } // want `closure creation allocates`
+	_ = f()
+	pt := &point{x: n} // want `&composite literal allocates`
+	_ = pt
+	c := a + b // want `string concatenation allocates`
+	_ = c
+	bs := []byte(a) // want `string to \[\]byte/\[\]rune conversion allocates`
+	s := string(bs) // want `\[\]byte/\[\]rune to string conversion allocates`
+	_ = s
+	var any interface{} = n // want `interface conversion boxes a concrete value`
+	_ = any
+}
+
+type point struct{ x int }
+
+// writer dispatches through an interface: the worklist resolves the
+// in-module implementation and walks into it.
+type writer interface{ write(n int) }
+
+type impl struct{}
+
+func (impl) write(n int) {
+	_ = make([]byte, n) // want `make allocates`
+}
+
+// Dispatch is a root that only calls through the interface.
+//
+//simlint:noalloc
+func Dispatch(w writer, n int) { w.write(n) }
+
+// Suppressed shows a justified line suppression: no diagnostic, and the
+// call edge leaving the line is pruned so coldHelper stays off the path.
+//
+//simlint:noalloc
+func Suppressed(n int) {
+	//simlint:alloc(cold refill slope: grows once then reuses capacity)
+	b := make([]byte, n)
+	_ = b
+	//simlint:alloc(cold edge: the refill below the suppressed line is justified)
+	coldHelper(n)
+}
+
+// coldHelper allocates freely; it is only reachable through suppressed
+// edges or the exempt root below.
+func coldHelper(n int) []byte { return make([]byte, n) }
+
+// Exempt is a decl-level justified allocation site: the walk stops here.
+//
+//simlint:alloc(cold per-segment finalize: runs once per rotation)
+func Exempt(n int) []byte {
+	return append(coldHelper(n), byte(n))
+}
+
+// Root3 reaching Exempt sees no diagnostics at all.
+//
+//simlint:noalloc
+func Root3(n int) { _ = Exempt(n) }
+
+// BadSuppression is missing its justification: the construct stays
+// suppressed but the annotation itself is flagged.
+//
+//simlint:noalloc
+func BadSuppression(n int) {
+	//simlint:alloc() want `simlint:alloc suppression requires a \(reason\)`
+	b := make([]byte, n)
+	_ = b
+}
+
+// NotARoot allocates without any annotation and is unreachable from the
+// roots: the analyzer stays silent.
+func NotARoot(n int) []byte { return make([]byte, n) }

@@ -1,6 +1,9 @@
 package analysis
 
-import "regexp"
+import (
+	"regexp"
+	"strings"
+)
 
 // Package scoping for the simlint suite. The determinism invariants do not
 // bind every package equally:
@@ -12,19 +15,32 @@ import "regexp"
 //     execute inside the simulation, where iteration order or OS scheduling
 //     would leak into simulated-time results.
 //
-// The matchers accept both full module paths (repro/internal/sim) and bare
-// final elements (sim), so analyzer golden tests can model scoped packages
-// with short testdata import paths.
+// simScopedPkgs is the single source of truth: both matchers are derived
+// from it, and they accept both full module paths (repro/internal/sim) and
+// bare final elements (sim), so analyzer golden tests can model scoped
+// packages with short testdata import paths.
+var simScopedPkgs = []string{
+	"lock", "wal", "lfs", "ffs", "core", "libtp", "buffer", "disk",
+	"tpcb", "figures", "crashsweep", "trace", "btree",
+	"workload", "hashidx", "recno", "pagestore", "vfs",
+}
+
 var (
 	simCoreRE   = regexp.MustCompile(`(^|/)sim$`)
-	simScopedRE = regexp.MustCompile(`(^|/)internal/(lock|wal|lfs|ffs|core|libtp|buffer|disk|tpcb|figures|crashsweep|trace|btree)(/|$)|^(lock|wal|lfs|ffs|core|libtp|buffer|disk|tpcb|figures|crashsweep|trace|btree)$`)
+	simScopedRE = scopedRE(simScopedPkgs)
 )
+
+// scopedRE builds the matcher for a package list: internal/<pkg> under any
+// module prefix, or the bare package name.
+func scopedRE(pkgs []string) *regexp.Regexp {
+	alt := strings.Join(pkgs, "|")
+	return regexp.MustCompile(`(^|/)internal/(` + alt + `)(/|$)|^(` + alt + `)$`)
+}
 
 // IsSimCore reports whether pkgPath is the simulation core (internal/sim),
 // the one package allowed to touch wall-clock primitives.
 func IsSimCore(pkgPath string) bool { return simCoreRE.MatchString(pkgPath) }
 
 // IsSimScoped reports whether pkgPath is one of the simulation packages the
-// mapiter and rawgo analyzers bind: internal/{lock,wal,lfs,ffs,core,libtp,
-// buffer,disk,tpcb,figures,crashsweep,trace,btree}.
+// mapiter and rawgo analyzers bind (simScopedPkgs).
 func IsSimScoped(pkgPath string) bool { return simScopedRE.MatchString(pkgPath) }

@@ -1,19 +1,27 @@
 // Package simlint assembles the determinism-invariant analyzer suite and
 // its package-scoping policy. cmd/simlint is the thin driver around it.
 //
-// The four rules (see DESIGN.md, "Determinism invariants"):
+// The per-package rules (see DESIGN.md, "Determinism invariants"):
 //
 //	walltime   — no wall-clock time outside internal/sim
 //	globalrand — no global math/rand source anywhere
 //	mapiter    — no order-sensitive map iteration in simulation packages
 //	rawgo      — no raw goroutines in simulation packages
+//
+// The whole-program rules run on the shared call graph (DESIGN.md §7):
+//
+//	noalloc  — no heap allocation reachable from //simlint:noalloc roots
+//	tokenctx — no non-proc-context access to //simlint:tokenguarded state
 package simlint
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/globalrand"
 	"repro/internal/analysis/mapiter"
+	"repro/internal/analysis/noalloc"
 	"repro/internal/analysis/rawgo"
+	"repro/internal/analysis/tokenctx"
 	"repro/internal/analysis/walltime"
 )
 
@@ -26,7 +34,7 @@ type Check struct {
 	Applies func(pkgPath string) bool
 }
 
-// Suite returns the simlint checks in reporting order.
+// Suite returns the per-package simlint checks in reporting order.
 func Suite() []Check {
 	everywhere := func(string) bool { return true }
 	return []Check{
@@ -35,4 +43,10 @@ func Suite() []Check {
 		{mapiter.Analyzer, analysis.IsSimScoped},
 		{rawgo.Analyzer, analysis.IsSimScoped},
 	}
+}
+
+// GlobalSuite returns the whole-program checks, which run once over the
+// call graph built from every loaded package rather than per package.
+func GlobalSuite() []*callgraph.Analyzer {
+	return []*callgraph.Analyzer{noalloc.Analyzer, tokenctx.Analyzer}
 }

@@ -25,7 +25,11 @@ func TestScope(t *testing.T) {
 		{"repro/internal/figures", false, true},
 		{"lock", false, true},
 		{"repro/internal/btree", false, true},
-		{"repro/internal/vfs", false, false},
+		{"repro/internal/workload", false, true},
+		{"repro/internal/hashidx", false, true},
+		{"repro/internal/recno", false, true},
+		{"repro/internal/pagestore", false, true},
+		{"repro/internal/vfs", false, true},
 		{"repro/internal/detsort", false, false},
 		{"repro/internal/analysis/mapiter", false, false},
 		{"repro/cmd/tpcb", false, false},

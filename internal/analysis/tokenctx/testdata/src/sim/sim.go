@@ -1,0 +1,16 @@
+// Package sim is a golden stand-in for the simulation core: its import path
+// matches the analyzer's sim-core scope, so Spawn and OnStall register token
+// entry points exactly as the real scheduler's do.
+package sim
+
+// Scheduler is the miniature cooperative scheduler.
+type Scheduler struct{}
+
+// Spawn registers fn as a virtual process body.
+func (s *Scheduler) Spawn(name string, fn func()) { fn() }
+
+// Clock is the miniature simulated clock.
+type Clock struct{}
+
+// OnStall registers a stall hook.
+func (c *Clock) OnStall(fn func() bool) { _ = fn() }

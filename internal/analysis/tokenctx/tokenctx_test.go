@@ -1,0 +1,12 @@
+package tokenctx_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tokenctx"
+)
+
+func TestTokenctx(t *testing.T) {
+	analysistest.RunProgram(t, analysistest.TestData(), tokenctx.Analyzer, "sim", "app")
+}

@@ -223,6 +223,8 @@ func (t *Tree) readNode(pageNo int64) (*node, error) {
 }
 
 // search returns the index of the first key ≥ key, and whether it is equal.
+//
+//simlint:noalloc
 func search(keys [][]byte, key []byte) (int, bool) {
 	lo, hi := 0, len(keys)
 	for lo < hi {
@@ -238,6 +240,8 @@ func search(keys [][]byte, key []byte) (int, bool) {
 }
 
 // childIndex returns which child of an internal node covers key.
+//
+//simlint:noalloc
 func childIndex(keys [][]byte, key []byte) int {
 	lo, hi := 0, len(keys)
 	for lo < hi {

@@ -278,6 +278,8 @@ func (m *Manager) groupCommitStall() bool {
 // (FlushFiles), and any cleaner pass the flush triggers on entry still sees
 // the pages as held — so it relocates the on-disk before-images instead of
 // stealing the uncommitted contents into the log ahead of the commit record.
+//
+//simlint:alloc(per-batch flush: group commit amortizes its bookkeeping over the batch, not per page access)
 func (m *Manager) flushPendingLocked() error {
 	if len(m.pending) == 0 {
 		return nil
@@ -381,6 +383,9 @@ func (p *Process) TxnAbort() error {
 
 // abortOnDeadlock is invoked when a lock request deadlocks: the transaction
 // is aborted and the error surfaced to the caller.
+// abortOnDeadlock rolls back the deadlock victim's transaction.
+//
+//simlint:alloc(cold deadlock victim path: the rollback allocates by design)
 func (p *Process) abortOnDeadlock() {
 	p.m.mu.Lock()
 	p.m.stats.Deadlocks++

@@ -70,6 +70,10 @@ func (f *File) pageRange(off int64, n int) (first, last int64) {
 // lockObject acquires one lock object for the transaction, resolving
 // conflicts with pending group commits by flushing them first, and aborting
 // the transaction on deadlock.
+// lockObject is the page-access hot path: every read and write of every
+// page funnels through here to reach the lock table.
+//
+//simlint:noalloc
 func (p *Process) lockObject(obj lock.Object, mode lock.Mode) error {
 	m := p.m
 	// Cooperative scheduling point: no mutex is held here, so this is where
@@ -81,6 +85,7 @@ func (p *Process) lockObject(obj lock.Object, mode lock.Mode) error {
 	// sleeping on it.
 	m.mu.Lock()
 	pending := false
+	//simlint:alloc(non-escaping closure: EachHolder does not retain its callback)
 	m.locks.EachHolder(obj, func(holder lock.TxnID) bool {
 		if m.isPendingLocked(uint64(holder)) {
 			pending = true

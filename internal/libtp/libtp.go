@@ -349,6 +349,8 @@ func (t *Txn) Commit() error {
 // committer (or the scheduler's stall hook) forces it. The caller has
 // already appended its commit record and released its locks (pre-commit).
 // Caller holds e.mu.
+//
+//simlint:noalloc
 func (e *Env) awaitGroupForceLocked() error {
 	e.gcPending++
 	if e.gcPending >= e.opts.GroupCommit || !e.clock.OtherRunnable() {
@@ -371,6 +373,8 @@ func (e *Env) awaitGroupForceLocked() error {
 
 // noteCommitWait attributes time a pre-committed transaction spent parked
 // waiting for the shared group-commit force. Caller holds e.mu.
+//
+//simlint:noalloc
 func (e *Env) noteCommitWait(d time.Duration) {
 	if d <= 0 || !e.tracer.Enabled() {
 		return
@@ -382,6 +386,8 @@ func (e *Env) noteCommitWait(d time.Duration) {
 
 // forceGroupLocked forces the log on behalf of every pending commit and
 // releases the batch's waiters. Caller holds e.mu.
+//
+//simlint:noalloc
 func (e *Env) forceGroupLocked() error {
 	err := e.log.Force()
 	e.gcPending = 0
@@ -398,6 +404,8 @@ func (e *Env) forceGroupLocked() error {
 // held locks may be what blocked everyone else), wake the earliest waiter;
 // it will find gcForceDue set and perform the force itself, in its own
 // simulated time.
+//
+//simlint:noalloc
 func (e *Env) groupCommitStall() bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -100,6 +100,8 @@ type head struct {
 }
 
 // get returns txn's held mode, if any.
+//
+//simlint:noalloc
 func (h *head) get(txn TxnID) (Mode, bool) {
 	for _, e := range h.holders {
 		if e.txn == txn {
@@ -110,6 +112,8 @@ func (h *head) get(txn TxnID) (Mode, bool) {
 }
 
 // set grants or upgrades txn's lock, keeping the slice sorted.
+//
+//simlint:noalloc
 func (h *head) set(txn TxnID, mode Mode) {
 	i := 0
 	for i < len(h.holders) && h.holders[i].txn < txn {
@@ -119,15 +123,19 @@ func (h *head) set(txn TxnID, mode Mode) {
 		h.holders[i].mode = mode
 		return
 	}
+	//simlint:alloc(amortized holder-slice growth; holder counts are tiny)
 	h.holders = append(h.holders, holderEntry{})
 	copy(h.holders[i+1:], h.holders[i:])
 	h.holders[i] = holderEntry{txn: txn, mode: mode}
 }
 
 // remove drops txn from the holder list if present.
+//
+//simlint:noalloc
 func (h *head) remove(txn TxnID) {
 	for i, e := range h.holders {
 		if e.txn == txn {
+			//simlint:alloc(in-place deletion: append into the same backing array never grows)
 			h.holders = append(h.holders[:i], h.holders[i+1:]...)
 			return
 		}
@@ -253,6 +261,8 @@ func (m *Manager) Holders(obj Object) []TxnID {
 // transaction order, stopping early if fn returns false. Unlike Holders it
 // allocates nothing, so callers on per-page-access paths can inspect holders
 // without heap traffic.
+//
+//simlint:noalloc
 func (m *Manager) EachHolder(obj Object, fn func(TxnID) bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -271,6 +281,8 @@ func (m *Manager) EachHolder(obj Object, fn func(TxnID) bool) {
 // victim choice is stable across identically seeded runs. The holder slice is
 // kept sorted, so iteration order is deterministic and grant checks (the
 // common, conflict-free case) allocate nothing.
+//
+//simlint:noalloc
 func (h *head) conflicts(txn TxnID, mode Mode) []TxnID {
 	var out []TxnID
 	for _, e := range h.holders {
@@ -278,6 +290,7 @@ func (h *head) conflicts(txn TxnID, mode Mode) []TxnID {
 			continue
 		}
 		if mode == Write || e.mode == Write {
+			//simlint:alloc(conflict path only: the contention-free grant returns nil)
 			out = append(out, e.txn)
 		}
 	}
@@ -289,12 +302,15 @@ func (h *head) conflicts(txn TxnID, mode Mode) []TxnID {
 // read→write upgrade waits for other readers to drain. If waiting would
 // close a cycle in the waits-for graph, the request fails with ErrDeadlock
 // and the caller is expected to abort the transaction.
+//
+//simlint:noalloc
 func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
 	h := m.table[obj]
 	if h == nil {
+		//simlint:alloc(one head per locked object, first contact only)
 		h = &head{}
 		m.table[obj] = h
 	}
@@ -321,6 +337,7 @@ func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 			m.tracer.Instant("lock", "lock.deadlock",
 				trace.AU("txn", uint64(txn)), trace.AU("file", obj.File),
 				trace.AI("block", obj.Block), trace.AS("mode", mode.String()))
+			//simlint:alloc(cold deadlock denial: the error carries the victim diagnosis)
 			return fmt.Errorf("%w: txn %d on %v (%s)", ErrDeadlock, txn, obj, mode)
 		}
 		if !waited {
@@ -351,6 +368,7 @@ func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 	delete(m.waitsFor, txn)
 	h.set(txn, mode)
 	if m.byTxn[txn] == nil {
+		//simlint:alloc(one per-transaction lock set, first lock only)
 		m.byTxn[txn] = make(map[Object]Mode)
 	}
 	if prev, ok := m.byTxn[txn][obj]; !ok || prev != mode {
@@ -368,8 +386,11 @@ func (m *Manager) Lock(txn TxnID, obj Object, mode Mode) error {
 // traversal is deterministic without per-node key sorting, and the iterative
 // DFS reuses the manager's scratch structures: the check that guards every
 // block is allocation-free in the steady state.
+//
+//simlint:noalloc
 func (m *Manager) cycleLocked(start TxnID) bool {
 	clear(m.dfsSeen)
+	//simlint:alloc(reusable DFS scratch: grows to the deepest waits-for graph once)
 	m.dfsStack = append(m.dfsStack[:0], start)
 	for len(m.dfsStack) > 0 {
 		t := m.dfsStack[len(m.dfsStack)-1]
@@ -380,6 +401,7 @@ func (m *Manager) cycleLocked(start TxnID) bool {
 			}
 			if !m.dfsSeen[next] {
 				m.dfsSeen[next] = true
+				//simlint:alloc(reusable DFS scratch: grows to the deepest waits-for graph once)
 				m.dfsStack = append(m.dfsStack, next)
 			}
 		}

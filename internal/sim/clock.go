@@ -41,6 +41,8 @@ func NewClock() *Clock { return &Clock{} }
 
 // Now returns the current simulated time: the running proc's cursor in proc
 // context, the global cursor otherwise.
+//
+//simlint:tokensafe(routes to the current proc's own cursor; callers hold the token by construction — outside proc context it falls back to the global clock under the mutex)
 func (c *Clock) Now() time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -61,10 +63,13 @@ func (c *Clock) globalNow() time.Duration {
 // context. Negative durations are ignored so a buggy caller can never make
 // time run backwards — except in strict mode (SetStrict), where they panic
 // so scheduler bugs cannot masquerade as time standing still.
+//
+//simlint:tokensafe(routes to the current proc's own cursor; callers hold the token by construction — outside proc context it falls back to the global clock under the mutex)
 func (c *Clock) Advance(d time.Duration) {
 	c.mu.Lock()
 	if d < 0 && c.strict {
 		c.mu.Unlock()
+		//simlint:alloc(cold strict-mode panic diagnostic)
 		panic(fmt.Sprintf("sim: negative clock advance %v", d))
 	}
 	if d <= 0 {
@@ -80,6 +85,8 @@ func (c *Clock) Advance(d time.Duration) {
 }
 
 // AdvanceTo moves the clock forward to t if t is later than the current time.
+//
+//simlint:tokensafe(documented main-goroutine API for between-run catch-up; the scheduler is detached when it runs)
 func (c *Clock) AdvanceTo(t time.Duration) {
 	c.mu.Lock()
 	if c.cur != nil {
@@ -178,6 +185,9 @@ func (c *Clock) CurrentProcName() string {
 // the earliest, it is a no-op — so MPL=1 code paths are unaffected. Callers
 // must not hold any mutex across Yield: the parked proc cannot release it
 // and every other proc needing it would wedge the real goroutines.
+//
+//simlint:noalloc
+//simlint:tokensafe(no-op outside proc context; in proc context the caller holds the token)
 func (c *Clock) Yield() {
 	c.mu.Lock()
 	p, s := c.cur, c.sched
@@ -194,6 +204,9 @@ func (c *Clock) Yield() {
 // exists — i.e. whether waiting for more work to batch could ever pay off.
 // The runnable heap holds exactly the runnable procs that are not running,
 // so this is a length check.
+//
+//simlint:noalloc
+//simlint:tokensafe(reads the runnable heap under the token; returns false when no scheduler is attached)
 func (c *Clock) OtherRunnable() bool {
 	c.mu.Lock()
 	s := c.sched
@@ -205,6 +218,8 @@ func (c *Clock) OtherRunnable() bool {
 // scheduler, or 0 when none is attached. Transaction layers use
 // LiveProcs() > 1 to gate multiprogramming-only behaviour (blocking group
 // commit) so MPL=1 remains the exact degenerate case.
+//
+//simlint:tokensafe(reads the live counter under the token; returns 0 when no scheduler is attached)
 func (c *Clock) LiveProcs() int {
 	c.mu.Lock()
 	s := c.sched

@@ -42,8 +42,11 @@ type Proc struct {
 	sched *Scheduler
 	body  func()
 
-	now      time.Duration
-	state    procState
+	//simlint:tokenguarded
+	now time.Duration
+	//simlint:tokenguarded
+	state procState
+	//simlint:tokenguarded
 	blocked  time.Duration // cumulative virtual time spent in procBlocked
 	resume   chan struct{}
 	panicV   any
@@ -57,10 +60,14 @@ func (p *Proc) ID() int { return p.id }
 func (p *Proc) Name() string { return p.name }
 
 // Now returns the proc's virtual-time cursor.
+//
+//simlint:tokensafe(reads the proc's own cursor; meaningful only while the caller holds the token)
 func (p *Proc) Now() time.Duration { return p.now }
 
 // BlockedTime returns the cumulative virtual time the proc spent suspended
 // on a WaitQueue.
+//
+//simlint:tokensafe(reads the proc's own cursor; meaningful only while the caller holds the token)
 func (p *Proc) BlockedTime() time.Duration { return p.blocked }
 
 // park hands control away from p and waits to be resumed: directly to the
@@ -69,6 +76,8 @@ func (p *Proc) BlockedTime() time.Duration { return p.blocked }
 // Called only from the proc's own goroutine, after p's state has been set to
 // procRunnable (yield, with p pushed on the runnable heap) or procBlocked
 // (WaitQueue.Wait).
+//
+//simlint:noalloc
 func (p *Proc) park() {
 	s := p.sched
 	if q := s.runnable.popMin(); q != nil {
@@ -107,11 +116,15 @@ func (p *Proc) park() {
 // dispatch counter are safely unlocked: the happens-before edges of the
 // handoff channels order every access.
 type Scheduler struct {
-	clock        *Clock
-	procs        []*Proc
-	runnable     procHeap
-	live         int   // procs not yet done
-	dispatches   int64 // control transfers into a proc
+	clock *Clock
+	procs []*Proc
+	//simlint:tokenguarded
+	runnable procHeap
+	//simlint:tokenguarded
+	live int // procs not yet done
+	//simlint:tokenguarded
+	dispatches int64 // control transfers into a proc
+	//simlint:tokenguarded
 	handback     *Proc // proc that last returned control to the scheduler
 	parked       chan struct{}
 	started      bool
@@ -134,6 +147,8 @@ func (s *Scheduler) SetDispatchHook(fn func(*Proc)) {
 // Dispatches returns the number of times control has been transferred into a
 // proc — the discrete-event count wall-clock benchmarks normalize by. It is
 // deterministic: identically seeded runs dispatch identically.
+//
+//simlint:tokensafe(monotone counter read by the token holder between dispatches or after Run)
 func (s *Scheduler) Dispatches() int64 { return s.dispatches }
 
 // NewScheduler attaches a scheduler to the clock. Only one scheduler may be
@@ -147,6 +162,8 @@ func NewScheduler(clock *Clock) *Scheduler {
 // Spawn registers a virtual process. All procs must be spawned before Run;
 // the spawn order fixes proc ids and therefore the deterministic tie-break.
 // The proc's virtual clock starts at the global clock's current time.
+//
+//simlint:tokensafe(setup-time registration: runs before Run hands the token to any proc)
 func (s *Scheduler) Spawn(name string, body func()) *Proc {
 	if s.started {
 		panic("sim: Spawn after Scheduler.Run")
@@ -169,6 +186,8 @@ func (s *Scheduler) Spawn(name string, body func()) *Proc {
 // proc panics (re-raising the proc's panic value) or if every live proc is
 // blocked and no stall hook can make progress — a simulated deadlock the
 // transaction layers failed to resolve.
+//
+//simlint:tokensafe(Run is the token's home: the main goroutine holds it outside dispatches and the parked channel orders every exchange)
 func (s *Scheduler) Run() {
 	if s.started {
 		panic("sim: Scheduler.Run called twice")
@@ -237,6 +256,8 @@ func (s *Scheduler) Run() {
 // startRun transfers control into p: make it current, count the dispatch,
 // and unpark its goroutine. The caller (scheduler loop, or the proc handing
 // off) holds the control token.
+//
+//simlint:noalloc
 func (s *Scheduler) startRun(p *Proc) {
 	s.clock.setCurrent(p)
 	s.dispatches++
@@ -255,6 +276,8 @@ func (s *Scheduler) liveCount() int {
 // the (time, id) order than the current proc — i.e. whether a yield must
 // actually reschedule. The current proc is never on the heap, so this is a
 // peek at the heap minimum.
+//
+//simlint:noalloc
 func (s *Scheduler) shouldPreempt(cur *Proc) bool {
 	return len(s.runnable) > 0 && waitsBefore(s.runnable[0], cur)
 }
@@ -278,6 +301,8 @@ type procHeap []*Proc
 // waitsBefore is the (now, id) heap order. Ids are unique, so the order is
 // total and the minimum is unambiguous — the determinism contract's dispatch
 // and wake order.
+//
+//simlint:noalloc
 func waitsBefore(a, b *Proc) bool {
 	if a.now != b.now {
 		return a.now < b.now
@@ -285,10 +310,14 @@ func waitsBefore(a, b *Proc) bool {
 	return a.id < b.id
 }
 
+//simlint:noalloc
 func (h *procHeap) empty() bool { return len(*h) == 0 }
 
 // push inserts p, restoring the heap property upward.
+//
+//simlint:noalloc
 func (h *procHeap) push(p *Proc) {
+	//simlint:alloc(heap slice grows to the high-water proc count once, then reuses capacity)
 	q := append(*h, p)
 	i := len(q) - 1
 	for i > 0 {
@@ -303,6 +332,8 @@ func (h *procHeap) push(p *Proc) {
 }
 
 // popMin removes and returns the minimum proc, or nil when empty.
+//
+//simlint:noalloc
 func (h *procHeap) popMin() *Proc {
 	q := *h
 	if len(q) == 0 {
@@ -347,15 +378,22 @@ func (h *procHeap) popMin() *Proc {
 // goroutines (the -race concurrency tests) must keep a sync.Cond alongside
 // and select the branch with Clock.InProc.
 type WaitQueue struct {
+	//simlint:tokenguarded
 	waiters procHeap
 }
 
 // Empty reports whether no procs are waiting.
+//
+//simlint:noalloc
+//simlint:tokensafe(length read under the token; documented proc-context/stall-hook API)
 func (q *WaitQueue) Empty() bool { return len(q.waiters) == 0 }
 
 // Wait suspends the current proc until woken, releasing mu while suspended
 // and re-acquiring it before returning. It returns the virtual time the
 // proc spent blocked. Must be called from proc context with mu held.
+//
+//simlint:noalloc
+//simlint:tokensafe(panics outside proc context before touching any guarded state)
 func (q *WaitQueue) Wait(c *Clock, mu sync.Locker) time.Duration {
 	p := c.currentProc()
 	if p == nil {
@@ -374,6 +412,8 @@ func (q *WaitQueue) Wait(c *Clock, mu sync.Locker) time.Duration {
 // accrues the blocked interval, and places p on the scheduler's runnable
 // heap. Callers must have dequeued p from their wait queue first: each block
 // is matched by exactly one wake, so p cannot already be on the heap.
+//
+//simlint:noalloc
 func (p *Proc) wake(at time.Duration) {
 	if at > p.now {
 		p.blocked += at - p.now
@@ -385,6 +425,9 @@ func (p *Proc) wake(at time.Duration) {
 
 // Broadcast wakes every waiter at the waker's current time. Safe to call
 // from proc context or from the scheduler's stall hooks.
+//
+//simlint:noalloc
+//simlint:tokensafe(documented proc-context/stall-hook API; the caller holds the token)
 func (q *WaitQueue) Broadcast(c *Clock) {
 	if len(q.waiters) == 0 {
 		return
@@ -399,6 +442,9 @@ func (q *WaitQueue) Broadcast(c *Clock) {
 
 // WakeOne wakes the earliest waiter by (time, id) at the waker's current
 // time and reports whether a waiter was woken.
+//
+//simlint:noalloc
+//simlint:tokensafe(documented proc-context/stall-hook API; the caller holds the token)
 func (q *WaitQueue) WakeOne(c *Clock) bool {
 	if len(q.waiters) == 0 {
 		return false

@@ -15,6 +15,8 @@ import (
 // with nanosecond precision kept in three decimals. Output is byte-identical
 // across same-seed runs: events are emitted in append order and the
 // metadata thread names walk the slot table in ascending tid order.
+//
+//simlint:tokensafe(read-only exporter documented to run after Scheduler.Run returns)
 func (t *Tracer) WriteChrome(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")

@@ -197,12 +197,17 @@ const eventChunkSize = 4096
 type Tracer struct {
 	clock   *sim.Clock
 	metrics *Metrics
-	procs   []*procAttr // indexed by proc slot (tid)
+	//simlint:tokenguarded
+	procs []*procAttr // indexed by proc slot (tid)
 
-	full   [][]Event // sealed event arena blocks, in record order
-	cur    []Event   // open event block, len < cap
-	nEvent int       // total recorded events across full + cur
-	args   []Arg     // open arg arena block; sealed blocks are only
+	//simlint:tokenguarded
+	full [][]Event // sealed event arena blocks, in record order
+	//simlint:tokenguarded
+	cur []Event // open event block, len < cap
+	//simlint:tokenguarded
+	nEvent int // total recorded events across full + cur
+	//simlint:tokenguarded
+	args []Arg // open arg arena block; sealed blocks are only
 	// reachable through the events that point into them
 }
 
@@ -253,10 +258,12 @@ func (t *Tracer) tid() int {
 // beats a map on every record.
 func (t *Tracer) proc(tid int) *procAttr {
 	for tid >= len(t.procs) {
+		//simlint:alloc(slot table grows to the max proc slot once per run)
 		t.procs = append(t.procs, nil)
 	}
 	p := t.procs[tid]
 	if p == nil {
+		//simlint:alloc(one attribution record per proc slot, first sight only)
 		p = &procAttr{}
 		t.procs[tid] = p
 	}
@@ -267,10 +274,13 @@ func (t *Tracer) proc(tid int) *procAttr {
 func (t *Tracer) newEvent() *Event {
 	if len(t.cur) == cap(t.cur) {
 		if t.cur != nil {
+			//simlint:alloc(arena seal: one sealed-block append per eventChunkSize events)
 			t.full = append(t.full, t.cur)
 		}
+		//simlint:alloc(arena block allocation, amortized over eventChunkSize events)
 		t.cur = make([]Event, 0, eventChunkSize)
 	}
+	//simlint:alloc(append within capacity: the block-full check above guarantees room)
 	t.cur = append(t.cur, Event{})
 	t.nEvent++
 	return &t.cur[len(t.cur)-1]
@@ -288,9 +298,11 @@ func (t *Tracer) putArgs(args []Arg) []Arg {
 		if len(args) > n {
 			n = len(args)
 		}
+		//simlint:alloc(arg arena block allocation, amortized over eventChunkSize args)
 		t.args = make([]Arg, 0, n)
 	}
 	start := len(t.args)
+	//simlint:alloc(append within capacity: the block-full check above guarantees room)
 	t.args = append(t.args, args...)
 	return t.args[start:len(t.args):len(t.args)]
 }
@@ -306,6 +318,8 @@ type Span struct {
 
 // Begin opens a span at the current simulated time. Close it with End; the
 // event is recorded only then.
+//
+//simlint:noalloc
 func (t *Tracer) Begin(cat, name string) Span {
 	if t == nil {
 		return Span{}
@@ -314,6 +328,9 @@ func (t *Tracer) Begin(cat, name string) Span {
 }
 
 // End records the span as a complete event lasting from Begin until now.
+//
+//simlint:noalloc
+//simlint:tokensafe(recorder API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (s Span) End(args ...Arg) {
 	if s.t == nil {
 		return
@@ -322,6 +339,9 @@ func (s Span) End(args ...Arg) {
 }
 
 // Complete records a complete event that started at start and ends now.
+//
+//simlint:noalloc
+//simlint:tokensafe(recorder API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (t *Tracer) Complete(cat, name string, start time.Duration, args ...Arg) {
 	if t == nil {
 		return
@@ -336,6 +356,9 @@ func (t *Tracer) Complete(cat, name string, start time.Duration, args ...Arg) {
 }
 
 // Instant records a point event at the current simulated time.
+//
+//simlint:noalloc
+//simlint:tokensafe(recorder API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (t *Tracer) Instant(cat, name string, args ...Arg) {
 	if t == nil {
 		return
@@ -351,6 +374,8 @@ func (t *Tracer) Instant(cat, name string, args ...Arg) {
 
 // Count adds v to the named counter. Hot paths should resolve a Counter
 // handle instead and skip the name lookup.
+//
+//simlint:tokensafe(recorder API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (t *Tracer) Count(name string, v int64) {
 	if t == nil {
 		return
@@ -360,6 +385,8 @@ func (t *Tracer) Count(name string, v int64) {
 
 // Observe records d in the named latency histogram. Hot paths should
 // resolve a Hist handle instead and skip the name lookup.
+//
+//simlint:tokensafe(recorder API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (t *Tracer) Observe(name string, d time.Duration) {
 	if t == nil {
 		return
@@ -368,6 +395,9 @@ func (t *Tracer) Observe(name string, d time.Duration) {
 }
 
 // Attribute charges d of the current proc's simulated time to category c.
+//
+//simlint:noalloc
+//simlint:tokensafe(recorder API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (t *Tracer) Attribute(c AttrCat, d time.Duration) {
 	if t == nil || d <= 0 {
 		return
@@ -378,6 +408,9 @@ func (t *Tracer) Attribute(c AttrCat, d time.Duration) {
 // AttributeIO charges foreground disk service and queue time, honouring any
 // attribution override pushed for the current proc (the cleaner pushes
 // AttrCleaner so its own I/O is not mistaken for workload disk time).
+//
+//simlint:noalloc
+//simlint:tokensafe(recorder API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (t *Tracer) AttributeIO(service, queue time.Duration) {
 	if t == nil {
 		return
@@ -394,6 +427,8 @@ func (t *Tracer) AttributeIO(service, queue time.Duration) {
 // PushAttr redirects the current proc's subsequent AttributeIO charges to
 // category c until the matching PopAttr. Used by the cleaner so the disk
 // time of a synchronous cleaning pass is classified as cleaner stall.
+//
+//simlint:tokensafe(recorder API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (t *Tracer) PushAttr(c AttrCat) {
 	if t == nil {
 		return
@@ -403,6 +438,8 @@ func (t *Tracer) PushAttr(c AttrCat) {
 }
 
 // PopAttr undoes the innermost PushAttr of the current proc.
+//
+//simlint:tokensafe(recorder API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (t *Tracer) PopAttr() {
 	if t == nil {
 		return
@@ -416,6 +453,8 @@ func (t *Tracer) PopAttr() {
 // ProcStart brackets the start of the measured interval for the current
 // proc slot and names it in reports. Attribution accumulated before
 // ProcStart (the load phase, say) is excluded from the slot's report row.
+//
+//simlint:tokensafe(recorder API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (t *Tracer) ProcStart(name string) {
 	if t == nil {
 		return
@@ -430,6 +469,8 @@ func (t *Tracer) ProcStart(name string) {
 }
 
 // ProcEnd closes the measured interval opened by ProcStart.
+//
+//simlint:tokensafe(recorder API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (t *Tracer) ProcEnd() {
 	if t == nil {
 		return
@@ -445,6 +486,8 @@ func (t *Tracer) ProcEnd() {
 }
 
 // Events returns a copy of the recorded events, in append order.
+//
+//simlint:tokensafe(read-only collector documented to run after Scheduler.Run returns, when the scheduler goroutine is parked and the main goroutine holds the token)
 func (t *Tracer) Events() []Event {
 	if t == nil || t.nEvent == 0 {
 		return nil
@@ -457,6 +500,8 @@ func (t *Tracer) Events() []Event {
 }
 
 // EventCount returns the number of recorded events.
+//
+//simlint:tokensafe(read-only collector documented to run after Scheduler.Run returns, when the scheduler goroutine is parked and the main goroutine holds the token)
 func (t *Tracer) EventCount() int {
 	if t == nil {
 		return 0

@@ -118,9 +118,28 @@ type segWriter struct {
 
 func (w *segWriter) end() int64 { return int64(len(w.stream)) }
 
+// grow extends the payload stream by n bytes and returns the new region.
+// The stream only ever grows within a segment, so spare capacity is reused
+// and the doubling slope is the only allocation.
+//
+//simlint:noalloc
+func (w *segWriter) grow(n int) []byte {
+	old := len(w.stream)
+	if cap(w.stream)-old < n {
+		//simlint:alloc(amortized doubling of the per-segment payload stream)
+		w.stream = append(w.stream, make([]byte, n)...)
+	} else {
+		w.stream = w.stream[:old+n]
+	}
+	return w.stream[old : old+n]
+}
+
 // firstRecIn returns the payload offset (relative to lo) of the first record
 // starting in stream[lo:hi], or noFirstRec.
+//
+//simlint:noalloc
 func (w *segWriter) firstRecIn(lo, hi int64) int {
+	//simlint:alloc(non-escaping closure: sort.Search does not retain its predicate)
 	i := sort.Search(len(w.starts), func(i int) bool { return w.starts[i] >= lo })
 	if i < len(w.starts) && w.starts[i] < hi {
 		return int(w.starts[i] - lo)
@@ -130,10 +149,13 @@ func (w *segWriter) firstRecIn(lo, hi int64) int {
 
 // contAt reports whether stream position lo falls mid-record (the block
 // beginning there needs the continuation flag).
+//
+//simlint:noalloc
 func (w *segWriter) contAt(lo int64) bool {
 	if lo == 0 {
 		return false
 	}
+	//simlint:alloc(non-escaping closure: sort.Search does not retain its predicate)
 	i := sort.Search(len(w.starts), func(i int) bool { return w.starts[i] >= lo })
 	return !(i < len(w.starts) && w.starts[i] == lo)
 }
@@ -161,6 +183,7 @@ type Manager struct {
 	pendingComms int
 
 	blockBuf []byte // reusable block-composition scratch for Force
+	idxBuf   []byte // reusable index-entry scratch for flushIndex
 
 	stats    Stats
 	lastScan ScanStats
@@ -221,11 +244,14 @@ func (m *Manager) FlushedTo() LSN {
 
 func recSize(r *Record) int { return recFixed + len(r.Before) + len(r.After) }
 
-func encodeRecord(r *Record) []byte {
-	size := recSize(r)
-	b := make([]byte, size)
+// encodeRecordInto encodes r into b, which must be exactly recSize(r) bytes.
+// The CRC is computed with table-driven crc32.Update rather than a
+// crc32.NewIEEE hash value, which would allocate on every record.
+//
+//simlint:noalloc
+func encodeRecordInto(b []byte, r *Record) {
 	le := binary.LittleEndian
-	le.PutUint32(b[0:], uint32(size))
+	le.PutUint32(b[0:], uint32(len(b)))
 	b[8] = byte(r.Type)
 	le.PutUint64(b[9:], r.Txn)
 	le.PutUint64(b[17:], r.File)
@@ -235,11 +261,9 @@ func encodeRecord(r *Record) []byte {
 	le.PutUint32(b[41:], uint32(len(r.After)))
 	copy(b[recFixed:], r.Before)
 	copy(b[recFixed+len(r.Before):], r.After)
-	crc := crc32.NewIEEE()
-	crc.Write(b[0:4])
-	crc.Write(b[8:])
-	le.PutUint32(b[4:], crc.Sum32())
-	return b
+	crc := crc32.Update(0, crc32.IEEETable, b[0:4])
+	crc = crc32.Update(crc, crc32.IEEETable, b[8:])
+	le.PutUint32(b[4:], crc)
 }
 
 func decodeRecord(b []byte) (Record, int, error) {
@@ -251,10 +275,9 @@ func decodeRecord(b []byte) (Record, int, error) {
 	if size < recFixed || size > len(b) {
 		return Record{}, 0, ErrCorrupt
 	}
-	crc := crc32.NewIEEE()
-	crc.Write(b[0:4])
-	crc.Write(b[8:size])
-	if le.Uint32(b[4:]) != crc.Sum32() {
+	crc := crc32.Update(0, crc32.IEEETable, b[0:4])
+	crc = crc32.Update(crc, crc32.IEEETable, b[8:size])
+	if le.Uint32(b[4:]) != crc {
 		return Record{}, 0, ErrCorrupt
 	}
 	var r Record
@@ -273,47 +296,60 @@ func decodeRecord(b []byte) (Record, int, error) {
 	return r, size, nil
 }
 
-// append adds a record to the active segment's in-memory stream, rotating
-// first if the record would push the stream past the segment threshold, and
-// returns its LSN. Pure memory — no I/O happens until Force.
+// append adds a record to the active segment's in-memory stream, encoding it
+// in place (no per-record buffer), rotating first if the record would push
+// the stream past the segment threshold, and returns its LSN. Pure memory —
+// no I/O happens until Force.
+//
+//simlint:noalloc
 func (m *Manager) append(r *Record) LSN {
-	enc := encodeRecord(r)
+	size := recSize(r)
 	w := m.active()
-	if w.end() > 0 && w.end()+int64(len(enc)) > m.opts.SegmentBytes {
+	if w.end() > 0 && w.end()+int64(size) > m.opts.SegmentBytes {
 		w.sealed = true
 		m.stats.Rotations++
 		m.ctrRotations.Add(1)
 		m.tracer.Instant("wal", "wal.rotate", trace.AU("seq", w.seq+1))
+		//simlint:alloc(cold rotation slope: one writer per SegmentBytes of log)
 		w = &segWriter{seq: w.seq + 1}
+		//simlint:alloc(cold rotation slope: writers list grows once per rotation)
 		m.writers = append(m.writers, w)
 	}
 	lsn := makeLSN(w.seq, w.end())
 	r.LSN = lsn
+	//simlint:alloc(amortized growth of the per-segment record-start index)
 	w.starts = append(w.starts, w.end())
-	w.stream = append(w.stream, enc...)
+	encodeRecordInto(w.grow(size), r)
 	m.stats.Records++
-	m.stats.BytesLogged += int64(len(enc))
+	m.stats.BytesLogged += int64(size)
 	return lsn
 }
 
 // LogUpdate appends an update record (before writing the page to disk: the
 // WAL protocol requires the log to be forced before the page, which the
-// buffer manager enforces by flushing the log on page write-back).
+// buffer manager enforces by flushing the log on page write-back). The
+// before/after images are encoded into the segment stream before LogUpdate
+// returns, so the caller's slices are not retained and need no copy.
+//
+//simlint:noalloc
 func (m *Manager) LogUpdate(txn, file uint64, block int64, offset uint32, before, after []byte) (LSN, error) {
 	if m.closed {
 		return 0, ErrClosed
 	}
 	r := Record{Type: RecUpdate, Txn: txn, File: file, Block: block, Offset: offset,
-		Before: append([]byte(nil), before...), After: append([]byte(nil), after...)}
+		Before: before, After: after}
 	return m.append(&r), nil
 }
 
 // LogCommit appends a commit record and forces the log (or defers the force
 // under group commit). It reports whether the commit is durable yet.
+//
+//simlint:noalloc
 func (m *Manager) LogCommit(txn uint64) (LSN, bool, error) {
 	if m.closed {
 		return 0, false, ErrClosed
 	}
+	//simlint:alloc(non-escaping record: append encodes it and drops the pointer)
 	lsn := m.append(&Record{Type: RecCommit, Txn: txn})
 	m.tracer.Instant("wal", "wal.commit", trace.AU("txn", txn), trace.AI("lsn", int64(lsn)))
 	m.pendingComms++
@@ -335,10 +371,13 @@ func (m *Manager) LogCommit(txn uint64) (LSN, bool, error) {
 // itself when the batch fills (or the scheduler's timeout arm fires). A
 // rotation triggered mid-batch is safe: the sealed segment simply drains
 // ahead of the active one inside the batch's eventual Force.
+//
+//simlint:noalloc
 func (m *Manager) AppendCommit(txn uint64) (LSN, error) {
 	if m.closed {
 		return 0, ErrClosed
 	}
+	//simlint:alloc(non-escaping record: append encodes it and drops the pointer)
 	lsn := m.append(&Record{Type: RecCommit, Txn: txn})
 	m.tracer.Instant("wal", "wal.commit", trace.AU("txn", txn), trace.AI("lsn", int64(lsn)))
 	return lsn, nil
@@ -466,6 +505,8 @@ func (m *Manager) dirty() bool {
 // order: a sealed segment is fully durable (data, index, close) before the
 // next segment's file is created, so a crash can tear at most the last
 // segment on disk.
+//
+//simlint:noalloc
 func (m *Manager) Force() error {
 	if m.closed {
 		return ErrClosed
@@ -500,6 +541,8 @@ func (m *Manager) Force() error {
 // range (including a rewrite of the previously-partial tail block), writes
 // it in one contiguous I/O, syncs, then emits index entries for the blocks
 // that are now complete. Returns the count of newly durable stream bytes.
+//
+//simlint:noalloc
 func (m *Manager) flushWriter(w *segWriter) (int64, error) {
 	end := w.end()
 	if w.durable >= end {
@@ -514,6 +557,7 @@ func (m *Manager) flushWriter(w *segWriter) (int64, error) {
 	b1 := (end - 1) / PayloadSize
 	need := int((b1 - b0 + 1) * BlockSize)
 	if cap(m.blockBuf) < need {
+		//simlint:alloc(reusable block scratch grows to the largest force seen)
 		m.blockBuf = make([]byte, need)
 	}
 	buf := m.blockBuf[:need]
@@ -526,9 +570,11 @@ func (m *Manager) flushWriter(w *segWriter) (int64, error) {
 		dst := buf[(b-b0)*BlockSize : (b-b0+1)*BlockSize]
 		encodeBlock(dst, w.stream[lo:hi], w.firstRecIn(lo, hi), w.contAt(lo))
 	}
+	//simlint:alloc(simulated data I/O below the log hot path, not the compose loop)
 	if _, err := w.f.WriteAt(buf, blockFileOff(b0)); err != nil {
 		return 0, err
 	}
+	//simlint:alloc(simulated sync below the log hot path)
 	if err := w.f.Sync(); err != nil {
 		return 0, err
 	}
@@ -539,6 +585,8 @@ func (m *Manager) flushWriter(w *segWriter) (int64, error) {
 
 // createSegment lazily materializes w's segment and index files, making
 // their directory entries durable before any data is acknowledged.
+//
+//simlint:alloc(cold per-segment file creation: runs once per SegmentBytes of log)
 func (m *Manager) createSegment(w *segWriter) error {
 	f, err := m.fsys.Create(segName(m.base, w.seq))
 	if err != nil {
@@ -566,6 +614,8 @@ func (m *Manager) createSegment(w *segWriter) error {
 // finalize time, for the partial tail block too). The index is advisory:
 // it is not synced until the segment seals, and recovery falls back to a
 // full segment scan when it is missing or torn.
+//
+//simlint:noalloc
 func (m *Manager) flushIndex(w *segWriter, final bool) error {
 	limit := w.durable / PayloadSize // first incomplete block
 	if final && w.durable%PayloadSize != 0 {
@@ -574,7 +624,7 @@ func (m *Manager) flushIndex(w *segWriter, final bool) error {
 	if w.idxNext >= limit || w.idxF == nil {
 		return nil
 	}
-	var buf []byte
+	buf := m.idxBuf[:0] // reusable scratch: steady state emits with no allocation
 	for b := w.idxNext; b < limit; b++ {
 		lo := b * PayloadSize
 		hi := lo + PayloadSize
@@ -587,13 +637,16 @@ func (m *Manager) flushIndex(w *segWriter, final bool) error {
 		}
 		var e [indexEntrySize]byte
 		encodeIndexEntry(e[:], indexEntry{lsn: makeLSN(w.seq, lo+int64(fr)), block: b})
+		//simlint:alloc(amortized growth of the reusable index scratch)
 		buf = append(buf, e[:]...)
 		m.stats.IndexEntries++
 	}
 	w.idxNext = limit
+	m.idxBuf = buf[:0]
 	if len(buf) == 0 {
 		return nil
 	}
+	//simlint:alloc(simulated index I/O below the log hot path, not the emit loop)
 	if _, err := w.idxF.WriteAt(buf, w.idxCnt*indexEntrySize); err != nil {
 		return err
 	}
@@ -605,6 +658,8 @@ func (m *Manager) flushIndex(w *segWriter, final bool) error {
 
 // finalizeWriter completes a sealed, fully-flushed segment: emits the tail
 // block's index entry, syncs and closes the index, and closes the data file.
+//
+//simlint:alloc(cold per-segment finalize: runs once per rotation)
 func (m *Manager) finalizeWriter(w *segWriter) error {
 	if w.f != nil {
 		if err := m.flushIndex(w, true); err != nil {
