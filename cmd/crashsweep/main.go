@@ -37,9 +37,17 @@ func main() {
 	scale := flag.Float64("diskscale", 0.7, "disk size scale (smaller exercises the cleaner)")
 	logSeg := flag.Int64("logseg", 0, "WAL segment rotation threshold in payload bytes for the user-level systems (0 = wal default; small values put crash points on rotation and truncation)")
 	jsonOut := flag.Bool("json", false, "emit each report as a JSON object instead of a table")
+	devices := flag.Int("devices", 1, "number of disk devices (1 = the classic single spindle)")
+	layout := flag.String("layout", "stripe", "multi-device layout: stripe or partition (partition sweeps only the user-level systems)")
+	stripe := flag.Int("stripe", 8, "stripe unit in blocks for -layout stripe")
 	flag.Parse()
 
 	systems := []string{"kernel-lfs", "user-lfs", "user-ffs"}
+	if *devices > 1 && *layout == "partition" {
+		// The partitioned layout runs one transaction environment per
+		// device; the kernel-embedded system has no such split.
+		systems = []string{"user-lfs", "user-ffs"}
+	}
 	if *system != "all" {
 		systems = []string{*system}
 	}
@@ -53,6 +61,9 @@ func main() {
 			MaxPoints:       *points,
 			DiskScale:       *scale,
 			LogSegmentBytes: *logSeg,
+			Devices:         *devices,
+			Layout:          *layout,
+			StripeBlocks:    *stripe,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "crashsweep: %s: %v\n", sys, err)

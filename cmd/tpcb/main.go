@@ -54,6 +54,9 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run (go tool pprof)")
 	wallStats := flag.Bool("wallstats", false, "report simulator wall-clock speed (wall ns, dispatches, events/s); nondeterministic, so off by default")
+	devices := flag.Int("devices", 1, "number of disk devices (1 = the classic single spindle)")
+	layout := flag.String("layout", "stripe", "multi-device layout: stripe (one file system over a striped array) or partition (per-device file systems and logs with cross-shard two-phase commit; user-level systems only)")
+	stripe := flag.Int("stripe", 8, "stripe unit in blocks for -layout stripe")
 	flag.Parse()
 
 	if *cleaner != "sync" && *cleaner != "idle" {
@@ -69,6 +72,11 @@ func main() {
 		pol = lfs.Greedy
 	}
 	cfg := tpcb.ScaledConfig(*scale)
+	if *devices > 1 && *layout == "partition" {
+		// Every shard needs at least one row of each relation.
+		cfg.Tellers = max(cfg.Tellers, int64(*devices))
+		cfg.Branches = max(cfg.Branches, int64(*devices))
+	}
 	fmt.Printf("database: %d accounts, %d tellers, %d branches; %d transactions\n",
 		cfg.Accounts, cfg.Tellers, cfg.Branches, *txns)
 
@@ -85,6 +93,9 @@ func main() {
 		LogSegmentBytes:  *logSeg,
 		LogRetain:        *logRetain,
 		Trace:            true,
+		Devices:          *devices,
+		Layout:           *layout,
+		StripeBlocks:     *stripe,
 	})
 	if err != nil {
 		fatal(err)

@@ -28,6 +28,7 @@ import (
 	"repro/internal/ffs"
 	"repro/internal/lfs"
 	"repro/internal/libtp"
+	"repro/internal/lock"
 	"repro/internal/tpcb"
 	"repro/internal/vfs"
 	"repro/internal/wal"
@@ -61,6 +62,19 @@ type Options struct {
 	// systems (0 = the wal default). Small segments make the sweep cross
 	// rotation, index-write, and checkpoint-truncation boundaries.
 	LogSegmentBytes int64
+	// Devices is the number of spindles (0 or 1 = the classic single
+	// disk). With more than one, Layout selects "stripe" (one file system
+	// over a striped array; crash points land mid-stripe, tearing
+	// transfers across devices) or "partition" (per-device file systems
+	// and logs with two-phase commit; crash points land between a
+	// participant's prepare and the coordinator's decision, and between
+	// the decision and the participants' phase-two commits).
+	Devices int
+	// Layout is the multi-device layout: "stripe" (default) or
+	// "partition".
+	Layout string
+	// StripeBlocks is the stripe unit for the "stripe" layout.
+	StripeBlocks int
 }
 
 func (o *Options) fill() error {
@@ -69,8 +83,16 @@ func (o *Options) fill() error {
 	default:
 		return fmt.Errorf("crashsweep: unknown system %q", o.System)
 	}
+	if o.Devices > 1 && o.Layout == "partition" && o.System == "kernel-lfs" {
+		return fmt.Errorf("crashsweep: the partitioned layout runs one transaction environment per device; %q has no such split", o.System)
+	}
 	if o.Config == (tpcb.Config{}) {
 		o.Config = tpcb.Config{Accounts: 1000, Tellers: 10, Branches: 2, Seed: o.Seed + 1}
+	}
+	if o.Devices > 1 && o.Layout == "partition" {
+		// Every shard needs at least one row of each relation.
+		o.Config.Tellers = max(o.Config.Tellers, int64(o.Devices))
+		o.Config.Branches = max(o.Config.Branches, int64(o.Devices))
 	}
 	if o.Txns == 0 {
 		o.Txns = 200
@@ -161,11 +183,19 @@ func buildRig(opts Options) (*tpcb.Rig, error) {
 		ExpectedTxns:    opts.Txns,
 		DiskScale:       opts.DiskScale,
 		LogSegmentBytes: opts.LogSegmentBytes,
+		Devices:         opts.Devices,
+		Layout:          opts.Layout,
+		StripeBlocks:    opts.StripeBlocks,
 	})
 }
 
-// checkpointRig runs the harness checkpoint appropriate for the system.
+// checkpointRig runs the harness checkpoint appropriate for the system. A
+// partitioned rig drains through the sharded two-phase path (force every
+// log, then checkpoint every shard).
 func checkpointRig(rig *tpcb.Rig) error {
+	if rig.Shards != nil {
+		return rig.Sys.Drain()
+	}
 	if rig.Env != nil {
 		return rig.Env.Checkpoint()
 	}
@@ -175,6 +205,16 @@ func checkpointRig(rig *tpcb.Rig) error {
 // lfsEvents snapshots the LFS counters whose changes mark a span as dense
 // (auto-checkpoints and cleaner passes).
 func lfsEvents(rig *tpcb.Rig) int64 {
+	if rig.Shards != nil {
+		var n int64
+		for _, env := range rig.Shards {
+			if lf, ok := env.FS().(*lfs.FS); ok {
+				st := lf.Stats()
+				n += st.Checkpoints + st.Cleaner.Runs
+			}
+		}
+		return n
+	}
 	if rig.LFS == nil {
 		return 0
 	}
@@ -187,11 +227,21 @@ func lfsEvents(rig *tpcb.Rig) int64 {
 // records. Crashing on every op of such spans covers torn blocks at segment
 // tails, half-written index files, and interrupted truncations.
 func walEvents(rig *tpcb.Rig) int64 {
+	sum := func(env *libtp.Env) int64 {
+		st := env.LogStats()
+		return st.Rotations + st.SegmentsSealed + st.SegmentsDeleted + st.SegmentsArchived + st.Checkpoints
+	}
+	if rig.Shards != nil {
+		var n int64
+		for _, env := range rig.Shards {
+			n += sum(env)
+		}
+		return n
+	}
 	if rig.Env == nil {
 		return 0
 	}
-	st := rig.Env.LogStats()
-	return st.Rotations + st.SegmentsSealed + st.SegmentsDeleted + st.SegmentsArchived + st.Checkpoints
+	return sum(rig.Env)
 }
 
 // goldenRun executes the full workload once, recording the write-op spans of
@@ -202,13 +252,13 @@ func goldenRun(opts Options) (*tpcb.Rig, []span, int64, error) {
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	loadOps := rig.Dev.WriteOps()
+	loadOps := rig.Crash.WriteOps()
 	gen := tpcb.NewGenerator(opts.Config)
 	spans := make([]span, 0, opts.Txns+opts.Txns/4+2)
 	prev := loadOps
 	events := lfsEvents(rig) + walEvents(rig)
 	note := func(stage string) {
-		cur := rig.Dev.WriteOps()
+		cur := rig.Crash.WriteOps()
 		if e := lfsEvents(rig) + walEvents(rig); e != events && stage == "txn" {
 			stage, events = "txn+event", e
 		}
@@ -308,13 +358,13 @@ func replayTo(opts Options, n int64) (*tpcb.Rig, []tpcb.Txn, *tpcb.Txn, string, 
 		return nil, nil, nil, "", err
 	}
 	tornSeed := opts.Seed ^ (uint64(n) * 0x9e3779b97f4a7c15)
-	rig.Dev.CrashAfter(n, opts.Torn, tornSeed)
+	rig.Crash.CrashAfter(n, opts.Torn, tornSeed)
 	gen := tpcb.NewGenerator(opts.Config)
 	var committed []tpcb.Txn
 	for i := 0; i < opts.Txns; i++ {
 		tx := gen.Next()
 		if err := rig.Sys.Run(tx); err != nil {
-			if rig.Dev.Crashed() {
+			if rig.Crash.Crashed() {
 				return rig, committed, &tx, "txn", nil
 			}
 			return nil, nil, nil, "", fmt.Errorf("replay txn %d: %w", i, err)
@@ -322,7 +372,7 @@ func replayTo(opts Options, n int64) (*tpcb.Rig, []tpcb.Txn, *tpcb.Txn, string, 
 		committed = append(committed, tx)
 		if opts.CheckpointEvery > 0 && (i+1)%opts.CheckpointEvery == 0 && i+1 < opts.Txns {
 			if err := checkpointRig(rig); err != nil {
-				if rig.Dev.Crashed() {
+				if rig.Crash.Crashed() {
 					return rig, committed, nil, "checkpoint", nil
 				}
 				return nil, nil, nil, "", fmt.Errorf("replay checkpoint: %w", err)
@@ -330,12 +380,12 @@ func replayTo(opts Options, n int64) (*tpcb.Rig, []tpcb.Txn, *tpcb.Txn, string, 
 		}
 	}
 	if err := rig.Sys.Drain(); err != nil {
-		if rig.Dev.Crashed() {
+		if rig.Crash.Crashed() {
 			return rig, committed, nil, "drain", nil
 		}
 		return nil, nil, nil, "", fmt.Errorf("replay drain: %w", err)
 	}
-	if !rig.Dev.Crashed() {
+	if !rig.Crash.Crashed() {
 		return nil, nil, nil, "", fmt.Errorf("crash point %d never fired (run issues fewer ops?)", n)
 	}
 	return rig, committed, nil, "post-drain", nil
@@ -345,10 +395,13 @@ func replayTo(opts Options, n int64) (*tpcb.Rig, []tpcb.Txn, *tpcb.Txn, string, 
 // path, and checks every invariant. It returns the simulated recovery time
 // and, for the user-level systems, the WAL recovery's scan statistics.
 func recoverAndVerify(opts Options, rig *tpcb.Rig, committed []tpcb.Txn, inFlight *tpcb.Txn) (time.Duration, wal.ScanStats, error) {
-	rig.Dev.ClearCrash()
+	rig.Crash.ClearCrash()
 	start := rig.Clock.Now()
 	libtpOpts := libtp.Options{LogSegmentBytes: opts.LogSegmentBytes}
 	var scan wal.ScanStats
+	if rig.Shards != nil {
+		return recoverSharded(opts, rig, libtpOpts, start, committed, inFlight)
+	}
 	var fsys vfs.FileSystem
 	switch opts.System {
 	case "kernel-lfs", "user-lfs":
@@ -396,6 +449,62 @@ func recoverAndVerify(opts Options, rig *tpcb.Rig, committed []tpcb.Txn, inFligh
 	return elapsed, scan, nil
 }
 
+// recoverSharded reboots every device of a crashed partitioned rig, resolves
+// in-doubt two-phase-commit branches from the union of durable decision
+// records, and verifies the cross-shard invariants: a transfer must be
+// everywhere or nowhere, never half of each.
+func recoverSharded(opts Options, rig *tpcb.Rig, libtpOpts libtp.Options, start time.Duration, committed []tpcb.Txn, inFlight *tpcb.Txn) (time.Duration, wal.ScanStats, error) {
+	var scan wal.ScanStats
+	fss := make([]vfs.FileSystem, len(rig.Devs))
+	for i, dev := range rig.Devs {
+		switch opts.System {
+		case "user-lfs":
+			fs2, err := lfs.Mount(dev, rig.Clock, lfs.Options{CacheBlocks: 256})
+			if err != nil {
+				return 0, scan, fmt.Errorf("shard %d mount: %w", i, err)
+			}
+			fss[i] = fs2
+		case "user-ffs":
+			fs2, err := ffs.Mount(dev, rig.Clock, ffs.Options{CacheBlocks: 256})
+			if err != nil {
+				return 0, scan, fmt.Errorf("shard %d mount: %w", i, err)
+			}
+			// Bitmap rebuild before WAL replay, as on the single device.
+			if _, err := fs2.Fsck(); err != nil {
+				return 0, scan, fmt.Errorf("shard %d fsck: %w", i, err)
+			}
+			fss[i] = fs2
+		default:
+			return 0, scan, fmt.Errorf("partitioned layout: unsupported system %q", opts.System)
+		}
+	}
+	_, reps, err := tpcb.RecoverSharded(fss, rig.Clock, libtpOpts, lock.NewManager())
+	if err != nil {
+		return 0, scan, fmt.Errorf("sharded recovery: %w", err)
+	}
+	for _, r := range reps {
+		scan.Segments += r.Scan.Segments
+		scan.Blocks += r.Scan.Blocks
+		scan.Records += r.Scan.Records
+	}
+	if opts.System == "user-lfs" {
+		for i, f := range fss {
+			rep, err := f.(*lfs.FS).Fsck()
+			if err != nil {
+				return 0, scan, fmt.Errorf("shard %d fsck: %w", i, err)
+			}
+			if !rep.OK() {
+				return 0, scan, fmt.Errorf("shard %d fsck: inconsistent state: %+v", i, rep)
+			}
+		}
+	}
+	elapsed := rig.Clock.Now() - start
+	if err := tpcb.VerifyShardedState(fss, rig.Part, committed, inFlight); err != nil {
+		return elapsed, scan, err
+	}
+	return elapsed, scan, nil
+}
+
 // Run executes the sweep and returns its deterministic report.
 func Run(opts Options) (*Report, error) {
 	if err := opts.fill(); err != nil {
@@ -411,7 +520,7 @@ func Run(opts Options) (*Report, error) {
 		Torn:          opts.Torn,
 		Txns:          opts.Txns,
 		LoadWriteOps:  loadOps,
-		TotalWriteOps: golden.Dev.WriteOps(),
+		TotalWriteOps: golden.Crash.WriteOps(),
 	}
 	for _, s := range spans {
 		switch s.Stage {

@@ -1,0 +1,308 @@
+package disk
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// BlockDevice is the block-addressed interface the file systems mount on.
+// Both the single-spindle Device and the N-spindle Array implement it, so
+// ffs/lfs/pagestore run unchanged on either. Like Device itself, every
+// method must be called in proc context (under the scheduler's execution
+// token, or on the main goroutine when no scheduler is running).
+type BlockDevice interface {
+	Model() sim.DiskModel
+	BlockSize() int
+	NumBlocks() int64
+	Read(block int64, buf []byte) error
+	Write(block int64, buf []byte) error
+	ReadRun(start int64, bufs [][]byte) error
+	WriteRun(start int64, bufs [][]byte) error
+	Peek(block int64) ([]byte, error)
+	SetLane(l Lane) Lane
+	IdleCredit() time.Duration
+	ResetIdleCredit()
+	Stats() Stats
+	ResetStats()
+	SetTracer(tr *trace.Tracer)
+	SetFault(f FaultFn)
+	ArmPosition() int64
+}
+
+// Layout selects how an Array maps its flat block address space onto member
+// devices.
+type Layout int
+
+const (
+	// LayoutStripe interleaves fixed-size stripe units round-robin across
+	// the devices (RAID-0): unit u lives on device u mod N. Sequential runs
+	// fan out over all spindles, spreading a single hot log across arms.
+	LayoutStripe Layout = iota
+	// LayoutPartition assigns each device one contiguous range of the
+	// address space: device i owns blocks [i*perDev, (i+1)*perDev).
+	// Locality within a partition stays on one arm, so independent
+	// workloads on different ranges never disturb each other's positioning.
+	LayoutPartition
+)
+
+// Array combines N single-spindle devices behind the BlockDevice interface.
+// Each member keeps its own arm position, busy window (queueing), lane, and
+// idle credit, so at MPL > 1 requests landing on different spindles are
+// serviced concurrently in simulated time — the whole point of the array —
+// while requests contending for one spindle still queue on that device.
+//
+// The array itself holds no mutable state: all per-request bookkeeping lives
+// in the member devices, which enforce the token-context contract.
+type Array struct {
+	devs   []*Device
+	layout Layout
+	stripe int64 // blocks per stripe unit (LayoutStripe)
+	perDev int64 // usable blocks per device
+	model  sim.DiskModel
+}
+
+// NewArray creates an array of n devices, each with the geometry of model
+// (model.NumBlocks is the per-device capacity), on the given clock. For
+// LayoutStripe, stripeBlocks sets the stripe-unit size in blocks and each
+// device's capacity is truncated to a whole number of units; for
+// LayoutPartition, stripeBlocks is ignored. The aggregate Model()/NumBlocks
+// report the combined usable capacity.
+func NewArray(model sim.DiskModel, clock *sim.Clock, n int, layout Layout, stripeBlocks int64) (*Array, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("disk: array needs at least 1 device, got %d", n)
+	}
+	perDev := model.NumBlocks
+	switch layout {
+	case LayoutStripe:
+		if stripeBlocks < 1 {
+			return nil, fmt.Errorf("disk: stripe width must be >= 1 block, got %d", stripeBlocks)
+		}
+		perDev -= perDev % stripeBlocks
+	case LayoutPartition:
+		stripeBlocks = 0
+	default:
+		return nil, fmt.Errorf("disk: unknown layout %d", layout)
+	}
+	if perDev < 1 {
+		return nil, fmt.Errorf("disk: per-device capacity %d too small", perDev)
+	}
+	a := &Array{
+		devs:   make([]*Device, n),
+		layout: layout,
+		stripe: stripeBlocks,
+		perDev: perDev,
+		model:  model,
+	}
+	a.model.NumBlocks = perDev * int64(n)
+	for i := range a.devs {
+		a.devs[i] = New(model, clock)
+	}
+	return a, nil
+}
+
+// Devices returns the member devices in address order, for per-spindle stats
+// and crash-set wiring. Callers must not reorder the slice.
+func (a *Array) Devices() []*Device { return a.devs }
+
+// locate maps a global block address to (member device, local address).
+func (a *Array) locate(g int64) (int, int64) {
+	if a.layout == LayoutStripe {
+		unit := g / a.stripe
+		n := int64(len(a.devs))
+		return int(unit % n), (unit/n)*a.stripe + g%a.stripe
+	}
+	return int(g / a.perDev), g % a.perDev
+}
+
+// contig returns how many blocks starting at global address g stay
+// physically contiguous on a single member device.
+func (a *Array) contig(g int64) int64 {
+	if a.layout == LayoutStripe {
+		return a.stripe - g%a.stripe
+	}
+	return a.perDev - g%a.perDev
+}
+
+// Model returns the aggregate service-time model: per-device geometry and
+// timing with NumBlocks set to the combined usable capacity.
+func (a *Array) Model() sim.DiskModel { return a.model }
+
+// BlockSize returns the block size in bytes (uniform across members).
+func (a *Array) BlockSize() int { return a.model.BlockSize }
+
+// NumBlocks returns the combined usable capacity in blocks.
+func (a *Array) NumBlocks() int64 { return a.model.NumBlocks }
+
+func (a *Array) checkRange(block int64, n int) error {
+	if block < 0 || block+int64(n) > a.model.NumBlocks {
+		return fmt.Errorf("%w: block %d count %d (array has %d)", ErrOutOfRange, block, n, a.model.NumBlocks)
+	}
+	return nil
+}
+
+// Read reads one block into buf.
+func (a *Array) Read(block int64, buf []byte) error {
+	if err := a.checkRange(block, 1); err != nil {
+		return err
+	}
+	dev, local := a.locate(block)
+	return a.devs[dev].Read(local, buf)
+}
+
+// Write writes one block from buf.
+func (a *Array) Write(block int64, buf []byte) error {
+	if err := a.checkRange(block, 1); err != nil {
+		return err
+	}
+	dev, local := a.locate(block)
+	return a.devs[dev].Write(local, buf)
+}
+
+// ReadRun reads len(bufs) contiguous global blocks starting at start,
+// splitting the run into maximal per-device contiguous transfers issued in
+// address order. On a striped layout a long run round-robins stripe-unit
+// sized transfers across every spindle.
+func (a *Array) ReadRun(start int64, bufs [][]byte) error {
+	if len(bufs) == 0 {
+		return nil
+	}
+	if err := a.checkRange(start, len(bufs)); err != nil {
+		return err
+	}
+	for off := int64(0); off < int64(len(bufs)); {
+		g := start + off
+		n := min(a.contig(g), int64(len(bufs))-off)
+		dev, local := a.locate(g)
+		var err error
+		if n == 1 {
+			err = a.devs[dev].Read(local, bufs[off])
+		} else {
+			err = a.devs[dev].ReadRun(local, bufs[off:off+n])
+		}
+		if err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// WriteRun writes len(bufs) contiguous global blocks starting at start,
+// splitting the run into maximal per-device contiguous transfers issued in
+// address order.
+func (a *Array) WriteRun(start int64, bufs [][]byte) error {
+	if len(bufs) == 0 {
+		return nil
+	}
+	if err := a.checkRange(start, len(bufs)); err != nil {
+		return err
+	}
+	for off := int64(0); off < int64(len(bufs)); {
+		g := start + off
+		n := min(a.contig(g), int64(len(bufs))-off)
+		dev, local := a.locate(g)
+		var err error
+		if n == 1 {
+			err = a.devs[dev].Write(local, bufs[off])
+		} else {
+			err = a.devs[dev].WriteRun(local, bufs[off:off+n])
+		}
+		if err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// Peek returns the stored contents of a global block without charging
+// simulated time.
+func (a *Array) Peek(block int64) ([]byte, error) {
+	if err := a.checkRange(block, 1); err != nil {
+		return nil, err
+	}
+	dev, local := a.locate(block)
+	return a.devs[dev].Peek(local)
+}
+
+// SetLane switches the charging lane on every member and returns the
+// previous lane (uniform across members by construction).
+func (a *Array) SetLane(l Lane) Lane {
+	prev := a.devs[0].SetLane(l)
+	for _, d := range a.devs[1:] {
+		d.SetLane(l)
+	}
+	return prev
+}
+
+// IdleCredit reports the minimum unspent idle budget across members — the
+// budget a background batch touching every spindle can rely on. Individual
+// spindles may have more; per-device figures come from Devices().
+func (a *Array) IdleCredit() time.Duration {
+	credit := a.devs[0].IdleCredit()
+	for _, d := range a.devs[1:] {
+		if c := d.IdleCredit(); c < credit {
+			credit = c
+		}
+	}
+	return credit
+}
+
+// ResetIdleCredit forgets accumulated idle time on every member.
+func (a *Array) ResetIdleCredit() {
+	for _, d := range a.devs {
+		d.ResetIdleCredit()
+	}
+}
+
+// Stats returns the field-wise sum over members. Ops, blocks, seeks, busy,
+// queue, and background times are all per-device accumulators charged
+// exactly once, so the sum never double-counts; note that summed BusyTime
+// can exceed elapsed time when spindles overlap (that overlap is the
+// array's throughput win). Per-device breakdowns come from PerDevice.
+func (a *Array) Stats() Stats {
+	var s Stats
+	for _, d := range a.devs {
+		s.add(d.Stats())
+	}
+	return s
+}
+
+// PerDevice returns one Stats snapshot per member device, in address order.
+func (a *Array) PerDevice() []Stats {
+	out := make([]Stats, len(a.devs))
+	for i, d := range a.devs {
+		out[i] = d.Stats()
+	}
+	return out
+}
+
+// ResetStats zeroes every member's counters.
+func (a *Array) ResetStats() {
+	for _, d := range a.devs {
+		d.ResetStats()
+	}
+}
+
+// SetTracer attaches a tracer to every member. Per-access complete events
+// carry device-local block addresses.
+func (a *Array) SetTracer(tr *trace.Tracer) {
+	for _, d := range a.devs {
+		d.SetTracer(tr)
+	}
+}
+
+// SetFault installs a fault-injection hook on every member; the hook sees
+// device-local block addresses.
+func (a *Array) SetFault(f FaultFn) {
+	for _, d := range a.devs {
+		d.SetFault(f)
+	}
+}
+
+// ArmPosition returns -1: an array has one arm per member, not a single
+// position. The C-SCAN queue treats -1 as "start the sweep at block 0".
+func (a *Array) ArmPosition() int64 { return -1 }

@@ -1,9 +1,11 @@
-// Package disk implements the simulated block device both file systems run
-// on. The device stores block contents in memory and charges simulated time
+// Package disk implements the simulated block devices both file systems run
+// on. A Device stores block contents in memory and charges simulated time
 // for every access using a sim.DiskModel, tracking the arm position so that
 // sequential transfers (the log-structured file system's segment writes) are
 // billed at media bandwidth while scattered accesses pay seek and rotational
-// delays.
+// delays. An Array combines N devices behind the same block-addressed
+// interface (see BlockDevice) with a striped or range-partitioned layout,
+// each spindle keeping its own arm, queue, lane, and idle credit.
 //
 // The package also provides a C-SCAN request queue, used by the
 // read-optimized file system's syncer to sort delayed writes by block address
@@ -14,7 +16,6 @@ package disk
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/sim"
@@ -49,6 +50,23 @@ type Stats struct {
 	BgStallTime   time.Duration
 }
 
+// add accumulates other into s; used by Array.Stats to aggregate spindles
+// without double-counting (every field is a per-device sum, so the array
+// total is the plain field-wise sum — queue time in particular is charged
+// once, on the device whose busy window delayed the request).
+func (s *Stats) add(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.BlocksRead += other.BlocksRead
+	s.BlocksWrit += other.BlocksWrit
+	s.Seeks += other.Seeks
+	s.BusyTime += other.BusyTime
+	s.QueueTime += other.QueueTime
+	s.BgTime += other.BgTime
+	s.BgOverlapTime += other.BgOverlapTime
+	s.BgStallTime += other.BgStallTime
+}
+
 // Lane selects how an access is charged against simulated time.
 type Lane int
 
@@ -71,44 +89,71 @@ const (
 // exercise error paths.
 type FaultFn func(op string, block int64) error
 
-// Device is a simulated block device. All methods are safe for concurrent
-// use; simulated service time is serialized, modelling a single spindle.
+// Device is a simulated block device modelling a single spindle. Methods are
+// NOT safe for arbitrary concurrent use: like every simulation-facing API in
+// this repository they must run in proc context — under the scheduler's
+// single execution token (inside a Spawn'd proc or a stall hook), or on the
+// main goroutine when no scheduler is running, which is the degenerate
+// single-token case. The cooperative scheduler never preempts between a
+// method's first field access and its last, so per-request state needs no
+// locking; simulated service time is still serialized per spindle through
+// busyUntil, which is what models the single arm.
 type Device struct {
-	mu     sync.Mutex
-	model  sim.DiskModel
-	clock  *sim.Clock
+	model sim.DiskModel
+	clock *sim.Clock
+	//simlint:tokenguarded
 	blocks [][]byte
-	arm    int64 // block address one past the last access, -1 if unknown
-	fault  FaultFn
-	stats  Stats
+	//simlint:tokenguarded
+	arm int64 // block address one past the last access, -1 if unknown
+	//simlint:tokenguarded
+	fault FaultFn
+	//simlint:tokenguarded
+	stats Stats
+	//simlint:tokenguarded
 	tracer *trace.Tracer // nil = tracing off (every call is a cheap no-op)
-	rd, wr opTrace       // per-op cached span names and metric handles
+	//simlint:tokenguarded
+	rd opTrace // per-op cached span names and metric handles
+	//simlint:tokenguarded
+	wr opTrace
 
-	lane       Lane
+	//simlint:tokenguarded
+	lane Lane
+	//simlint:tokenguarded
 	idleCredit time.Duration // foreground idle time not yet spent on background work
-	lastEnd    time.Duration // clock time when the last request finished
-	busyUntil  time.Duration // virtual time the spindle finishes its current foreground request
+	//simlint:tokenguarded
+	lastEnd time.Duration // clock time when the last request finished
+	//simlint:tokenguarded
+	busyUntil time.Duration // virtual time the spindle finishes its current foreground request
 
 	// Crash model (see CrashAfter). writeOps counts write operations
 	// (Write and WriteRun each count as one); when it reaches crashAt the
 	// device "loses power": the crashing write persists nothing — or, in
 	// torn mode, a deterministic prefix of its blocks — and every access
-	// from then on fails with ErrCrashed until ClearCrash.
-	writeOps  int64
-	crashAt   int64 // 1-based op index to crash on; 0 = disabled
+	// from then on fails with ErrCrashed until ClearCrash. When the device
+	// has been joined into a CrashSet, counting and firing are delegated to
+	// the set so one write-op coordinate system spans every member device.
+	//simlint:tokenguarded
+	writeOps int64
+	//simlint:tokenguarded
+	crashAt int64 // 1-based op index to crash on; 0 = disabled
+	//simlint:tokenguarded
 	crashTorn bool
+	//simlint:tokenguarded
 	crashSeed uint64
-	crashed   bool
+	//simlint:tokenguarded
+	crashed bool
+	//simlint:tokenguarded
+	cset *CrashSet // nil unless joined into a whole-machine crash set
 }
 
 // SetFault installs (or clears, with nil) a fault-injection hook.
+//
+//simlint:tokensafe(setup-time registration: runs before Run hands the token to any proc)
 func (d *Device) SetFault(f FaultFn) {
-	d.mu.Lock()
 	d.fault = f
-	d.mu.Unlock()
 }
 
-// checkFault consults the injection hook. Caller must hold d.mu.
+// checkFault consults the injection hook.
 func (d *Device) checkFault(op string, block int64) error {
 	if d.fault == nil {
 		return nil
@@ -118,8 +163,7 @@ func (d *Device) checkFault(op string, block int64) error {
 
 // checkFaultRun consults the injection hook for every block of a run, so
 // per-block fault rules cannot be bypassed by multi-block transfers. Any
-// non-nil return aborts the whole run before any side effects. Caller must
-// hold d.mu.
+// non-nil return aborts the whole run before any side effects.
 func (d *Device) checkFaultRun(op string, start int64, n int) error {
 	if d.fault == nil {
 		return nil
@@ -140,43 +184,48 @@ func (d *Device) checkFaultRun(op string, start int64, n int) error {
 // "acknowledgement lost" case) — reaches the media before power fails. The
 // crashing write and every subsequent access return ErrCrashed until
 // ClearCrash. No simulated time is charged for accesses after the crash.
+//
+//simlint:tokensafe(setup-time registration: runs before Run hands the token to any proc)
 func (d *Device) CrashAfter(n int64, torn bool, seed uint64) {
-	d.mu.Lock()
 	d.crashAt = n
 	d.crashTorn = torn
 	d.crashSeed = seed
-	d.mu.Unlock()
 }
 
 // ClearCrash lifts a fired (or still pending) crash so the device can be
 // remounted, modelling the post-crash reboot. Stored contents are exactly
 // what was durable at the crash point.
+//
+//simlint:tokensafe(setup-time registration: runs before Run hands the token to any proc)
 func (d *Device) ClearCrash() {
-	d.mu.Lock()
 	d.crashed = false
 	d.crashAt = 0
-	d.mu.Unlock()
 }
 
 // Crashed reports whether a scheduled crash point has fired.
+//
+//simlint:tokensafe(read-only collector documented to run after Scheduler.Run returns)
 func (d *Device) Crashed() bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.crashed
 }
 
 // WriteOps returns the number of write operations issued so far — the
-// coordinate system CrashAfter addresses.
+// coordinate system CrashAfter addresses. For a device joined into a
+// CrashSet the set's global counter is authoritative; use CrashSet.WriteOps.
+//
+//simlint:tokensafe(read-only collector documented to run after Scheduler.Run returns)
 func (d *Device) WriteOps() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.writeOps
 }
 
 // noteWrite advances the write-op counter and fires a scheduled crash,
 // persisting a deterministic prefix of bufs in torn mode. It reports whether
-// the write may proceed normally. Caller must hold d.mu.
+// the write may proceed normally. Devices joined into a CrashSet delegate to
+// the set's shared counter so a crash takes down every member at once.
 func (d *Device) noteWrite(start int64, bufs [][]byte) bool {
+	if d.cset != nil {
+		return d.cset.noteWrite(d, start, bufs)
+	}
 	d.writeOps++
 	if d.crashAt == 0 || d.writeOps < d.crashAt {
 		return true
@@ -216,14 +265,14 @@ type opTrace struct {
 // SetTracer attaches a tracer; each access then emits a disk.read/disk.write
 // complete event with its seek/rotation/transfer/queue breakdown and charges
 // per-proc time attribution. A nil tracer (the default) costs nothing.
+//
+//simlint:tokensafe(setup-time registration: runs before Run hands the token to any proc)
 func (d *Device) SetTracer(tr *trace.Tracer) {
-	d.mu.Lock()
 	d.tracer = tr
 	d.rd = opTrace{span: "disk.read", lat: tr.Hist("disk.read"),
 		ops: tr.Counter("disk.reads"), blocks: tr.Counter("disk.read.blocks")}
 	d.wr = opTrace{span: "disk.write", lat: tr.Hist("disk.write"),
 		ops: tr.Counter("disk.writes"), blocks: tr.Counter("disk.write.blocks")}
-	d.mu.Unlock()
 }
 
 // Model returns the device's service-time model.
@@ -236,17 +285,17 @@ func (d *Device) BlockSize() int { return d.model.BlockSize }
 func (d *Device) NumBlocks() int64 { return d.model.NumBlocks }
 
 // Stats returns a snapshot of the accumulated statistics.
+//
+//simlint:tokensafe(read-only collector documented to run after Scheduler.Run returns)
 func (d *Device) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.stats
 }
 
 // ResetStats zeroes the statistics counters.
+//
+//simlint:tokensafe(setup-time registration: runs before Run hands the token to any proc)
 func (d *Device) ResetStats() {
-	d.mu.Lock()
 	d.stats = Stats{}
-	d.mu.Unlock()
 }
 
 func (d *Device) checkRange(block int64, n int) error {
@@ -259,7 +308,7 @@ func (d *Device) checkRange(block int64, n int) error {
 // charge bills an access of n contiguous blocks at address block and moves
 // the arm. Foreground accesses advance the clock by the full service time;
 // background accesses drain the accumulated idle budget first and only their
-// residue stalls the clock. Caller must hold d.mu.
+// residue stalls the clock.
 //
 // The device models a single spindle: a foreground request issued while an
 // earlier foreground request is still in service (possible only at MPL > 1,
@@ -326,9 +375,9 @@ func (d *Device) charge(ot *opTrace, block int64, n int) {
 
 // SetLane switches the charging lane for subsequent accesses and returns the
 // previous lane, so callers can restore it with defer.
+//
+//simlint:tokensafe(device API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (d *Device) SetLane(l Lane) Lane {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	prev := d.lane
 	d.lane = l
 	return prev
@@ -337,9 +386,9 @@ func (d *Device) SetLane(l Lane) Lane {
 // IdleCredit reports the unspent foreground idle budget: time the device has
 // sat idle since its last request that background work could still consume
 // for free.
+//
+//simlint:tokensafe(device API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (d *Device) IdleCredit() time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	credit := d.idleCredit
 	if now := d.clock.Now(); now > d.lastEnd {
 		credit += now - d.lastEnd
@@ -350,14 +399,16 @@ func (d *Device) IdleCredit() time.Duration {
 // ResetIdleCredit forgets accumulated idle time. Benchmark rigs call this
 // after the load phase so the measured run's background cleaner cannot hide
 // behind setup-time idleness.
+//
+//simlint:tokensafe(setup-time registration: runs before Run hands the token to any proc)
 func (d *Device) ResetIdleCredit() {
-	d.mu.Lock()
 	d.idleCredit = 0
 	d.lastEnd = d.clock.Now()
-	d.mu.Unlock()
 }
 
 // Read reads one block into buf. buf must be exactly one block long.
+//
+//simlint:tokensafe(device API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (d *Device) Read(block int64, buf []byte) error {
 	if len(buf) != d.model.BlockSize {
 		return ErrBadSize
@@ -365,8 +416,6 @@ func (d *Device) Read(block int64, buf []byte) error {
 	if err := d.checkRange(block, 1); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.crashed {
 		return ErrCrashed
 	}
@@ -387,6 +436,8 @@ func (d *Device) Read(block int64, buf []byte) error {
 }
 
 // Write writes one block from buf. buf must be exactly one block long.
+//
+//simlint:tokensafe(device API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (d *Device) Write(block int64, buf []byte) error {
 	if len(buf) != d.model.BlockSize {
 		return ErrBadSize
@@ -394,8 +445,6 @@ func (d *Device) Write(block int64, buf []byte) error {
 	if err := d.checkRange(block, 1); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.crashed {
 		return ErrCrashed
 	}
@@ -412,7 +461,7 @@ func (d *Device) Write(block int64, buf []byte) error {
 	return nil
 }
 
-// store copies buf into block. Caller must hold d.mu.
+// store copies buf into block.
 func (d *Device) store(block int64, buf []byte) {
 	dst := d.blocks[block]
 	if dst == nil {
@@ -425,6 +474,8 @@ func (d *Device) store(block int64, buf []byte) {
 // WriteRun writes len(bufs) contiguous blocks starting at start in a single
 // sequential transfer: one positioning delay, then media-rate transfer. This
 // is the primitive behind LFS segment writes.
+//
+//simlint:tokensafe(device API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (d *Device) WriteRun(start int64, bufs [][]byte) error {
 	if len(bufs) == 0 {
 		return nil
@@ -437,8 +488,6 @@ func (d *Device) WriteRun(start int64, bufs [][]byte) error {
 	if err := d.checkRange(start, len(bufs)); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.crashed {
 		return ErrCrashed
 	}
@@ -459,6 +508,8 @@ func (d *Device) WriteRun(start int64, bufs [][]byte) error {
 
 // ReadRun reads len(bufs) contiguous blocks starting at start in a single
 // sequential transfer.
+//
+//simlint:tokensafe(device API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (d *Device) ReadRun(start int64, bufs [][]byte) error {
 	if len(bufs) == 0 {
 		return nil
@@ -471,8 +522,6 @@ func (d *Device) ReadRun(start int64, bufs [][]byte) error {
 	if err := d.checkRange(start, len(bufs)); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.crashed {
 		return ErrCrashed
 	}
@@ -497,12 +546,12 @@ func (d *Device) ReadRun(start int64, bufs [][]byte) error {
 // Peek returns the stored contents of a block without charging simulated
 // time. It is intended for tests and the lfsdump inspector, not for file
 // system code.
+//
+//simlint:tokensafe(read-only collector documented to run after Scheduler.Run returns)
 func (d *Device) Peek(block int64) ([]byte, error) {
 	if err := d.checkRange(block, 1); err != nil {
 		return nil, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	out := make([]byte, d.model.BlockSize)
 	if src := d.blocks[block]; src != nil {
 		copy(out, src)
@@ -512,8 +561,8 @@ func (d *Device) Peek(block int64) ([]byte, error) {
 
 // ArmPosition reports the current arm position (block address) or -1 when
 // unknown. Useful in tests asserting sequential behaviour.
+//
+//simlint:tokensafe(device API is documented proc-context-only; at MPL=1 the main goroutine is the sole, degenerate token holder)
 func (d *Device) ArmPosition() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.arm
 }

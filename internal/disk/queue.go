@@ -16,12 +16,12 @@ type Request struct {
 // syncer uses when it pushes 30-second-old dirty pages to disk alongside the
 // workload's random reads.
 type Queue struct {
-	dev  *Device
+	dev  BlockDevice
 	reqs []Request
 }
 
 // NewQueue returns an empty queue bound to dev.
-func NewQueue(dev *Device) *Queue {
+func NewQueue(dev BlockDevice) *Queue {
 	return &Queue{dev: dev}
 }
 

@@ -44,7 +44,7 @@ type Stats struct {
 // FS is a mounted read-optimized file system.
 type FS struct {
 	mu        sync.Mutex
-	dev       *disk.Device
+	dev       disk.BlockDevice
 	clock     *sim.Clock
 	pool      *buffer.Pool
 	queue     *disk.Queue
@@ -87,7 +87,7 @@ func (fs *FS) writeTableBlock(blk int64, b []byte) error {
 var _ vfs.FileSystem = (*FS)(nil)
 
 // Format initializes a fresh file system on dev and returns it mounted.
-func Format(dev *disk.Device, clock *sim.Clock, opts Options) (*FS, error) {
+func Format(dev disk.BlockDevice, clock *sim.Clock, opts Options) (*FS, error) {
 	opts.fill()
 	bs := dev.BlockSize()
 	total := dev.NumBlocks()
@@ -142,7 +142,7 @@ func Format(dev *disk.Device, clock *sim.Clock, opts Options) (*FS, error) {
 }
 
 // Mount loads an existing file system.
-func Mount(dev *disk.Device, clock *sim.Clock, opts Options) (*FS, error) {
+func Mount(dev disk.BlockDevice, clock *sim.Clock, opts Options) (*FS, error) {
 	opts.fill()
 	bs := dev.BlockSize()
 	buf := make([]byte, bs)
@@ -211,7 +211,7 @@ func (fs *FS) BlockSize() int { return fs.blockSize }
 func (fs *FS) Pool() *buffer.Pool { return fs.pool }
 
 // Device returns the underlying block device.
-func (fs *FS) Device() *disk.Device { return fs.dev }
+func (fs *FS) Device() disk.BlockDevice { return fs.dev }
 
 // Stats returns a snapshot of the counters.
 func (fs *FS) Stats() Stats {

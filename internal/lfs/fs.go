@@ -84,7 +84,7 @@ type Stats struct {
 // FS is a mounted log-structured file system.
 type FS struct {
 	mu        sync.Mutex
-	dev       *disk.Device
+	dev       disk.BlockDevice
 	clock     *sim.Clock
 	pool      *buffer.Pool
 	blockSize int
@@ -133,7 +133,7 @@ type FS struct {
 var _ vfs.FileSystem = (*FS)(nil)
 
 // Format initializes a fresh file system on dev and returns it mounted.
-func Format(dev *disk.Device, clock *sim.Clock, opts Options) (*FS, error) {
+func Format(dev disk.BlockDevice, clock *sim.Clock, opts Options) (*FS, error) {
 	opts.fill()
 	bs := dev.BlockSize()
 	segStart := 1 + 2*opts.CheckpointBlocks
@@ -204,7 +204,7 @@ func (fs *FS) BlockSize() int { return fs.blockSize }
 func (fs *FS) Pool() *buffer.Pool { return fs.pool }
 
 // Device returns the underlying block device (for stats and inspection).
-func (fs *FS) Device() *disk.Device { return fs.dev }
+func (fs *FS) Device() disk.BlockDevice { return fs.dev }
 
 // SetTracer attaches a tracer; cleaning passes then emit cleaner.pass spans
 // (with the pass's disk time attributed as cleaner stall rather than

@@ -60,6 +60,16 @@ type Options struct {
 	// lock manager, and log manager, and transaction begin/commit/abort emit
 	// events with commit-wait attribution.
 	Tracer *trace.Tracer
+	// Locks, when non-nil, is a shared lock manager used instead of a
+	// private one. Sharded rigs point every shard's environment at one
+	// manager so cross-shard waits-for cycles are detected (and broken
+	// deterministically) like local ones.
+	Locks *lock.Manager
+	// LockSpace namespaces this environment's lock objects within a shared
+	// lock manager (ORed into the object's file id). Shards use distinct
+	// spaces so equal inode numbers on different shard file systems never
+	// alias. Meaningless without Locks.
+	LockSpace uint64
 }
 
 func (o *Options) fill() {
@@ -96,14 +106,15 @@ type undoRec struct {
 
 // Env is a user-level transaction environment bound to one file system.
 type Env struct {
-	mu    sync.Mutex
-	fs    vfs.FileSystem
-	clock *sim.Clock
-	costs sim.CostModel
-	pool  *buffer.Pool
-	locks *lock.Manager
-	log   *wal.Manager
-	opts  Options
+	mu        sync.Mutex
+	fs        vfs.FileSystem
+	clock     *sim.Clock
+	costs     sim.CostModel
+	pool      *buffer.Pool
+	locks     *lock.Manager
+	lockSpace uint64
+	log       *wal.Manager
+	opts      Options
 
 	files   map[uint64]vfs.File // db id (inode) → open file
 	nextTxn uint64
@@ -129,21 +140,25 @@ type Env struct {
 	gcWaiters  sim.WaitQueue
 }
 
-// NewEnv creates (or reopens) a transaction environment on fsys. The log
-// file is created if absent; if it exists, recovery is run before the
-// environment is usable.
-func NewEnv(fsys vfs.FileSystem, clock *sim.Clock, opts Options) (*Env, error) {
-	opts.fill()
+// newEnvShell builds the in-memory skeleton every construction path (NewEnv,
+// OpenForRecovery) shares: pool, lock manager (private or shared), metric
+// handles. The log is not opened yet.
+func newEnvShell(fsys vfs.FileSystem, clock *sim.Clock, opts Options) *Env {
+	locks := opts.Locks
+	if locks == nil {
+		locks = lock.NewManager()
+	}
 	env := &Env{
-		fs:     fsys,
-		clock:  clock,
-		costs:  opts.Costs,
-		locks:  lock.NewManager(),
-		opts:   opts,
-		files:  make(map[uint64]vfs.File),
-		active: make(map[uint64]bool),
-		undo:   make(map[uint64][]undoRec),
-		tracer: opts.Tracer,
+		fs:        fsys,
+		clock:     clock,
+		costs:     opts.Costs,
+		locks:     locks,
+		lockSpace: opts.LockSpace,
+		opts:      opts,
+		files:     make(map[uint64]vfs.File),
+		active:    make(map[uint64]bool),
+		undo:      make(map[uint64][]undoRec),
+		tracer:    opts.Tracer,
 	}
 	env.pool = buffer.New(opts.CacheBlocks, fsys.BlockSize(), env.writeback)
 	env.pool.SetTracer(opts.Tracer, "buffer.user")
@@ -152,6 +167,15 @@ func NewEnv(fsys vfs.FileSystem, clock *sim.Clock, opts Options) (*Env, error) {
 	env.ctrAborts = opts.Tracer.Counter("txn.aborts")
 	env.histLatency = opts.Tracer.Hist("txn.latency")
 	env.histCommitWait = opts.Tracer.Hist("txn.commitWait")
+	return env
+}
+
+// NewEnv creates (or reopens) a transaction environment on fsys. The log
+// file is created if absent; if it exists, recovery is run before the
+// environment is usable.
+func NewEnv(fsys vfs.FileSystem, clock *sim.Clock, opts Options) (*Env, error) {
+	opts.fill()
+	env := newEnvShell(fsys, clock, opts)
 
 	walOpts := wal.Options{SegmentBytes: opts.LogSegmentBytes, Retain: opts.LogRetain}
 	if !wal.Exists(fsys, opts.LogPath) {
@@ -184,6 +208,14 @@ func NewEnv(fsys vfs.FileSystem, clock *sim.Clock, opts Options) (*Env, error) {
 	clock.OnStall(env.groupCommitStall)
 	return env, nil
 }
+
+// lockTxn maps a local transaction id into the lock manager's id space.
+// With a shared manager (sharded rigs) the environment's LockSpace keeps
+// ids from different shards distinct; with a private manager it is zero and
+// this is the identity.
+//
+//simlint:noalloc
+func (e *Env) lockTxn(id uint64) lock.TxnID { return lock.TxnID(id | e.lockSpace) }
 
 // FS returns the underlying file system.
 func (e *Env) FS() vfs.FileSystem { return e.fs }
@@ -320,7 +352,7 @@ func (t *Txn) Commit() error {
 		if _, err := e.log.AppendCommit(t.id); err != nil {
 			return err
 		}
-		e.locks.ReleaseAll(lock.TxnID(t.id))
+		e.locks.ReleaseAll(e.lockTxn(t.id))
 		if err := e.awaitGroupForceLocked(); err != nil {
 			return err
 		}
@@ -328,7 +360,7 @@ func (t *Txn) Commit() error {
 		if _, _, err := e.log.LogCommit(t.id); err != nil {
 			return err
 		}
-		e.locks.ReleaseAll(lock.TxnID(t.id))
+		e.locks.ReleaseAll(e.lockTxn(t.id))
 	}
 	e.clock.Advance(e.costs.UserSync())
 	delete(e.active, t.id)
@@ -340,6 +372,132 @@ func (t *Txn) Commit() error {
 		e.ctrCommits.Add(1)
 	}
 	return nil
+}
+
+// Prepare votes yes on global transaction gid for this local branch: the
+// prepare record is appended and made durable — through the shared
+// group-commit batch when other clients are live, otherwise by a direct
+// force — while every lock stays held. Once Prepare returns, the branch's
+// fate belongs to the coordinator: CommitPrepared after the decision record
+// is durable, or Abort if the global transaction aborts before deciding. A
+// crash in between leaves the branch in doubt, resolved at recovery by the
+// coordinator's log (presumed abort when no decision record survives).
+func (t *Txn) Prepare(gid uint64) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	e := t.env
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock.Advance(e.costs.TxnOp + e.costs.Syscall)
+	if _, err := e.log.LogPrepare(t.id, gid); err != nil {
+		return err
+	}
+	if e.clock.LiveProcs() > 1 {
+		// Batch the prepare force with concurrent committers/preparers.
+		// Locks stay held — that is the prepare contract — so the wait can
+		// block lock-dependent clients; the scheduler's stall hook then asks
+		// the earliest waiter to perform the force itself.
+		return e.awaitGroupForceLocked()
+	}
+	return e.log.Force()
+}
+
+// CommitGlobal is the coordinator side of two-phase commit, called after
+// every participant's Prepare has returned: it appends the coordinator
+// branch's own prepare record, the global decision record, and the local
+// commit record — all to the coordinator's log, in that order — and forces
+// once (group-batched under multiprogramming). That single force is the
+// commit point of the whole global transaction: until it completes no shard
+// has a durable decision and every branch presumes abort; after it the
+// decision record resolves every in-doubt branch to commit. Locks are
+// released with the commit, and CommitGlobal returns only once the decision
+// is durable, so phase two (CommitPrepared on the participants) may start
+// immediately.
+func (t *Txn) CommitGlobal(gid uint64) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	e := t.env
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock.Advance(e.costs.TxnOp + e.costs.Syscall)
+	// The coordinator branch's own prepare precedes the decision in the same
+	// log, so a torn force can never leave the decision durable while the
+	// branch's binding to gid is lost.
+	if _, err := e.log.LogPrepare(t.id, gid); err != nil {
+		return err
+	}
+	if _, err := e.log.AppendGlobalCommit(gid); err != nil {
+		return err
+	}
+	if _, err := e.log.AppendCommit(t.id); err != nil {
+		return err
+	}
+	e.locks.ReleaseAll(e.lockTxn(t.id))
+	if e.clock.LiveProcs() > 1 {
+		if err := e.awaitGroupForceLocked(); err != nil {
+			return err
+		}
+	} else {
+		// The decision must be durable before phase two regardless of the
+		// group-commit setting — a deferred force here would let an
+		// unforced participant commit record become durable first.
+		if err := e.log.Force(); err != nil {
+			return err
+		}
+	}
+	e.clock.Advance(e.costs.UserSync())
+	delete(e.active, t.id)
+	delete(e.undo, t.id)
+	e.stats.Committed++
+	if e.tracer.Enabled() {
+		e.tracer.Complete("txn", "txn", t.start, trace.AU("txn", t.id), trace.AS("outcome", "commit"))
+		e.histLatency.Observe(e.clock.Now() - t.start)
+		e.ctrCommits.Add(1)
+	}
+	return nil
+}
+
+// CommitPrepared is phase two for a prepared participant branch: the global
+// decision is durable in the coordinator's log, so the local commit record
+// needs no force of its own — it is appended lazily and the locks released.
+// If the machine crashes before this record reaches disk, recovery finds
+// the branch prepared-but-undecided and the coordinator's decision record
+// resolves it to commit; nothing is lost.
+func (t *Txn) CommitPrepared() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	e := t.env
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock.Advance(e.costs.TxnOp + e.costs.Syscall)
+	if _, err := e.log.AppendCommit(t.id); err != nil {
+		return err
+	}
+	e.locks.ReleaseAll(e.lockTxn(t.id))
+	e.clock.Advance(e.costs.UserSync())
+	delete(e.active, t.id)
+	delete(e.undo, t.id)
+	e.stats.Committed++
+	if e.tracer.Enabled() {
+		e.tracer.Complete("txn", "txn", t.start, trace.AU("txn", t.id), trace.AS("outcome", "commit"))
+		e.histLatency.Observe(e.clock.Now() - t.start)
+		e.ctrCommits.Add(1)
+	}
+	return nil
+}
+
+// ForceLog forces the environment's write-ahead log. Sharded checkpoints
+// call it on every shard before checkpointing any of them, so no shard's
+// truncation can outrun another shard's undecided prepare records.
+func (e *Env) ForceLog() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.log.Force()
 }
 
 // awaitGroupForceLocked implements group commit for concurrent committers
@@ -448,7 +606,7 @@ func (t *Txn) Abort() error {
 	if _, err := e.log.LogAbort(t.id); err != nil {
 		return err
 	}
-	e.locks.ReleaseAll(lock.TxnID(t.id))
+	e.locks.ReleaseAll(e.lockTxn(t.id))
 	e.clock.Advance(e.costs.UserSync())
 	delete(e.active, t.id)
 	delete(e.undo, t.id)
@@ -523,64 +681,86 @@ func (e *Env) Checkpoint() error {
 	return err
 }
 
-// recoverLocked replays the log into the (already opened) database files.
-func (e *Env) recoverLocked() (winners, losers int, err error) {
-	return e.log.Recover(func(file uint64, block int64, offset uint32, data []byte) error {
-		f, ok := e.files[file]
-		if !ok {
-			return fmt.Errorf("libtp: recovery update for unopened database %d; pass its path to RecoverPaths", file)
-		}
-		_, err := f.WriteAt(data, block*int64(e.pool.BlockSize())+int64(offset))
-		return err
-	})
+// applyRecovery writes one recovered byte range into its database file.
+func (e *Env) applyRecovery(file uint64, block int64, offset uint32, data []byte) error {
+	f, ok := e.files[file]
+	if !ok {
+		return fmt.Errorf("libtp: recovery update for unopened database %d; pass its path to RecoverPaths", file)
+	}
+	_, err := f.WriteAt(data, block*int64(e.pool.BlockSize())+int64(offset))
+	return err
 }
 
 // RecoverPaths reopens an environment whose databases live at the given
 // paths, running recovery with every database available. Use this after a
-// crash instead of NewEnv.
+// crash instead of NewEnv. In-doubt branches of global transactions are
+// presumed aborted; a sharded recovery with multiple logs uses
+// OpenForRecovery on every shard first, then Complete with the union of the
+// shards' decision records.
 func RecoverPaths(fsys vfs.FileSystem, clock *sim.Clock, opts Options, dbPaths []string) (*Env, *RecoveryReport, error) {
-	opts.fill()
-	env := &Env{
-		fs:     fsys,
-		clock:  clock,
-		costs:  opts.Costs,
-		locks:  lock.NewManager(),
-		opts:   opts,
-		files:  make(map[uint64]vfs.File),
-		active: make(map[uint64]bool),
-		undo:   make(map[uint64][]undoRec),
-		tracer: opts.Tracer,
+	p, err := OpenForRecovery(fsys, clock, opts, dbPaths)
+	if err != nil {
+		return nil, nil, err
 	}
-	env.pool = buffer.New(opts.CacheBlocks, fsys.BlockSize(), env.writeback)
-	env.pool.SetTracer(opts.Tracer, "buffer.user")
-	env.locks.SetTracer(opts.Tracer)
-	env.ctrCommits = opts.Tracer.Counter("txn.commits")
-	env.ctrAborts = opts.Tracer.Counter("txn.aborts")
-	env.histLatency = opts.Tracer.Hist("txn.latency")
-	env.histCommitWait = opts.Tracer.Hist("txn.commitWait")
+	return p.Complete(nil)
+}
+
+// PendingRecovery is an environment whose log has been opened and scanned
+// but not yet replayed. The split exists for cross-shard recovery: every
+// shard's scan must complete (collecting the coordinators' decision
+// records) before any shard resolves its in-doubt branches.
+type PendingRecovery struct {
+	env       *Env
+	recs      []wal.Record
+	scanStart time.Duration
+}
+
+// OpenForRecovery opens the databases and the log at the given paths and
+// scans the log from its last checkpoint, deferring replay to Complete.
+func OpenForRecovery(fsys vfs.FileSystem, clock *sim.Clock, opts Options, dbPaths []string) (*PendingRecovery, error) {
+	opts.fill()
+	env := newEnvShell(fsys, clock, opts)
 	for _, p := range dbPaths {
 		f, err := fsys.Open(p)
 		if errors.Is(err, vfs.ErrNotExist) {
 			continue
 		}
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		env.files[uint64(f.ID())] = f
 	}
 	scanStart := clock.Now()
 	lg, err := wal.Open(fsys, opts.LogPath, wal.Options{SegmentBytes: opts.LogSegmentBytes, Retain: opts.LogRetain})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	env.log = lg
 	env.log.SetTracer(opts.Tracer)
-	w, l, err := env.recoverLocked()
+	recs, err := lg.Scan()
+	if err != nil {
+		return nil, err
+	}
+	return &PendingRecovery{env: env, recs: recs, scanStart: scanStart}, nil
+}
+
+// GlobalDecisions returns the global-transaction ids this shard's log holds
+// durable commit decisions for (it was their coordinator).
+func (p *PendingRecovery) GlobalDecisions() map[uint64]bool {
+	return wal.GlobalDecisions(p.recs)
+}
+
+// Complete replays the scanned log — resolve decides in-doubt prepared
+// branches, nil meaning presumed abort — syncs the recovered databases,
+// checkpoints, and returns the usable environment.
+func (p *PendingRecovery) Complete(resolve func(gid uint64) bool) (*Env, *RecoveryReport, error) {
+	env, clock, opts := p.env, p.env.clock, p.env.opts
+	w, l, indoubt, err := wal.ReplayRecords(p.recs, env.applyRecovery, resolve)
 	if err != nil {
 		return nil, nil, err
 	}
 	scan := env.log.LastScanStats()
-	opts.Tracer.Hist("wal.recoveryScan").Observe(clock.Now() - scanStart)
+	opts.Tracer.Hist("wal.recoveryScan").Observe(clock.Now() - p.scanStart)
 	opts.Tracer.Counter("wal.recoverySegments").Add(scan.Segments)
 	opts.Tracer.Counter("wal.recoveryBlocks").Add(scan.Blocks)
 	// Recovered pages must reach the files before a fresh checkpoint
@@ -596,12 +776,13 @@ func RecoverPaths(fsys vfs.FileSystem, clock *sim.Clock, opts Options, dbPaths [
 	env.log.SetGroupCommit(opts.GroupCommit)
 	env.locks.SetClock(clock)
 	clock.OnStall(env.groupCommitStall)
-	return env, &RecoveryReport{Winners: w, Losers: l, Scan: scan}, nil
+	return env, &RecoveryReport{Winners: w, Losers: l, InDoubt: indoubt, Scan: scan}, nil
 }
 
 // RecoveryReport summarizes a recovery pass.
 type RecoveryReport struct {
 	Winners int           // transactions redone
 	Losers  int           // transactions undone
+	InDoubt int           // prepared branches resolved by the coordinator's decision (or presumed abort)
 	Scan    wal.ScanStats // how much log the recovery scan had to read
 }

@@ -49,7 +49,7 @@ func (s *txnStore) lock(page int64, mode lock.Mode) error {
 	e.clock.Yield()
 	// Lock-manager call: semaphore acquire/release in user space.
 	e.clock.Advance(e.costs.UserSync())
-	err := e.locks.Lock(lock.TxnID(s.t.id), lock.Object{File: s.db.id, Block: page}, mode)
+	err := e.locks.Lock(e.lockTxn(s.t.id), lock.Object{File: s.db.id | e.lockSpace, Block: page}, mode)
 	if err != nil && errors.Is(err, lock.ErrDeadlock) {
 		// Two-phase locking contract: the victim must abort, which the
 		// record layer does by surfacing the error to Txn.Abort's caller.

@@ -1,6 +1,9 @@
 package tpcb
 
-import "repro/internal/trace"
+import (
+	"repro/internal/libtp"
+	"repro/internal/trace"
+)
 
 // CollectSnapshot assembles the end-of-run report for a rig: the benchmark
 // result, every subsystem's counters, and — when the rig carries a tracer —
@@ -22,17 +25,35 @@ func CollectSnapshot(rig *Rig, res Result, tr *trace.Tracer) *trace.Snapshot {
 	if rig == nil {
 		return snap
 	}
-	if rig.Dev != nil {
-		st := rig.Dev.Stats()
-		snap.Disk = &trace.DiskSection{
-			Reads:      st.Reads,
-			BlocksRead: st.BlocksRead,
-			Writes:     st.Writes,
-			BlocksWrit: st.BlocksWrit,
-			Seeks:      st.Seeks,
-			BusyTime:   st.BusyTime,
-			QueueTime:  st.QueueTime,
+	if len(rig.Devs) > 0 {
+		// Aggregate = field-wise sum over member devices; each request is
+		// charged to exactly one device, so nothing is double-counted. The
+		// per-device rows appear only on multi-device rigs, keeping
+		// single-disk snapshots byte-identical to historical captures.
+		sec := &trace.DiskSection{}
+		for i, d := range rig.Devs {
+			ds := d.Stats()
+			sec.Reads += ds.Reads
+			sec.BlocksRead += ds.BlocksRead
+			sec.Writes += ds.Writes
+			sec.BlocksWrit += ds.BlocksWrit
+			sec.Seeks += ds.Seeks
+			sec.BusyTime += ds.BusyTime
+			sec.QueueTime += ds.QueueTime
+			if len(rig.Devs) > 1 {
+				sec.Devices = append(sec.Devices, trace.DiskDeviceRow{
+					Dev:        i,
+					Reads:      ds.Reads,
+					BlocksRead: ds.BlocksRead,
+					Writes:     ds.Writes,
+					BlocksWrit: ds.BlocksWrit,
+					Seeks:      ds.Seeks,
+					BusyTime:   ds.BusyTime,
+					QueueTime:  ds.QueueTime,
+				})
+			}
 		}
+		snap.Disk = sec
 	}
 	if rig.LFS != nil {
 		fst := rig.LFS.Stats()
@@ -54,23 +75,30 @@ func CollectSnapshot(rig *Rig, res Result, tr *trace.Tracer) *trace.Snapshot {
 			},
 		}
 	}
+	envs := rig.Shards
 	if rig.Env != nil {
-		ws := rig.Env.LogStats()
-		snap.WAL = &trace.WALSection{
-			Records:      ws.Records,
-			BytesLogged:  ws.BytesLogged,
-			Forces:       ws.Forces,
-			GroupCommits: ws.GroupCommits,
-
-			Segments:         ws.Segments,
-			Rotations:        ws.Rotations,
-			SegmentsSealed:   ws.SegmentsSealed,
-			SegmentsDeleted:  ws.SegmentsDeleted,
-			SegmentsArchived: ws.SegmentsArchived,
-			Checkpoints:      ws.Checkpoints,
-			IndexEntries:     ws.IndexEntries,
-			IndexWrites:      ws.IndexWrites,
+		envs = []*libtp.Env{rig.Env}
+	}
+	if len(envs) > 0 {
+		// On a sharded rig each environment has its own log; the section
+		// sums them (one record lands in exactly one shard's log).
+		sec := &trace.WALSection{}
+		for _, env := range envs {
+			ws := env.LogStats()
+			sec.Records += ws.Records
+			sec.BytesLogged += ws.BytesLogged
+			sec.Forces += ws.Forces
+			sec.GroupCommits += ws.GroupCommits
+			sec.Segments += ws.Segments
+			sec.Rotations += ws.Rotations
+			sec.SegmentsSealed += ws.SegmentsSealed
+			sec.SegmentsDeleted += ws.SegmentsDeleted
+			sec.SegmentsArchived += ws.SegmentsArchived
+			sec.Checkpoints += ws.Checkpoints
+			sec.IndexEntries += ws.IndexEntries
+			sec.IndexWrites += ws.IndexWrites
 		}
+		snap.WAL = sec
 	}
 	if rig.Core != nil {
 		cs := rig.Core.Stats()
@@ -82,7 +110,7 @@ func CollectSnapshot(rig *Rig, res Result, tr *trace.Tracer) *trace.Snapshot {
 			BytesFlushed: cs.BytesFlushed,
 		}
 	}
-	if rig.Env != nil || rig.Core != nil {
+	if rig.Env != nil || rig.Core != nil || rig.Shards != nil {
 		ls := rig.LockStats()
 		snap.Locks = &trace.LockSection{
 			Acquired:       ls.Acquired,

@@ -64,17 +64,42 @@ type RigOptions struct {
 	// exposed as Rig.Tracer. When false the rig runs with a nil tracer,
 	// which costs nothing.
 	Trace bool
+	// Devices is the number of spindles (0 or 1 = the classic single
+	// disk; the single-device path is bit-for-bit the historical one).
+	Devices int
+	// Layout selects how a multi-device rig spreads data: "stripe"
+	// (default) presents one striped block space to a single file system;
+	// "partition" gives each device its own file system, transaction
+	// environment, and log, with the TPC-B relations range-partitioned
+	// across them and cross-shard transactions running two-phase commit.
+	// Partition requires a user-level rig kind.
+	Layout string
+	// StripeBlocks is the stripe unit in blocks for the "stripe" layout
+	// (default 8).
+	StripeBlocks int
 }
 
 // Rig is a ready-to-run benchmark configuration.
 type Rig struct {
 	Clock *sim.Clock
-	Dev   *disk.Device
+	// Dev is the rig's block address space: the single device, or the
+	// striped array. Nil for partitioned rigs, which have no unified
+	// address space — use Devs.
+	Dev disk.BlockDevice
+	// Devs lists the physical devices (length 1 for the classic rig).
+	Devs []*disk.Device
+	// Crash injects whole-machine crashes: the device itself on a
+	// single-spindle rig, a disk.CrashSet spanning all members otherwise.
+	Crash disk.CrashControl
 	FS    vfs.FileSystem
-	LFS   *lfs.FS // non-nil for LFS-based rigs
+	LFS   *lfs.FS // non-nil for single-FS LFS-based rigs
 	Sys   System
-	Env   *libtp.Env    // non-nil for user-level rigs
+	Env   *libtp.Env    // non-nil for single-FS user-level rigs
 	Core  *core.Manager // non-nil for the embedded rig
+	// Shards holds the per-device transaction environments of a
+	// partitioned rig (nil otherwise); Part maps ids to shards.
+	Shards []*libtp.Env
+	Part   *Partitioner
 	// Idle is the between-transactions hook (non-nil when CleanerMode is
 	// "idle"): one incremental background cleaning step, charged against
 	// foreground idle time. Pass it to RunBenchmarkIdle.
@@ -99,6 +124,10 @@ func (r *Rig) RunMPL(cfg Config, n, mpl int) (Result, error) {
 func (r *Rig) LockStats() lock.Stats {
 	if r.Env != nil {
 		return r.Env.LockStats()
+	}
+	if len(r.Shards) > 0 {
+		// All shards share one lock manager; any environment reports it.
+		return r.Shards[0].LockStats()
 	}
 	if r.Core != nil {
 		return r.Core.LockStats()
@@ -178,9 +207,37 @@ func BuildRig(opts RigOptions) (*Rig, error) {
 	if opts.Trace {
 		tr = trace.New(clk)
 	}
-	dev := disk.New(model, clk)
-	dev.SetTracer(tr)
-	rig := &Rig{Clock: clk, Dev: dev, Tracer: tr}
+	layout := opts.Layout
+	if layout == "" {
+		layout = "stripe"
+	}
+	if opts.Devices > 1 && layout == "partition" {
+		return buildPartitionedRig(opts, clk, tr, model, cache)
+	}
+	rig := &Rig{Clock: clk, Tracer: tr}
+	if opts.Devices <= 1 {
+		// The classic single spindle: this path is bit-for-bit the
+		// historical one, so captured single-device outputs stay valid.
+		dev := disk.New(model, clk)
+		dev.SetTracer(tr)
+		rig.Dev, rig.Devs, rig.Crash = dev, []*disk.Device{dev}, dev
+	} else if layout == "stripe" {
+		per := model
+		per.NumBlocks = (model.NumBlocks + int64(opts.Devices) - 1) / int64(opts.Devices)
+		stripe := opts.StripeBlocks
+		if stripe <= 0 {
+			stripe = 8
+		}
+		arr, err := disk.NewArray(per, clk, opts.Devices, disk.LayoutStripe, int64(stripe))
+		if err != nil {
+			return nil, err
+		}
+		arr.SetTracer(tr)
+		rig.Dev, rig.Devs, rig.Crash = arr, arr.Devices(), disk.NewCrashSet(arr.Devices()...)
+	} else {
+		return nil, fmt.Errorf("tpcb: unknown layout %q", layout)
+	}
+	dev := rig.Dev
 
 	switch opts.Kind {
 	case "user-ffs":
@@ -250,5 +307,81 @@ func BuildRig(opts RigOptions) (*Rig, error) {
 	// The measured run must not hide background work behind idle time the
 	// load phase accumulated.
 	dev.ResetIdleCredit()
+	return rig, nil
+}
+
+// buildPartitionedRig assembles an N-device sharded rig: every device gets
+// its own file system, transaction environment, and write-ahead log, the
+// relations are range-partitioned across them, and all environments share
+// one lock manager (under per-shard lock namespaces) so cross-shard
+// waits-for cycles are detected like local ones.
+func buildPartitionedRig(opts RigOptions, clk *sim.Clock, tr *trace.Tracer, model sim.DiskModel, cache int) (*Rig, error) {
+	n := opts.Devices
+	part, err := NewPartitioner(opts.Config, n)
+	if err != nil {
+		return nil, err
+	}
+	switch opts.CleanerMode {
+	case "", "sync":
+	default:
+		return nil, fmt.Errorf("tpcb: cleaner mode %q is not supported on partitioned rigs", opts.CleanerMode)
+	}
+	per := model
+	// Each shard carries ~1/N of the database and of the history growth,
+	// plus fixed per-file-system slack (superblock, checkpoint regions,
+	// segment headroom).
+	per.NumBlocks = model.NumBlocks/int64(n) + 2048
+	shardCache := max(cache/n, 96)
+	locks := lock.NewManager()
+	rig := &Rig{Clock: clk, Tracer: tr, Part: part}
+	envs := make([]*libtp.Env, n)
+	for i := 0; i < n; i++ {
+		dev := disk.New(per, clk)
+		dev.SetTracer(tr)
+		rig.Devs = append(rig.Devs, dev)
+		var fsys vfs.FileSystem
+		switch opts.Kind {
+		case "user-lfs":
+			lf, err := lfs.Format(dev, clk, lfs.Options{CacheBlocks: shardCache, Policy: opts.Policy, CleanBatch: opts.CleanBatch, IdleCleanTrigger: opts.IdleCleanTrigger})
+			if err != nil {
+				return nil, err
+			}
+			lf.SetTracer(tr)
+			lf.Pool().SetTracer(tr, fmt.Sprintf("buffer.lfs%d", i))
+			fsys = lf
+		case "user-ffs":
+			ff, err := ffs.Format(dev, clk, ffs.Options{CacheBlocks: shardCache, SyncInterval: 30 * time.Second})
+			if err != nil {
+				return nil, err
+			}
+			ff.Pool().SetTracer(tr, fmt.Sprintf("buffer.ffs%d", i))
+			fsys = ff
+		default:
+			return nil, fmt.Errorf("tpcb: layout \"partition\" needs a user-level rig kind, got %q", opts.Kind)
+		}
+		env, err := libtp.NewEnv(fsys, clk, libtp.Options{
+			CacheBlocks:     shardCache,
+			Costs:           opts.Costs,
+			GroupCommit:     opts.GroupCommit,
+			LogSegmentBytes: opts.LogSegmentBytes,
+			LogRetain:       opts.LogRetain,
+			Tracer:          tr,
+			Locks:           locks,
+			LockSpace:       ShardLockSpace(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		envs[i] = env
+	}
+	rig.Crash = disk.NewCrashSet(rig.Devs...)
+	rig.Shards = envs
+	rig.Sys = NewShardedSystem(envs, part, clk, opts.Costs)
+	if err := rig.Sys.Load(opts.Config); err != nil {
+		return nil, fmt.Errorf("tpcb: load on %s: %w", opts.Kind, err)
+	}
+	for _, d := range rig.Devs {
+		d.ResetIdleCredit()
+	}
 	return rig, nil
 }

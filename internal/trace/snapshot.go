@@ -73,6 +73,24 @@ type DiskSection struct {
 	Seeks      int64         `json:"seeks"`
 	BusyTime   time.Duration `json:"busy"`
 	QueueTime  time.Duration `json:"queued"`
+	// Devices breaks the totals down per member spindle on multi-device
+	// rigs (nil on the classic single disk, keeping those snapshots
+	// byte-identical). The top-level fields are the field-wise sum of the
+	// rows — each request is counted on exactly one device, never twice.
+	Devices []DiskDeviceRow `json:"devices,omitempty"`
+}
+
+// DiskDeviceRow is one member device's share of an array's disk totals: the
+// per-spindle queue and seek attribution for multi-device rigs.
+type DiskDeviceRow struct {
+	Dev        int           `json:"dev"`
+	Reads      int64         `json:"reads"`
+	BlocksRead int64         `json:"blocks_read"`
+	Writes     int64         `json:"writes"`
+	BlocksWrit int64         `json:"blocks_written"`
+	Seeks      int64         `json:"seeks"`
+	BusyTime   time.Duration `json:"busy"`
+	QueueTime  time.Duration `json:"queued"`
 }
 
 // CleanerSection mirrors lfs.CleanerStats.
@@ -188,6 +206,10 @@ func (s *Snapshot) Render() string {
 	if d := s.Disk; d != nil {
 		fmt.Fprintf(&b, "\ndisk: %d read ops (%d blocks), %d write ops (%d blocks), busy %v, queued %v\n",
 			d.Reads, d.BlocksRead, d.Writes, d.BlocksWrit, d.BusyTime, d.QueueTime)
+		for _, r := range d.Devices {
+			fmt.Fprintf(&b, "disk[%d]: %d read ops (%d blocks), %d write ops (%d blocks), %d seeks, busy %v, queued %v\n",
+				r.Dev, r.Reads, r.BlocksRead, r.Writes, r.BlocksWrit, r.Seeks, r.BusyTime, r.QueueTime)
+		}
 	}
 	if f := s.LFS; f != nil {
 		fmt.Fprintf(&b, "lfs: %d partial segments, %d blocks logged, %d checkpoints\n",

@@ -446,15 +446,56 @@ func vfsNotExist(err error) bool {
 //     transaction wrote the same bytes (the loser still held its write
 //     locks at the crash), so reverse undo is safe.
 //
+// Prepared-but-undecided branches of a global transaction (RecPrepare with
+// no later local commit/abort) are presumed aborted; a sharded recovery that
+// has the coordinators' decisions uses RecoverResolved instead.
+//
 // apply writes a byte range into a database page. The scan cost is recorded
 // in LastScanStats.
 func (m *Manager) Recover(apply func(file uint64, block int64, offset uint32, data []byte) error) (winners, losers int, err error) {
+	winners, losers, _, err = m.RecoverResolved(apply, nil)
+	return winners, losers, err
+}
+
+// RecoverResolved is Recover with an in-doubt resolver: a prepared local
+// transaction whose fate has no local decision record is committed when
+// resolve reports its global transaction id as committed, and undone
+// otherwise (presumed abort — also the behaviour for a nil resolve). The
+// extra indoubt count reports how many branches needed the resolver.
+func (m *Manager) RecoverResolved(apply func(file uint64, block int64, offset uint32, data []byte) error, resolve func(gid uint64) bool) (winners, losers, indoubt int, err error) {
 	recs, err := m.Scan()
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
+	return ReplayRecords(recs, apply, resolve)
+}
+
+// GlobalDecisions returns the global-transaction ids whose commit decision
+// records (RecGlobalCommit) appear in recs. A sharded recovery scans every
+// shard's log first, unions these sets, and then resolves each shard's
+// in-doubt branches against the union.
+func GlobalDecisions(recs []Record) map[uint64]bool {
+	var out map[uint64]bool
+	for _, r := range recs {
+		if r.Type == RecGlobalCommit {
+			if out == nil {
+				out = map[uint64]bool{}
+			}
+			out[r.Txn] = true
+		}
+	}
+	return out
+}
+
+// ReplayRecords replays an already-scanned record sequence through apply,
+// using resolve to decide prepared-but-undecided branches (nil = presumed
+// abort). It is the body of Recover/RecoverResolved, exported so a
+// multi-shard recovery can scan all logs before replaying any of them.
+func ReplayRecords(recs []Record, apply func(file uint64, block int64, offset uint32, data []byte) error, resolve func(gid uint64) bool) (winners, losers, indoubt int, err error) {
 	committed := map[uint64]bool{}
 	aborted := map[uint64]bool{}
+	prepared := map[uint64]uint64{} // local txn -> global txn id
+	var prepOrder []uint64          // prepare-record order; no map iteration needed
 	seen := map[uint64]bool{}
 	var seenOrder []uint64 // first-appearance order; no map iteration needed
 	for _, r := range recs {
@@ -463,6 +504,11 @@ func (m *Manager) Recover(apply func(file uint64, block int64, offset uint32, da
 			committed[r.Txn] = true
 		case RecAbort:
 			aborted[r.Txn] = true
+		case RecPrepare:
+			if _, dup := prepared[r.Txn]; !dup {
+				prepOrder = append(prepOrder, r.Txn)
+			}
+			prepared[r.Txn] = r.File
 		case RecUpdate:
 			if !seen[r.Txn] {
 				seen[r.Txn] = true
@@ -470,11 +516,25 @@ func (m *Manager) Recover(apply func(file uint64, block int64, offset uint32, da
 			}
 		}
 	}
+	// Resolve in-doubt branches: prepared, but no local decision record
+	// survived. The coordinator's durable decision is authoritative; with
+	// none (or no resolver) the branch is presumed aborted and undone like
+	// any other loser — its locks were still held at the crash, so reverse
+	// undo is safe.
+	for _, txn := range prepOrder {
+		if committed[txn] || aborted[txn] {
+			continue
+		}
+		indoubt++
+		if resolve != nil && resolve(prepared[txn]) {
+			committed[txn] = true
+		}
+	}
 	// Redo committed and aborted-with-compensation transactions forward.
 	for _, r := range recs {
 		if r.Type == RecUpdate && (committed[r.Txn] || aborted[r.Txn]) {
 			if err := apply(r.File, r.Block, r.Offset, r.After); err != nil {
-				return 0, 0, err
+				return 0, 0, 0, err
 			}
 		}
 	}
@@ -483,7 +543,7 @@ func (m *Manager) Recover(apply func(file uint64, block int64, offset uint32, da
 		r := recs[i]
 		if r.Type == RecUpdate && !committed[r.Txn] && !aborted[r.Txn] {
 			if err := apply(r.File, r.Block, r.Offset, r.Before); err != nil {
-				return 0, 0, err
+				return 0, 0, 0, err
 			}
 		}
 	}
@@ -495,5 +555,5 @@ func (m *Manager) Recover(apply func(file uint64, block int64, offset uint32, da
 			l++
 		}
 	}
-	return w, l, nil
+	return w, l, indoubt, nil
 }
