@@ -40,6 +40,7 @@ func main() {
 	devices := flag.Int("devices", 1, "number of disk devices (1 = the classic single spindle)")
 	layout := flag.String("layout", "stripe", "multi-device layout: stripe or partition (partition sweeps only the user-level systems)")
 	stripe := flag.Int("stripe", 8, "stripe unit in blocks for -layout stripe")
+	snapshots := flag.Int("snapshots", 0, "open a read-only MVCC snapshot every Nth transaction and hold it across the next ones (0 = off)")
 	flag.Parse()
 
 	systems := []string{"kernel-lfs", "user-lfs", "user-ffs"}
@@ -64,6 +65,7 @@ func main() {
 			Devices:         *devices,
 			Layout:          *layout,
 			StripeBlocks:    *stripe,
+			Snapshots:       *snapshots,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "crashsweep: %s: %v\n", sys, err)

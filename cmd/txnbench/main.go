@@ -14,6 +14,7 @@
 //	txnbench -fig cleaner -json       # machine-readable output
 //	txnbench -fig 4 -cleaner idle -cleanbatch 8
 //	txnbench -fig bench -metrics BENCH_tpcb.json -trace trace.json
+//	txnbench -fig scan -scanners 2 -scans 1 -metrics BENCH_scan.json   # MVCC snapshot scans vs locking (not in "all")
 //	txnbench -fig 4 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // All elapsed times are simulated: the workloads run on a simulated RZ55
@@ -34,7 +35,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 4, 5, 6, 7, sync, cleaner, groupcommit, commitbytes, policy, mpl, devices, all")
+	fig := flag.String("fig", "all", "figure to reproduce: 4, 5, 6, 7, sync, cleaner, groupcommit, commitbytes, policy, mpl, devices, scan, all")
 	scale := flag.Float64("scale", 0.05, "TPC-B scale factor (1.0 = the paper's 1,000,000 accounts)")
 	txns := flag.Int("txns", 5000, "transactions per measured run")
 	cleaner := flag.String("cleaner", "", "override the LFS cleaning discipline for all rigs: sync or idle (default: each system's natural mode)")
@@ -47,6 +48,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the figure runs (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the figure runs (go tool pprof)")
 	devicesFlag := flag.String("devices", "1,2,4", "with -fig devices: comma-separated device counts to sweep")
+	scanners := flag.Int("scanners", 0, "with -fig scan: concurrent scan clients (0 = default 2)")
+	scansEach := flag.Int("scans", 0, "with -fig scan: full account scans per scan client (0 = default 1)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -83,6 +86,7 @@ func main() {
 	opts := figures.Options{
 		Scale: *scale, Txns: *txns, CleanerMode: *cleaner, CleanBatch: *cleanBatch,
 		LogSegmentBytes: *logSeg, LogRetain: *logRetain,
+		Scanners: *scanners, ScansEach: *scansEach,
 	}
 
 	type job struct {
@@ -126,6 +130,33 @@ func main() {
 		// metrics subsystem on; not part of "all" either.
 		"bench": {"bench", func() (fmt.Stringer, error) {
 			rep, err := figures.Bench(opts)
+			if err != nil {
+				return nil, err
+			}
+			if *metricsOut != "" {
+				if err := writeJSON(*metricsOut, rep); err != nil {
+					return nil, err
+				}
+			}
+			if *traceOut != "" && rep.Tracer != nil {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					return nil, err
+				}
+				if err := rep.Tracer.WriteChrome(f); err != nil {
+					f.Close()
+					return nil, err
+				}
+				if err := f.Close(); err != nil {
+					return nil, err
+				}
+			}
+			return rep, nil
+		}},
+		// The mixed OLTP + long-scan sweep (MVCC snapshot reads vs locking
+		// scans); not part of "all".
+		"scan": {"scan", func() (fmt.Stringer, error) {
+			rep, err := figures.Scan(opts)
 			if err != nil {
 				return nil, err
 			}

@@ -41,6 +41,8 @@ type Tree struct {
 	root     int64
 	height   int
 	count    int64
+	cache    *NodeCache // optional decoded-interior-node cache
+	scratch  []byte     // reusable page buffer for cached descents
 }
 
 // meta page layout: magic u32, root i64, height u32, count i64.
@@ -103,6 +105,7 @@ func (t *Tree) Height() int { return t.height }
 // node is the in-memory form of a tree page.
 type node struct {
 	pageNo   int64
+	lsn      uint64 // page version stamp; writeNode bumps it on every write
 	leaf     bool
 	next     int64 // leaf chain
 	keys     [][]byte
@@ -115,11 +118,18 @@ type node struct {
 //	kind  u8 (leaf/internal)
 //	nkeys u16
 //	leaf:     next i64, then nkeys × (klen u16, vlen u16, key, val)
-//	internal: child0 i64, then nkeys × (klen u16, key, child i64)
+//	internal: lsn u64, child0 i64, then nkeys × (klen u16, key, child i64)
+//
+// Only interior pages carry an LSN (bumped on every write, validating
+// NodeCache entries): leaves are never cached, and keeping their header
+// unchanged preserves leaf capacity — the dominant term in file size.
 const nodeHeader = 1 + 2
 
 func (t *Tree) nodeSize(n *node) int {
-	size := nodeHeader + 8
+	size := nodeHeader + 8 // next i64 (leaf) or child0 i64 (internal)
+	if !n.leaf {
+		size += 8 // lsn u64
+	}
 	for i, k := range n.keys {
 		if n.leaf {
 			size += 2 + 2 + len(k) + len(n.vals[i])
@@ -153,6 +163,9 @@ func (t *Tree) writeNode(n *node) error {
 			off += len(n.vals[i])
 		}
 	} else {
+		n.lsn++
+		le.PutUint64(b[off:], n.lsn)
+		off += 8
 		le.PutUint64(b[off:], uint64(n.children[0]))
 		off += 8
 		for i, k := range n.keys {
@@ -175,6 +188,12 @@ func (t *Tree) readNode(pageNo int64) (*node, error) {
 	if err := t.st.ReadPage(pageNo, b); err != nil {
 		return nil, err
 	}
+	return decodeNode(pageNo, b)
+}
+
+// decodeNode builds the in-memory node from page bytes b, which the node
+// aliases: b must be owned by (private to) the returned node.
+func decodeNode(pageNo int64, b []byte) (*node, error) {
 	le := binary.LittleEndian
 	n := &node{pageNo: pageNo}
 	switch b[0] {
@@ -206,6 +225,8 @@ func (t *Tree) readNode(pageNo int64) (*node, error) {
 			off += vlen
 		}
 	} else {
+		n.lsn = le.Uint64(b[off:])
+		off += 8
 		n.keys = make([][]byte, nkeys)
 		n.children = make([]int64, nkeys+1)
 		n.children[0] = int64(le.Uint64(b[off:]))
@@ -257,12 +278,12 @@ func childIndex(keys [][]byte, key []byte) int {
 
 // Get returns the value stored under key.
 func (t *Tree) Get(key []byte) ([]byte, error) {
-	n, err := t.readNode(t.root)
+	n, err := t.readNodeCached(t.root)
 	if err != nil {
 		return nil, err
 	}
 	for !n.leaf {
-		n, err = t.readNode(n.children[childIndex(n.keys, key)])
+		n, err = t.readNodeCached(n.children[childIndex(n.keys, key)])
 		if err != nil {
 			return nil, err
 		}
@@ -504,12 +525,12 @@ func (t *Tree) unlinkLeaf(pageNo int64) error {
 }
 
 func (t *Tree) leftmostLeaf() (*node, error) {
-	n, err := t.readNode(t.root)
+	n, err := t.readNodeCached(t.root)
 	if err != nil {
 		return nil, err
 	}
 	for !n.leaf {
-		n, err = t.readNode(n.children[0])
+		n, err = t.readNodeCached(n.children[0])
 		if err != nil {
 			return nil, err
 		}
@@ -527,12 +548,12 @@ type Cursor struct {
 
 // Seek positions a cursor at the first key ≥ key.
 func (t *Tree) Seek(key []byte) (*Cursor, error) {
-	n, err := t.readNode(t.root)
+	n, err := t.readNodeCached(t.root)
 	if err != nil {
 		return nil, err
 	}
 	for !n.leaf {
-		n, err = t.readNode(n.children[childIndex(n.keys, key)])
+		n, err = t.readNodeCached(n.children[childIndex(n.keys, key)])
 		if err != nil {
 			return nil, err
 		}

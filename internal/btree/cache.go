@@ -1,0 +1,138 @@
+package btree
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/pagestore"
+)
+
+// defaultCacheCap bounds a NodeCache when the caller does not.
+const defaultCacheCap = 256
+
+// NodeCache caches decoded interior nodes across Tree handles of the same
+// relation, keyed by page number and validated by the page's LSN: every
+// writeNode bumps the on-page LSN, so a cached node whose LSN no longer
+// matches the bytes on the page is simply never returned. The cached read
+// path still performs the full ReadPage — the page store's locking and cost
+// accounting are unchanged — the cache only skips re-decoding an unchanged
+// interior page into fresh slices on every descent.
+//
+// Cached nodes are shared and strictly read-only: only the read-only
+// descents (Get, Seek, First) consult the cache, and the mutation paths
+// always decode privately.
+//
+// One timeline caveat: per-page LSNs restart from the on-page value, so a
+// transaction abort that restores a page's before-image also rewinds its
+// LSN — a later write could then re-issue an LSN the cache already mapped
+// to different (aborted-timeline) bytes. Callers running under a
+// transaction system must therefore Flush the cache whenever a transaction
+// aborts; the LSN check handles every committed-path invalidation.
+type NodeCache struct {
+	mu       sync.Mutex
+	capacity int
+	nodes    map[int64]*node
+	hits     int64
+	misses   int64
+}
+
+// NewNodeCache creates a cache holding at most capacity interior nodes
+// (defaultCacheCap if capacity <= 0). Eviction is deterministic and
+// wholesale: when full, the next insert of a new page clears the cache.
+func NewNodeCache(capacity int) *NodeCache {
+	if capacity <= 0 {
+		capacity = defaultCacheCap
+	}
+	return &NodeCache{capacity: capacity, nodes: make(map[int64]*node)}
+}
+
+// Flush empties the cache. Transaction systems call this on abort (see the
+// timeline caveat above).
+func (c *NodeCache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.nodes)
+}
+
+// Stats returns the hit/miss counters.
+func (c *NodeCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// lookup returns the cached node for pageNo iff its LSN matches lsn.
+//
+//simlint:noalloc
+func (c *NodeCache) lookup(pageNo int64, lsn uint64) *node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.nodes[pageNo]
+	if n == nil || n.lsn != lsn {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	return n
+}
+
+// insert stores a freshly decoded interior node, clearing the cache
+// wholesale when it is full (deterministic, order-independent eviction).
+func (c *NodeCache) insert(n *node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.nodes) >= c.capacity && c.nodes[n.pageNo] == nil {
+		clear(c.nodes)
+	}
+	c.nodes[n.pageNo] = n
+}
+
+// AttachCache wires a shared NodeCache into this tree handle's read-only
+// descents.
+func (t *Tree) AttachCache(c *NodeCache) { t.cache = c }
+
+// OpenWithCache loads an existing tree and attaches a shared node cache.
+func OpenWithCache(st pagestore.Store, c *NodeCache) (*Tree, error) {
+	t, err := Open(st)
+	if err != nil {
+		return nil, err
+	}
+	t.AttachCache(c)
+	return t, nil
+}
+
+// readNodeCached reads pageNo for a read-only descent. Without a cache it
+// is plain readNode. With one, the page is read into the tree's reusable
+// scratch buffer (locking and cost identical to readNode); an interior page
+// whose LSN matches a cached node returns the shared decoded node with zero
+// further allocation, anything else is decoded from a private copy, and
+// interior nodes are cached for the next descent. Leaves are never cached:
+// they change on every update and their decoded form aliases page memory
+// that escapes to callers (Get's value, cursor entries).
+func (t *Tree) readNodeCached(pageNo int64) (*node, error) {
+	if t.cache == nil {
+		return t.readNode(pageNo)
+	}
+	if t.scratch == nil {
+		t.scratch = make([]byte, t.pageSize)
+	}
+	if err := t.st.ReadPage(pageNo, t.scratch); err != nil {
+		return nil, err
+	}
+	if t.scratch[0] == pgInternal {
+		lsn := binary.LittleEndian.Uint64(t.scratch[3:])
+		if n := t.cache.lookup(pageNo, lsn); n != nil {
+			return n, nil
+		}
+	}
+	b := make([]byte, t.pageSize)
+	copy(b, t.scratch)
+	n, err := decodeNode(pageNo, b)
+	if err != nil {
+		return nil, err
+	}
+	if !n.leaf {
+		t.cache.insert(n)
+	}
+	return n, nil
+}

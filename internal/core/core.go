@@ -23,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/detsort"
 	"repro/internal/lfs"
 	"repro/internal/lock"
+	"repro/internal/mvcc"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vfs"
@@ -75,6 +77,11 @@ type Stats struct {
 	PagesFlushed int64 // pages written by commit flushes
 	BytesFlushed int64 // whole pages × block size (§4.3's commit cost)
 	Deadlocks    int64
+	// Snapshots counts read-only snapshot transactions (BeginSnapshot);
+	// VersionsRecorded counts superseded page addresses captured into the
+	// version map while snapshots were pinned.
+	Snapshots        int64
+	VersionsRecorded int64
 }
 
 // Manager is the embedded transaction manager: the paper's additions to the
@@ -98,6 +105,17 @@ type Manager struct {
 	// pending are committed transactions awaiting the group-commit flush.
 	pending []*Txn
 	stats   Stats
+
+	// Snapshot (multiversion read) support. commitSeq is the durable commit
+	// epoch — one increment per commit flush; snapshots pin it as their
+	// horizon. vers maps (page, epoch) to the superseded on-disk address the
+	// no-overwrite log still holds; snaps refcounts the pinned horizons.
+	// The retention adapter handed to the LFS cleaner reads vers and snaps
+	// directly (they carry their own locks) so the cleaner can consult it
+	// mid-flush without touching m.mu.
+	commitSeq atomic.Int64
+	vers      *mvcc.AddrMap
+	snaps     *mvcc.Horizons
 }
 
 // New attaches a transaction manager to a mounted log-structured file
@@ -117,7 +135,10 @@ func New(fsys *lfs.FS, clock *sim.Clock, opts Options) *Manager {
 		opts:   opts,
 		tracer: opts.Tracer,
 		heldBy: make(map[buffer.BlockID]int),
+		vers:   mvcc.NewAddrMap(),
+		snaps:  mvcc.NewHorizons(),
 	}
+	fsys.SetSnapshotRetention(&retention{m: m})
 	m.ctrCommits = opts.Tracer.Counter("txn.commits")
 	m.ctrAborts = opts.Tracer.Counter("txn.aborts")
 	m.ctrFlushes = opts.Tracer.Counter("core.commitFlushes")
@@ -294,8 +315,21 @@ func (m *Manager) flushPendingLocked() error {
 			fileSet[f] = true
 		}
 	}
+	// With a snapshot pinned, capture the pre-flush disk address of every
+	// page this batch rewrites: the flush supersedes those addresses, but
+	// the no-overwrite log keeps their contents — exactly the versions a
+	// snapshot older than this commit must keep reading.
+	capture, err := m.capturePreFlushAddrs(fileSet)
+	if err != nil {
+		return err
+	}
 	if err := m.fs.FlushFiles(detsort.Keys(fileSet)); err != nil {
 		return err
+	}
+	epoch := m.commitSeq.Add(1)
+	for _, c := range capture {
+		m.vers.Record(mvcc.PageID{File: uint64(c.id.File), Block: c.id.Block}, epoch, c.addr)
+		m.stats.VersionsRecorded++
 	}
 	for _, t := range m.pending {
 		for id := range t.pages {

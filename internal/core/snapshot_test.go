@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// txnWrite runs one write transaction through to its commit flush (group
+// commit 1 in these rigs, so TxnCommit is the commit point).
+func txnWrite(t *testing.T, r *rig, f *File, data []byte, off int64) {
+	t.Helper()
+	p := r.m.NewProcess()
+	if err := p.TxnBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(f, data, off); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TxnCommit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotSeesPreCommitImage: a snapshot pinned before a committing
+// writer keeps reading the superseded version from the no-overwrite log,
+// rejects writes, and a snapshot opened after the commit sees the new bytes.
+func TestSnapshotSeesPreCommitImage(t *testing.T) {
+	r := newRig(t, Options{})
+	ps := r.fs.BlockSize()
+	old := pat(ps, 1)
+	f := r.mkProtected(t, "/acct", old)
+
+	snap := r.m.BeginSnapshot()
+	defer snap.Close()
+
+	next := pat(ps, 99)
+	txnWrite(t, r, f, next, 0)
+
+	got := make([]byte, ps)
+	if err := snap.Store(f).ReadPage(0, got); err != nil {
+		t.Fatalf("snapshot read: %v", err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatal("snapshot read returned post-commit bytes")
+	}
+	if err := snap.Store(f).WritePage(0, next); !errors.Is(err, ErrSnapshotReadOnly) {
+		t.Fatalf("snapshot write: got %v, want ErrSnapshotReadOnly", err)
+	}
+	if _, err := snap.Store(f).AllocPage(); !errors.Is(err, ErrSnapshotReadOnly) {
+		t.Fatalf("snapshot alloc: got %v, want ErrSnapshotReadOnly", err)
+	}
+
+	after := r.m.BeginSnapshot()
+	defer after.Close()
+	if err := after.Store(f).ReadPage(0, got); err != nil {
+		t.Fatalf("post-commit snapshot read: %v", err)
+	}
+	if !bytes.Equal(got, next) {
+		t.Fatal("snapshot pinned after the commit should see the new bytes")
+	}
+
+	snap.Close()
+	if err := snap.Store(f).ReadPage(0, got); !errors.Is(err, ErrSnapshotDone) {
+		t.Fatalf("read through closed snapshot: got %v, want ErrSnapshotDone", err)
+	}
+}
+
+// TestSnapshotHorizonAdvance: the cleaner's retention horizon must hold
+// while any snapshot pins superseded versions and advance exactly when the
+// last pinning snapshot closes — not at the first close, and not later.
+func TestSnapshotHorizonAdvance(t *testing.T) {
+	r := newRig(t, Options{})
+	ps := r.fs.BlockSize()
+	f := r.mkProtected(t, "/acct", pat(4*ps, 1))
+	ret := &retention{m: r.m}
+
+	if ret.RetainedBlocks() != 0 || ret.HorizonLag() != 0 {
+		t.Fatalf("idle retention not empty: %d blocks, lag %d", ret.RetainedBlocks(), ret.HorizonLag())
+	}
+
+	s1 := r.m.BeginSnapshot()
+	s2 := r.m.BeginSnapshot()
+	for i := 0; i < 3; i++ {
+		txnWrite(t, r, f, pat(ps, byte(40+i)), int64(i)*int64(ps))
+	}
+
+	if got := ret.RetainedBlocks(); got == 0 {
+		t.Fatal("commits over a pinned snapshot retained no versions")
+	}
+	if got := ret.HorizonLag(); got != 3 {
+		t.Fatalf("horizon lag after 3 commit flushes = %d, want 3", got)
+	}
+	if !ret.RetainsRange(0, 1<<62) {
+		t.Fatal("retention claims no version lives anywhere on the device")
+	}
+
+	// First close: s1 still pins the same horizon, nothing may be released.
+	held := ret.RetainedBlocks()
+	s2.Close()
+	if got := ret.RetainedBlocks(); got != held {
+		t.Fatalf("closing the newer of two equal-horizon snapshots released versions: %d -> %d", held, got)
+	}
+	if ret.HorizonLag() != 3 {
+		t.Fatalf("horizon moved while a snapshot is still pinned: lag %d", ret.HorizonLag())
+	}
+
+	// Last close: everything releases at once.
+	s1.Close()
+	if got := ret.RetainedBlocks(); got != 0 {
+		t.Fatalf("last close left %d retained blocks", got)
+	}
+	if got := ret.HorizonLag(); got != 0 {
+		t.Fatalf("last close left horizon lag %d", got)
+	}
+	if ret.RetainsRange(0, 1<<62) {
+		t.Fatal("retention still claims live versions after the last close")
+	}
+}

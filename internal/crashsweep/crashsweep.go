@@ -24,11 +24,13 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/detsort"
 	"repro/internal/ffs"
 	"repro/internal/lfs"
 	"repro/internal/libtp"
 	"repro/internal/lock"
+	"repro/internal/pagestore"
 	"repro/internal/tpcb"
 	"repro/internal/vfs"
 	"repro/internal/wal"
@@ -75,6 +77,15 @@ type Options struct {
 	Layout string
 	// StripeBlocks is the stripe unit for the "stripe" layout.
 	StripeBlocks int
+	// Snapshots, when positive, opens a read-only MVCC snapshot every
+	// Snapshots-th transaction, reads account pages through it, and holds
+	// it across the following transactions (closing one transaction before
+	// the next opens). Crash points then land while the cleaner is
+	// deferring to a pinned snapshot horizon and while commit flushes are
+	// capturing superseded page versions; the sweep verifies that the
+	// volatile snapshot state (pins die with the crash) never compromises
+	// recovery. Ignored on partitioned (sharded) rigs.
+	Snapshots int
 }
 
 func (o *Options) fill() error {
@@ -120,10 +131,11 @@ type Report struct {
 	Seed            uint64        `json:"seed"`
 	Torn            bool          `json:"torn"`
 	Txns            int           `json:"txns"`
-	LoadWriteOps    int64         `json:"load_write_ops"`  // ops consumed by rig build + load
-	TotalWriteOps   int64         `json:"total_write_ops"` // ops in the whole golden run
-	Points          int           `json:"points"`          // crash points swept
-	DensePoints     int           `json:"dense_points"`    // points from dense (event) sampling
+	Snapshots       int           `json:"snapshots,omitempty"` // snapshot-probe cadence (0 = off)
+	LoadWriteOps    int64         `json:"load_write_ops"`      // ops consumed by rig build + load
+	TotalWriteOps   int64         `json:"total_write_ops"`     // ops in the whole golden run
+	Points          int           `json:"points"`              // crash points swept
+	DensePoints     int           `json:"dense_points"`        // points from dense (event) sampling
 	Survived        int           `json:"survived"`
 	Violations      []Violation   `json:"violations,omitempty"`
 	MeanRecovery    time.Duration `json:"mean_recovery_ns"`  // mean simulated recovery time
@@ -244,6 +256,101 @@ func walEvents(rig *tpcb.Rig) int64 {
 	return sum(rig.Env)
 }
 
+// snapshotProber drives Options.Snapshots: a read-only MVCC snapshot opened
+// every Nth transaction, probed with raw page reads, and held across the
+// transactions in between so crash points land under an active retention
+// horizon. The probe only reads, so the golden and replay write-op
+// timelines stay aligned whether or not a crash is scheduled.
+type snapshotProber struct {
+	every int
+	buf   []byte
+
+	uEnv  *libtp.Env
+	uDB   *libtp.DB
+	uSnap *libtp.Snapshot
+
+	kMgr  *core.Manager
+	kFile *core.File
+	kSnap *core.Snapshot
+}
+
+func newSnapshotProber(opts Options, rig *tpcb.Rig) (*snapshotProber, error) {
+	if opts.Snapshots <= 0 || rig.Shards != nil {
+		return nil, nil
+	}
+	p := &snapshotProber{every: opts.Snapshots}
+	if rig.Core != nil {
+		f, err := rig.Core.Open(tpcb.AccountPath)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot probe open: %w", err)
+		}
+		p.kMgr, p.kFile = rig.Core, f
+		return p, nil
+	}
+	db, err := rig.Env.OpenDB(tpcb.AccountPath)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot probe open: %w", err)
+	}
+	p.uEnv, p.uDB = rig.Env, db
+	return p, nil
+}
+
+// step runs after transaction i commits: a new snapshot opens (and probes a
+// few account pages) on the opening beat, and the held snapshot closes one
+// transaction before the next opening, so the pinned horizon spans the
+// commits — and commit flushes, checkpoints, and cleaning — in between.
+func (p *snapshotProber) step(i int) error {
+	if p == nil {
+		return nil
+	}
+	switch {
+	case i%p.every == 0:
+		return p.probe()
+	case i%p.every == p.every-1:
+		p.close()
+	}
+	return nil
+}
+
+func (p *snapshotProber) probe() error {
+	p.close()
+	var st pagestore.Store
+	if p.kMgr != nil {
+		p.kSnap = p.kMgr.BeginSnapshot()
+		st = p.kSnap.Store(p.kFile)
+	} else {
+		p.uSnap = p.uEnv.BeginSnapshot()
+		st = p.uSnap.Store(p.uDB)
+	}
+	np, err := st.NumPages()
+	if err != nil {
+		return fmt.Errorf("snapshot probe: %w", err)
+	}
+	if p.buf == nil {
+		p.buf = make([]byte, st.PageSize())
+	}
+	for n := int64(0); n < np && n < 4; n++ {
+		if err := st.ReadPage(n, p.buf); err != nil {
+			return fmt.Errorf("snapshot probe page %d: %w", n, err)
+		}
+	}
+	return nil
+}
+
+func (p *snapshotProber) close() {
+	if p == nil {
+		return
+	}
+	if p.kSnap != nil {
+		p.kSnap.Close()
+		p.kSnap = nil
+	}
+	if p.uSnap != nil {
+		p.uSnap.Close()
+		p.uSnap = nil
+	}
+}
+
 // goldenRun executes the full workload once, recording the write-op spans of
 // every stage. The returned rig has completed the run (for final state
 // inspection); the spans drive crash-point sampling.
@@ -253,6 +360,10 @@ func goldenRun(opts Options) (*tpcb.Rig, []span, int64, error) {
 		return nil, nil, 0, err
 	}
 	loadOps := rig.Crash.WriteOps()
+	prober, err := newSnapshotProber(opts, rig)
+	if err != nil {
+		return nil, nil, 0, err
+	}
 	gen := tpcb.NewGenerator(opts.Config)
 	spans := make([]span, 0, opts.Txns+opts.Txns/4+2)
 	prev := loadOps
@@ -272,6 +383,9 @@ func goldenRun(opts Options) (*tpcb.Rig, []span, int64, error) {
 		if err := rig.Sys.Run(tx); err != nil {
 			return nil, nil, 0, fmt.Errorf("crashsweep: golden run txn %d: %w", i, err)
 		}
+		if err := prober.step(i); err != nil {
+			return nil, nil, 0, fmt.Errorf("crashsweep: golden run txn %d: %w", i, err)
+		}
 		note("txn")
 		if opts.CheckpointEvery > 0 && (i+1)%opts.CheckpointEvery == 0 && i+1 < opts.Txns {
 			if err := checkpointRig(rig); err != nil {
@@ -280,6 +394,7 @@ func goldenRun(opts Options) (*tpcb.Rig, []span, int64, error) {
 			note("checkpoint")
 		}
 	}
+	prober.close()
 	if err := rig.Sys.Drain(); err != nil {
 		return nil, nil, 0, fmt.Errorf("crashsweep: golden drain: %w", err)
 	}
@@ -358,6 +473,10 @@ func replayTo(opts Options, n int64) (*tpcb.Rig, []tpcb.Txn, *tpcb.Txn, string, 
 		return nil, nil, nil, "", err
 	}
 	tornSeed := opts.Seed ^ (uint64(n) * 0x9e3779b97f4a7c15)
+	prober, err := newSnapshotProber(opts, rig)
+	if err != nil {
+		return nil, nil, nil, "", err
+	}
 	rig.Crash.CrashAfter(n, opts.Torn, tornSeed)
 	gen := tpcb.NewGenerator(opts.Config)
 	var committed []tpcb.Txn
@@ -370,6 +489,15 @@ func replayTo(opts Options, n int64) (*tpcb.Rig, []tpcb.Txn, *tpcb.Txn, string, 
 			return nil, nil, nil, "", fmt.Errorf("replay txn %d: %w", i, err)
 		}
 		committed = append(committed, tx)
+		if err := prober.step(i); err != nil {
+			// The probe never writes, so it cannot fire the crash itself —
+			// but it surfaces device errors if the crash fired mid-commit
+			// and the transaction was not acknowledged.
+			if rig.Crash.Crashed() {
+				return rig, committed, nil, "txn", nil
+			}
+			return nil, nil, nil, "", fmt.Errorf("replay txn %d: %w", i, err)
+		}
 		if opts.CheckpointEvery > 0 && (i+1)%opts.CheckpointEvery == 0 && i+1 < opts.Txns {
 			if err := checkpointRig(rig); err != nil {
 				if rig.Crash.Crashed() {
@@ -379,6 +507,7 @@ func replayTo(opts Options, n int64) (*tpcb.Rig, []tpcb.Txn, *tpcb.Txn, string, 
 			}
 		}
 	}
+	prober.close()
 	if err := rig.Sys.Drain(); err != nil {
 		if rig.Crash.Crashed() {
 			return rig, committed, nil, "drain", nil
@@ -519,6 +648,7 @@ func Run(opts Options) (*Report, error) {
 		Seed:          opts.Seed,
 		Torn:          opts.Torn,
 		Txns:          opts.Txns,
+		Snapshots:     opts.Snapshots,
 		LoadWriteOps:  loadOps,
 		TotalWriteOps: golden.Crash.WriteOps(),
 	}

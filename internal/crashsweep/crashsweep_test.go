@@ -81,6 +81,33 @@ func TestSweepSmallSegmentsTorn(t *testing.T) {
 	}
 }
 
+// TestSweepSnapshotsTorn is the MVCC acceptance sweep: the workload holds a
+// read-only snapshot open across every fourth transaction span, so crash
+// points land while the cleaner's retention horizon is pinned and version
+// records are live. Snapshots are volatile (a crash drops every pin), so the
+// recovery invariants must hold unchanged — zero violations required.
+func TestSweepSnapshotsTorn(t *testing.T) {
+	for _, system := range []string{"kernel-lfs", "user-lfs"} {
+		t.Run(system, func(t *testing.T) {
+			opts := smallOpts(system, true)
+			opts.Snapshots = 4
+			rep, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				for _, v := range rep.Violations {
+					t.Errorf("write op %d (stage %s, %d committed): %s", v.WriteOp, v.Stage, v.Committed, v.Err)
+				}
+				t.Fatalf("%d/%d crash points failed with snapshots pinned", len(rep.Violations), rep.Points)
+			}
+			if rep.Snapshots != 4 {
+				t.Fatalf("report should echo the snapshot cadence, got %d", rep.Snapshots)
+			}
+		})
+	}
+}
+
 // TestSweepSamplingCoversCheckpoints checks the dense sampler actually put
 // points inside checkpoint processing, not just at commit boundaries.
 func TestSweepSamplingCoversCheckpoints(t *testing.T) {

@@ -54,6 +54,11 @@ type Options struct {
 	// instead of deleting them.
 	LogSegmentBytes int64
 	LogRetain       bool
+	// Scanners and ScansEach size the mixed OLTP + scan sweep (Scan):
+	// Scanners concurrent readers each performing ScansEach full account
+	// scans alongside the writers. Defaults 2 and 1.
+	Scanners  int
+	ScansEach int
 }
 
 // rigLogOptions copies the WAL segment knobs into a rig configuration.
@@ -78,6 +83,12 @@ func (o *Options) fill() {
 	}
 	if o.GroupCommit == 0 {
 		o.GroupCommit = 8
+	}
+	if o.Scanners == 0 {
+		o.Scanners = 2
+	}
+	if o.ScansEach == 0 {
+		o.ScansEach = 1
 	}
 }
 

@@ -1,0 +1,103 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/tpcb"
+	"repro/internal/trace"
+)
+
+// ScanReport is the mixed OLTP + long-running-scan sweep (the MVCC
+// snapshot-read experiment): for each system, TPC-B writers at the
+// group-commit MPL run alone, against two-phase-locking scans, and against
+// lock-free snapshot scans. Each row is the run's full snapshot with its
+// Scan section filled in; Modes records the requested mode per row (the
+// snapshot's own scan.mode is the effective one — user-ffs degrades
+// snapshot to locking, having no no-overwrite log to retain old versions).
+type ScanReport struct {
+	Opts  Options
+	Modes []tpcb.ScanMode
+	Rows  []*trace.Snapshot
+	// Tracer of the final (kernel-lfs, snapshot-mode) run, for Chrome
+	// trace export; excluded from JSON like BenchReport's.
+	Tracer *trace.Tracer `json:"-"`
+}
+
+// Scan runs the mixed workload sweep: three systems × {none, locking,
+// snapshot} at the group-commit MPL (default 8) with idle cleaning on the
+// LFS rigs, so snapshot retention and the cleaner actually contend.
+func Scan(opts Options) (*ScanReport, error) {
+	opts.fill()
+	cfg := tpcb.ScaledConfig(opts.Scale)
+	rep := &ScanReport{Opts: opts}
+	mpl := max(opts.GroupCommit, 2)
+	modes := []tpcb.ScanMode{tpcb.ScanNone, tpcb.ScanLocking, tpcb.ScanSnapshot}
+	for _, kind := range []string{"user-ffs", "user-lfs", "kernel-lfs"} {
+		for _, mode := range modes {
+			ropts := tpcb.RigOptions{
+				Kind: kind, Config: cfg, Costs: opts.Costs, ExpectedTxns: opts.Txns,
+				GroupCommit: opts.GroupCommit, CleanBatch: opts.CleanBatch, Trace: true,
+			}
+			if kind != "user-ffs" {
+				ropts.CleanerMode = opts.CleanerMode
+				if ropts.CleanerMode == "" {
+					ropts.CleanerMode = "idle"
+				}
+				// Snapshot retention pins whole segments for the life of a
+				// scan, so the LFS rigs need log headroom beyond the paper's
+				// half-full sizing or the cleaner runs out of clean segments.
+				ropts.DiskScale = 6.0
+			}
+			rig, err := tpcb.BuildRig(opts.rigLogOptions(ropts))
+			if err != nil {
+				return nil, fmt.Errorf("scan %s %s: %w", kind, mode, err)
+			}
+			scanners, each := opts.Scanners, opts.ScansEach
+			if mode == tpcb.ScanNone {
+				scanners, each = 0, 0
+			}
+			res, err := rig.RunMixed(cfg, opts.Txns, mpl, scanners, each, mode)
+			if err != nil {
+				return nil, fmt.Errorf("scan %s %s: %w", kind, mode, err)
+			}
+			rep.Modes = append(rep.Modes, mode)
+			rep.Rows = append(rep.Rows, tpcb.CollectMixedSnapshot(rig, res, rig.Tracer))
+			rep.Tracer = rig.Tracer
+		}
+	}
+	return rep, nil
+}
+
+func (r *ScanReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Mixed OLTP + scan sweep (scale %.2f, %d txns, %d scanner(s) × %d scan(s))\n",
+		r.Opts.Scale, r.Opts.Txns, r.Opts.Scanners, r.Opts.ScansEach)
+	fmt.Fprintf(&b, "%-12s %-9s %-9s %10s %12s %10s %8s\n",
+		"system", "asked", "ran", "writerTPS", "lock-blocked", "dl-aborts", "retained")
+	for i, snap := range r.Rows {
+		ran := "-"
+		tps := snap.TPS
+		if snap.Scan != nil {
+			ran = snap.Scan.Mode
+			tps = snap.Scan.WriterTPS
+		}
+		var blocked time.Duration
+		var aborts int64
+		if snap.Locks != nil {
+			blocked = snap.Locks.BlockedTime
+			aborts = snap.Locks.DeadlockAborts
+		}
+		// RetainedBlocks is an instantaneous gauge (zero once the last
+		// snapshot closes at end of run); RetentionSkips is the cumulative
+		// count of cleaner victims deferred for a pinned snapshot.
+		var retained int64
+		if snap.LFS != nil {
+			retained = snap.LFS.Cleaner.RetentionSkips
+		}
+		fmt.Fprintf(&b, "%-12s %-9s %-9s %10.2f %12.1fs %10d %8d\n",
+			snap.System, string(r.Modes[i]), ran, tps, blocked.Seconds(), aborts, retained)
+	}
+	return b.String()
+}

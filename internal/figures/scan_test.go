@@ -1,0 +1,76 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tpcb"
+)
+
+// TestScanSweepShape runs the mixed OLTP + scan sweep at the CI scale and
+// checks its acceptance shape: snapshot scans run lock-free on both LFS
+// systems (scan-attributable lock time zero, asked mode honored), user-ffs
+// degrades honestly to locking, and locking-mode scans cost the lock manager
+// more blocked time than snapshot-mode ones on the kernel system.
+func TestScanSweepShape(t *testing.T) {
+	rep, err := Scan(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 9 || len(rep.Modes) != 9 {
+		t.Fatalf("want 3 systems x 3 modes, got %d rows / %d modes", len(rep.Rows), len(rep.Modes))
+	}
+	type key struct {
+		sys  string
+		mode tpcb.ScanMode
+	}
+	rows := map[key]int{}
+	for i, snap := range rep.Rows {
+		rows[key{snap.System, rep.Modes[i]}] = i
+	}
+	for _, sys := range []string{"user-ffs", "user-lfs", "kernel-lfs"} {
+		for _, mode := range []tpcb.ScanMode{tpcb.ScanNone, tpcb.ScanLocking, tpcb.ScanSnapshot} {
+			i, ok := rows[key{sys, mode}]
+			if !ok {
+				t.Fatalf("missing row %s/%s", sys, mode)
+			}
+			snap := rep.Rows[i]
+			if mode == tpcb.ScanNone {
+				if snap.Scan != nil {
+					t.Errorf("%s baseline row has a scan section", sys)
+				}
+				continue
+			}
+			if snap.Scan == nil || snap.Scan.Rows == 0 {
+				t.Fatalf("%s/%s row has no scan work: %+v", sys, mode, snap.Scan)
+			}
+			want := string(mode)
+			if sys == "user-ffs" && mode == tpcb.ScanSnapshot {
+				want = string(tpcb.ScanLocking) // no no-overwrite log to version from
+			}
+			if snap.Scan.Mode != want {
+				t.Errorf("%s asked %s ran %s, want %s", sys, mode, snap.Scan.Mode, want)
+			}
+			if mode == tpcb.ScanSnapshot && sys != "user-ffs" {
+				for _, row := range snap.Attribution {
+					if strings.HasPrefix(row.Proc, "scan-") && row.Lock != 0 {
+						t.Errorf("%s snapshot scan proc %s blocked %v on locks", sys, row.Proc, row.Lock)
+					}
+				}
+			}
+		}
+	}
+	lockRow := rep.Rows[rows[key{"kernel-lfs", tpcb.ScanLocking}]]
+	snapRow := rep.Rows[rows[key{"kernel-lfs", tpcb.ScanSnapshot}]]
+	if lockRow.Locks == nil || snapRow.Locks == nil {
+		t.Fatal("kernel rows missing lock sections")
+	}
+	if lockRow.Locks.BlockedTime <= snapRow.Locks.BlockedTime {
+		t.Errorf("locking scans should cost more lock-blocked time than snapshot scans: %v <= %v",
+			lockRow.Locks.BlockedTime, snapRow.Locks.BlockedTime)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "writerTPS") || !strings.Contains(s, "kernel-lfs") {
+		t.Fatalf("report formatting broken:\n%s", s)
+	}
+}

@@ -50,6 +50,15 @@ type CleanerStats struct {
 	SummaryReads  int64 // summary blocks read from disk (summary-cache misses)
 	HotBlocks     int64 // relocated data blocks classified hot (or unsegregated)
 	ColdBlocks    int64 // relocated data blocks classified cold
+
+	// Snapshot-retention accounting (zero unless a snapshot layer is
+	// attached via SetSnapshotRetention). RetentionSkips counts otherwise
+	// reclaimable segments the cleaner had to leave alone because a pinned
+	// snapshot still reads through them; RetainedBlocks and HorizonLag are
+	// gauges sampled at Stats() time from the retention horizon itself.
+	RetentionSkips int64
+	RetainedBlocks int64
+	HorizonLag     int64
 }
 
 // WriteAmplification returns total logged blocks divided by foreground
@@ -249,7 +258,8 @@ func (fs *FS) victimsBlockedByCheckpointLocked(maxLive int64) bool {
 	}
 	for s := int64(0); s < fs.sb.NumSegments; s++ {
 		info := fs.segs[s]
-		if info.State == segInLog && info.SeqStamp >= fs.cpBound && info.Live <= maxLive {
+		if info.State == segInLog && info.SeqStamp >= fs.cpBound && info.Live <= maxLive &&
+			!fs.retainedLocked(s) {
 			return true
 		}
 	}
@@ -280,6 +290,14 @@ func (fs *FS) pickVictimsLocked(n int, maxLive int64) []int64 {
 			continue
 		}
 		if info.Live > maxLive {
+			continue
+		}
+		if fs.retainedLocked(s) {
+			// A pinned snapshot still reads superseded versions inside this
+			// segment; reclaiming it would resurrect freed blocks under the
+			// reader. The skip is temporary — the watermark advances when
+			// the last pinning snapshot closes.
+			fs.stats.Cleaner.RetentionSkips++
 			continue
 		}
 		cands = append(cands, cand{

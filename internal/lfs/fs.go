@@ -119,7 +119,8 @@ type FS struct {
 	orphanPressure bool
 	debugAudit     bool
 	stats          Stats
-	tracer         *trace.Tracer // nil = tracing off
+	retain         SnapshotRetention // nil = no snapshot layer attached
+	tracer         *trace.Tracer     // nil = tracing off
 	// sumCache holds, per in-log segment, the summaries of ALL its partial
 	// segments — present only when complete (built up from offset 0).
 	// It lets the cleaner identify a victim's live blocks without reading
@@ -216,11 +217,145 @@ func (fs *FS) SetTracer(tr *trace.Tracer) {
 	fs.mu.Unlock()
 }
 
+// SnapshotRetention is implemented by a transaction layer that pins old
+// on-disk page versions for snapshot (multiversion) reads. While a retained
+// address lies inside a segment, the cleaner must neither pick that segment
+// as a victim nor free it through the dead-segment fast path: the addresses
+// in the version map must stay readable until the last pinning snapshot
+// closes.
+type SnapshotRetention interface {
+	// RetainsRange reports whether any retained version address falls in
+	// the disk-address range [lo, hi).
+	RetainsRange(lo, hi int64) bool
+	// RetainedBlocks returns the number of distinct retained addresses.
+	RetainedBlocks() int64
+	// HorizonLag returns how many commit epochs the oldest pinned snapshot
+	// trails the newest commit (0 when nothing is pinned).
+	HorizonLag() int64
+}
+
+// SetSnapshotRetention attaches the snapshot layer's retention horizon.
+// The cleaner consults it on every victim-selection and dead-segment-free
+// decision; a nil retention (the default) restores unrestricted cleaning.
+func (fs *FS) SetSnapshotRetention(r SnapshotRetention) {
+	fs.mu.Lock()
+	fs.retain = r
+	fs.mu.Unlock()
+}
+
+// retainedLocked reports whether the retention horizon pins any address in
+// segment s.
+func (fs *FS) retainedLocked(s int64) bool {
+	if fs.retain == nil {
+		return false
+	}
+	base := fs.segBase(s)
+	return fs.retain.RetainsRange(base, base+fs.sb.SegmentBlocks)
+}
+
+// BlockAddr returns the current disk address of a file's logical block
+// (0 = unallocated hole). The embedded transaction manager records these
+// addresses as it commits over them: in a no-overwrite log the pre-commit
+// address keeps holding the page's previous version, which is exactly what
+// a pinned snapshot needs to read.
+func (fs *FS) BlockAddr(file vfs.FileID, lbn int64) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	in, err := fs.loadInode(Ino(file))
+	if err != nil {
+		return 0, err
+	}
+	return fs.blockAddr(in, lbn)
+}
+
+// ReadAddr reads the block at disk address addr into p, bypassing the
+// buffer pool; addr 0 reads as zeroes. Snapshot reads use it to fetch a
+// superseded page version straight from the log — the address stays valid
+// because retention (SetSnapshotRetention) keeps the cleaner away from its
+// segment, and in-log segments are append-only.
+func (fs *FS) ReadAddr(addr int64, p []byte) error {
+	if addr == 0 {
+		clear(p)
+		return nil
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.dev.Read(addr, p)
+}
+
+// ReadCurrent reads the current on-disk (committed) content of a file's
+// logical block into p, bypassing the buffer pool. Snapshot reads use it
+// for pages with no recorded newer version: the buffer pool may hold
+// uncommitted transaction-held bytes for such a page, but the log itself
+// still holds the committed image.
+func (fs *FS) ReadCurrent(id buffer.BlockID, p []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.fetchBlock(id, p)
+}
+
+// ReadCurrentRun reads up to len(bufs) logically-sequential committed
+// blocks of file id.File starting at id.Block, stopping at the first block
+// that is no longer physically contiguous in the log. The contiguous prefix
+// is transferred in a single device operation (one seek), which is the
+// sequential-read bandwidth a scan gets over data the log has never
+// rewritten. Returns how many blocks were filled; 0 with a nil error means
+// the first block itself has no contiguous on-disk home (hole or orphan)
+// and the caller should fall back to ReadCurrent.
+func (fs *FS) ReadCurrentRun(id buffer.BlockID, bufs [][]byte) (int, error) {
+	if len(bufs) == 0 {
+		return 0, nil
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.orphans[id]; ok {
+		return 0, nil
+	}
+	in, err := fs.loadInode(Ino(id.File))
+	if err != nil {
+		return 0, err
+	}
+	start, err := fs.blockAddr(in, id.Block)
+	if err != nil {
+		return 0, err
+	}
+	if start == 0 {
+		return 0, nil
+	}
+	n := 1
+	for n < len(bufs) {
+		next := buffer.BlockID{File: id.File, Block: id.Block + int64(n)}
+		if _, ok := fs.orphans[next]; ok {
+			break
+		}
+		addr, err := fs.blockAddr(in, next.Block)
+		if err != nil || addr != start+int64(n) {
+			break
+		}
+		n++
+	}
+	if n == 1 {
+		if err := fs.dev.Read(start, bufs[0]); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	if err := fs.dev.ReadRun(start, bufs[:n]); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
 // Stats returns a snapshot of the file system counters.
 func (fs *FS) Stats() Stats {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	return fs.stats
+	st := fs.stats
+	if fs.retain != nil {
+		st.Cleaner.RetainedBlocks = fs.retain.RetainedBlocks()
+		st.Cleaner.HorizonLag = fs.retain.HorizonLag()
+	}
+	return st
 }
 
 // FreeSegments reports the number of clean segments.

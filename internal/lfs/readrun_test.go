@@ -1,0 +1,87 @@
+package lfs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/buffer"
+)
+
+// TestReadCurrentRun: a sequentially-written file reads back through
+// ReadCurrentRun in multi-block device transfers; an overwrite relocates the
+// rewritten block to the log head and truncates the contiguous run there;
+// holes fall back to the caller (0 blocks, nil error).
+func TestReadCurrentRun(t *testing.T) {
+	fs, dev, _ := newFS(t)
+	bs := fs.BlockSize()
+	const nblocks = 12
+	data := pattern(nblocks*bs, 3)
+	writeFile(t, fs, "/seq", data)
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open("/seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	id := buffer.BlockID{File: f.(*File).ID(), Block: 0}
+
+	bufs := make([][]byte, 8)
+	for i := range bufs {
+		bufs[i] = make([]byte, bs)
+	}
+	readsBefore := dev.Stats().Reads
+	k, err := fs.ReadCurrentRun(id, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 2 {
+		t.Fatalf("sequentially-written file yielded a run of %d blocks", k)
+	}
+	if got := dev.Stats().Reads - readsBefore; got != 1 {
+		t.Fatalf("run of %d blocks took %d device reads, want 1", k, got)
+	}
+	for i := 0; i < k; i++ {
+		if !bytes.Equal(bufs[i], data[i*bs:(i+1)*bs]) {
+			t.Fatalf("block %d of the run has wrong bytes", i)
+		}
+	}
+
+	// Overwrite one block mid-file: the no-overwrite log relocates it, so a
+	// run started before it must stop short and a fresh read must see the
+	// new bytes at the old logical position.
+	mod := pattern(bs, 200)
+	if _, err := f.WriteAt(mod, 2*int64(bs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := fs.ReadCurrentRun(id, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 < 1 || k2 > 2 {
+		t.Fatalf("run across a relocated block filled %d blocks, want 1 or 2", k2)
+	}
+	if !bytes.Equal(bufs[0], data[:bs]) {
+		t.Fatal("first block changed after an unrelated overwrite")
+	}
+	k3, err := fs.ReadCurrentRun(buffer.BlockID{File: id.File, Block: 2}, bufs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 != 1 || !bytes.Equal(bufs[0], mod) {
+		t.Fatalf("relocated block read back wrong (run %d)", k3)
+	}
+
+	// A hole (block past EOF never written) has no on-disk home.
+	kh, err := fs.ReadCurrentRun(buffer.BlockID{File: id.File, Block: nblocks + 5}, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kh != 0 {
+		t.Fatalf("hole produced a run of %d blocks", kh)
+	}
+}

@@ -625,7 +625,8 @@ func (fs *FS) pickFreeLocked() (int64, error) {
 func (fs *FS) freeDeadSegmentsLocked() error {
 	n := 0
 	for s := int64(0); s < fs.sb.NumSegments; s++ {
-		if fs.segs[s].State == segInLog && fs.segs[s].Live == 0 && fs.segs[s].SeqStamp < fs.cpBound {
+		if fs.segs[s].State == segInLog && fs.segs[s].Live == 0 && fs.segs[s].SeqStamp < fs.cpBound &&
+			!fs.retainedLocked(s) {
 			fs.segs[s].State = segFree
 			fs.segs[s].AgeStamp = 0
 			delete(fs.sumCache, s)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/detsort"
 	"repro/internal/lock"
+	"repro/internal/mvcc"
 	"repro/internal/pagestore"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -94,6 +95,9 @@ type Stats struct {
 	Aborted   int64
 	PageReads int64
 	PageWrite int64
+	// SnapshotsBegun counts read-only snapshot transactions (BeginSnapshot);
+	// their lock-free page reads land in PageReads like any other read.
+	SnapshotsBegun int64
 }
 
 // undoRec is an in-memory before-image for abort processing.
@@ -120,8 +124,15 @@ type Env struct {
 	nextTxn uint64
 	active  map[uint64]bool
 	undo    map[uint64][]undoRec
-	stats   Stats
-	tracer  *trace.Tracer // from Options.Tracer; nil = tracing off
+	// Snapshot (multiversion read) support: snaps holds the pinned commit
+	// horizons (WAL LSNs), deltas the per-page before-image chains that
+	// reconstruct older page versions. Deltas are recorded only while a
+	// snapshot is pinned; the rest of the time both structures are empty
+	// and cost one map lookup per commit.
+	snaps  *mvcc.Horizons
+	deltas *mvcc.DeltaMap
+	stats  Stats
+	tracer *trace.Tracer // from Options.Tracer; nil = tracing off
 	// Metric handles resolved at construction; nil handles are free.
 	ctrCommits, ctrAborts       *trace.Counter
 	histLatency, histCommitWait *trace.Hist
@@ -158,6 +169,8 @@ func newEnvShell(fsys vfs.FileSystem, clock *sim.Clock, opts Options) *Env {
 		files:     make(map[uint64]vfs.File),
 		active:    make(map[uint64]bool),
 		undo:      make(map[uint64][]undoRec),
+		snaps:     mvcc.NewHorizons(),
+		deltas:    mvcc.NewDeltaMap(),
 		tracer:    opts.Tracer,
 	}
 	env.pool = buffer.New(opts.CacheBlocks, fsys.BlockSize(), env.writeback)
@@ -349,17 +362,21 @@ func (t *Txn) Commit() error {
 		// so it can never become durable first — then block until the shared
 		// force makes the batch durable. Holding locks across the force wait
 		// would serialize the very concurrency group commit needs.
-		if _, err := e.log.AppendCommit(t.id); err != nil {
+		lsn, err := e.log.AppendCommit(t.id)
+		if err != nil {
 			return err
 		}
+		e.noteCommitLocked(t.id, lsn)
 		e.locks.ReleaseAll(e.lockTxn(t.id))
 		if err := e.awaitGroupForceLocked(); err != nil {
 			return err
 		}
 	} else {
-		if _, _, err := e.log.LogCommit(t.id); err != nil {
+		lsn, _, err := e.log.LogCommit(t.id)
+		if err != nil {
 			return err
 		}
+		e.noteCommitLocked(t.id, lsn)
 		e.locks.ReleaseAll(e.lockTxn(t.id))
 	}
 	e.clock.Advance(e.costs.UserSync())
@@ -432,9 +449,11 @@ func (t *Txn) CommitGlobal(gid uint64) error {
 	if _, err := e.log.AppendGlobalCommit(gid); err != nil {
 		return err
 	}
-	if _, err := e.log.AppendCommit(t.id); err != nil {
+	lsn, err := e.log.AppendCommit(t.id)
+	if err != nil {
 		return err
 	}
+	e.noteCommitLocked(t.id, lsn)
 	e.locks.ReleaseAll(e.lockTxn(t.id))
 	if e.clock.LiveProcs() > 1 {
 		if err := e.awaitGroupForceLocked(); err != nil {
@@ -475,9 +494,11 @@ func (t *Txn) CommitPrepared() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.clock.Advance(e.costs.TxnOp + e.costs.Syscall)
-	if _, err := e.log.AppendCommit(t.id); err != nil {
+	lsn, err := e.log.AppendCommit(t.id)
+	if err != nil {
 		return err
 	}
+	e.noteCommitLocked(t.id, lsn)
 	e.locks.ReleaseAll(e.lockTxn(t.id))
 	e.clock.Advance(e.costs.UserSync())
 	delete(e.active, t.id)
@@ -606,6 +627,10 @@ func (t *Txn) Abort() error {
 	if _, err := e.log.LogAbort(t.id); err != nil {
 		return err
 	}
+	// The rollback above restored every page byte the transaction touched,
+	// so its version deltas must vanish: the chains now read as if the
+	// transaction never wrote.
+	e.deltas.Abort(t.id)
 	e.locks.ReleaseAll(e.lockTxn(t.id))
 	e.clock.Advance(e.costs.UserSync())
 	delete(e.active, t.id)

@@ -1,0 +1,158 @@
+package libtp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/btree"
+)
+
+// TestSnapshotIsolation: a snapshot pinned between two committed updates
+// keeps reading the first value — through a btree, lock-free — while later
+// commits, in-flight writers, and even an eventual abort leave its image
+// untouched. Writes through the snapshot store are rejected.
+func TestSnapshotIsolation(t *testing.T) {
+	for _, kind := range []string{"lfs", "ffs"} {
+		t.Run(kind, func(t *testing.T) {
+			rig := newRig(t, kind)
+			db, err := rig.env.OpenDB("/db")
+			if err != nil {
+				t.Fatal(err)
+			}
+			setup := rig.env.Begin()
+			tr, err := btree.Create(setup.Store(db))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.Put([]byte("acct"), []byte("100"))
+			if err := setup.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			snap := rig.env.BeginSnapshot()
+			defer snap.Close()
+
+			// Committed after the pin: invisible.
+			upd := rig.env.Begin()
+			tru, err := btree.Open(upd.Store(db))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tru.Put([]byte("acct"), []byte("200"))
+			tru.Put([]byte("new"), []byte("x"))
+			if err := upd.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Still in flight at read time, then aborted: also invisible.
+			fly := rig.env.Begin()
+			trf, err := btree.Open(fly.Store(db))
+			if err != nil {
+				t.Fatal(err)
+			}
+			trf.Put([]byte("acct"), []byte("300"))
+
+			trs, err := btree.Open(snap.Store(db))
+			if err != nil {
+				t.Fatalf("btree over snapshot store: %v", err)
+			}
+			v, err := trs.Get([]byte("acct"))
+			if err != nil || string(v) != "100" {
+				t.Fatalf("snapshot Get(acct) = %q, %v; want the pinned value 100", v, err)
+			}
+			if _, err := trs.Get([]byte("new")); !errors.Is(err, btree.ErrNotFound) {
+				t.Fatalf("snapshot sees a post-pin insert: %v", err)
+			}
+			if err := fly.Abort(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The snapshot store enforces read-only.
+			st := snap.Store(db)
+			buf := make([]byte, st.PageSize())
+			if err := st.WritePage(0, buf); !errors.Is(err, ErrSnapshotReadOnly) {
+				t.Fatalf("snapshot write: got %v, want ErrSnapshotReadOnly", err)
+			}
+			if _, err := st.AllocPage(); !errors.Is(err, ErrSnapshotReadOnly) {
+				t.Fatalf("snapshot alloc: got %v, want ErrSnapshotReadOnly", err)
+			}
+
+			// A fresh transaction sees the committed update, not the abort.
+			check := rig.env.Begin()
+			trc, err := btree.Open(check.Store(db))
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err = trc.Get([]byte("acct"))
+			if err != nil || string(v) != "200" {
+				t.Fatalf("current Get(acct) = %q, %v; want 200", v, err)
+			}
+			check.Commit()
+
+			// Closed snapshots refuse reads; a new pin sees current data.
+			snap.Close()
+			if err := snap.Store(db).ReadPage(0, buf); !errors.Is(err, ErrSnapshotDone) {
+				t.Fatalf("read through closed snapshot: got %v, want ErrSnapshotDone", err)
+			}
+			snap2 := rig.env.BeginSnapshot()
+			defer snap2.Close()
+			trs2, err := btree.Open(snap2.Store(db))
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err = trs2.Get([]byte("acct"))
+			if err != nil || string(v) != "200" {
+				t.Fatalf("fresh snapshot Get(acct) = %q, %v; want 200", v, err)
+			}
+		})
+	}
+}
+
+// TestSnapshotPruneOnClose: version chains accumulate only while a snapshot
+// is pinned and are pruned exactly when the last pin drops.
+func TestSnapshotPruneOnClose(t *testing.T) {
+	rig := newRig(t, "lfs")
+	db, _ := rig.env.OpenDB("/db")
+	setup := rig.env.Begin()
+	tr, err := btree.Create(setup.Store(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Put([]byte("k"), []byte("0"))
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No snapshot pinned: commits must not grow the delta map.
+	upd := rig.env.Begin()
+	tru, _ := btree.Open(upd.Store(db))
+	tru.Put([]byte("k"), []byte("1"))
+	if err := upd.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := rig.env.deltas.Bytes(); n != 0 {
+		t.Fatalf("delta map holds %d bytes with no snapshot pinned", n)
+	}
+
+	s1 := rig.env.BeginSnapshot()
+	s2 := rig.env.BeginSnapshot()
+	upd2 := rig.env.Begin()
+	tru2, _ := btree.Open(upd2.Store(db))
+	tru2.Put([]byte("k"), []byte("2"))
+	if err := upd2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	held := rig.env.deltas.Bytes()
+	if held == 0 {
+		t.Fatal("commit over a pinned snapshot recorded no deltas")
+	}
+
+	s2.Close()
+	if n := rig.env.deltas.Bytes(); n != held {
+		t.Fatalf("closing one of two same-horizon snapshots pruned deltas: %d -> %d", held, n)
+	}
+	s1.Close()
+	if n := rig.env.deltas.Bytes(); n != 0 {
+		t.Fatalf("last close left %d delta bytes", n)
+	}
+}

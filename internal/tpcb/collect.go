@@ -72,6 +72,9 @@ func CollectSnapshot(rig *Rig, res Result, tr *trace.Tracer) *trace.Snapshot {
 				StallTime:       fst.Cleaner.StallTime,
 				HotBlocks:       fst.Cleaner.HotBlocks,
 				ColdBlocks:      fst.Cleaner.ColdBlocks,
+				RetentionSkips:  fst.Cleaner.RetentionSkips,
+				RetainedBlocks:  fst.Cleaner.RetainedBlocks,
+				HorizonLag:      fst.Cleaner.HorizonLag,
 			},
 		}
 	}
@@ -108,6 +111,9 @@ func CollectSnapshot(rig *Rig, res Result, tr *trace.Tracer) *trace.Snapshot {
 			CommitFlush:  cs.CommitFlush,
 			PagesFlushed: cs.PagesFlushed,
 			BytesFlushed: cs.BytesFlushed,
+
+			Snapshots:        cs.Snapshots,
+			VersionsRecorded: cs.VersionsRecorded,
 		}
 	}
 	if rig.Env != nil || rig.Core != nil || rig.Shards != nil {
@@ -124,6 +130,24 @@ func CollectSnapshot(rig *Rig, res Result, tr *trace.Tracer) *trace.Snapshot {
 		snap.Attribution = tr.Attribution()
 		ms := tr.Metrics().Snapshot()
 		snap.Metrics = &ms
+	}
+	return snap
+}
+
+// CollectMixedSnapshot is CollectSnapshot plus the scan section of a mixed
+// OLTP + long-running-scan run.
+func CollectMixedSnapshot(rig *Rig, res MixedResult, tr *trace.Tracer) *trace.Snapshot {
+	snap := CollectSnapshot(rig, res.Result, tr)
+	if res.Scanners > 0 {
+		snap.Scan = &trace.ScanSection{
+			Mode:          string(res.ScanMode),
+			Scanners:      res.Scanners,
+			Scans:         res.Scans,
+			Rows:          res.ScanRows,
+			Retries:       res.ScanRetries,
+			WriterElapsed: res.WriterElapsed,
+			WriterTPS:     res.WriterTPS,
+		}
 	}
 	return snap
 }

@@ -121,16 +121,36 @@ type UserSystem struct {
 	tel   *libtp.DB
 	brn   *libtp.DB
 	hist  *libtp.DB
+	// Interior-node caches, one per B-tree relation (history is recno — no
+	// interior pages). Shared across workers, validated by on-page LSN, and
+	// flushed wholesale on any abort: the before-image restore rewinds page
+	// LSNs, so a post-abort writer could reissue an LSN the cache still maps
+	// to aborted-timeline bytes.
+	accCache *btree.NodeCache
+	telCache *btree.NodeCache
+	brnCache *btree.NodeCache
 }
 
 // NewUserSystem builds the user-level configuration on env's file system.
 func NewUserSystem(env *libtp.Env, clock *sim.Clock, costs sim.CostModel) *UserSystem {
 	return &UserSystem{
-		env:   env,
-		clock: clock,
-		costs: costs,
-		label: "user-" + env.FS().Name(),
+		env:      env,
+		clock:    clock,
+		costs:    costs,
+		label:    "user-" + env.FS().Name(),
+		accCache: btree.NewNodeCache(0),
+		telCache: btree.NewNodeCache(0),
+		brnCache: btree.NewNodeCache(0),
 	}
+}
+
+// abort rolls the transaction back and drops the shared interior caches
+// (see the cache field comment for why aborts must flush).
+func (s *UserSystem) abort(txn *libtp.Txn) {
+	txn.Abort()
+	s.accCache.Flush()
+	s.telCache.Flush()
+	s.brnCache.Flush()
 }
 
 // Name implements System.
@@ -180,9 +200,9 @@ func (s *UserSystem) Attach() error {
 // branch plus a history append, inside one transaction.
 func (s *UserSystem) Run(t Txn) error {
 	txn := s.env.Begin()
-	update := func(db *libtp.DB, id int64) error {
+	update := func(db *libtp.DB, c *btree.NodeCache, id int64) error {
 		s.clock.Advance(s.costs.RecordOp)
-		tr, err := btree.Open(txn.Store(db))
+		tr, err := btree.OpenWithCache(txn.Store(db), c)
 		if err != nil {
 			return err
 		}
@@ -194,26 +214,26 @@ func (s *UserSystem) Run(t Txn) error {
 		SetBalance(rec2, Balance(rec2)+t.Amount)
 		return tr.Put(Key(id), rec2)
 	}
-	if err := update(s.acc, t.Account); err != nil {
-		txn.Abort()
+	if err := update(s.acc, s.accCache, t.Account); err != nil {
+		s.abort(txn)
 		return err
 	}
-	if err := update(s.tel, t.Teller); err != nil {
-		txn.Abort()
+	if err := update(s.tel, s.telCache, t.Teller); err != nil {
+		s.abort(txn)
 		return err
 	}
-	if err := update(s.brn, t.Branch); err != nil {
-		txn.Abort()
+	if err := update(s.brn, s.brnCache, t.Branch); err != nil {
+		s.abort(txn)
 		return err
 	}
 	s.clock.Advance(s.costs.RecordOp)
 	hf, err := recno.Open(txn.Store(s.hist))
 	if err != nil {
-		txn.Abort()
+		s.abort(txn)
 		return err
 	}
 	if _, err := hf.Append(HistoryRecord(t.Account, t.Teller, t.Branch, t.Amount, int64(s.clock.Now()))); err != nil {
-		txn.Abort()
+		s.abort(txn)
 		return err
 	}
 	return txn.Commit()
@@ -250,11 +270,30 @@ type EmbeddedSystem struct {
 	tel   *core.File
 	brn   *core.File
 	hist  *core.File
+	// Shared interior-node caches, as in UserSystem (see that field comment
+	// for the abort-flush requirement).
+	accCache *btree.NodeCache
+	telCache *btree.NodeCache
+	brnCache *btree.NodeCache
 }
 
 // NewEmbeddedSystem builds the kernel configuration.
 func NewEmbeddedSystem(m *core.Manager, clock *sim.Clock, costs sim.CostModel) *EmbeddedSystem {
-	return &EmbeddedSystem{m: m, clock: clock, costs: costs, proc: m.NewProcess()}
+	return &EmbeddedSystem{
+		m: m, clock: clock, costs: costs, proc: m.NewProcess(),
+		accCache: btree.NewNodeCache(0),
+		telCache: btree.NewNodeCache(0),
+		brnCache: btree.NewNodeCache(0),
+	}
+}
+
+// abort rolls the process's transaction back and drops the shared interior
+// caches (abort rewinds page LSNs; see UserSystem).
+func (s *EmbeddedSystem) abort(proc *core.Process) {
+	proc.TxnAbort()
+	s.accCache.Flush()
+	s.telCache.Flush()
+	s.brnCache.Flush()
 }
 
 // Name implements System.
@@ -317,9 +356,9 @@ func (s *EmbeddedSystem) runWith(proc *core.Process, t Txn) error {
 	if err := proc.TxnBegin(); err != nil {
 		return err
 	}
-	update := func(f *core.File, id int64) error {
+	update := func(f *core.File, c *btree.NodeCache, id int64) error {
 		s.clock.Advance(s.costs.RecordOp)
-		tr, err := btree.Open(core.NewStore(proc, f))
+		tr, err := btree.OpenWithCache(core.NewStore(proc, f), c)
 		if err != nil {
 			return err
 		}
@@ -331,26 +370,26 @@ func (s *EmbeddedSystem) runWith(proc *core.Process, t Txn) error {
 		SetBalance(rec2, Balance(rec2)+t.Amount)
 		return tr.Put(Key(id), rec2)
 	}
-	if err := update(s.acc, t.Account); err != nil {
-		proc.TxnAbort()
+	if err := update(s.acc, s.accCache, t.Account); err != nil {
+		s.abort(proc)
 		return err
 	}
-	if err := update(s.tel, t.Teller); err != nil {
-		proc.TxnAbort()
+	if err := update(s.tel, s.telCache, t.Teller); err != nil {
+		s.abort(proc)
 		return err
 	}
-	if err := update(s.brn, t.Branch); err != nil {
-		proc.TxnAbort()
+	if err := update(s.brn, s.brnCache, t.Branch); err != nil {
+		s.abort(proc)
 		return err
 	}
 	s.clock.Advance(s.costs.RecordOp)
 	hf, err := recno.Open(core.NewStore(proc, s.hist))
 	if err != nil {
-		proc.TxnAbort()
+		s.abort(proc)
 		return err
 	}
 	if _, err := hf.Append(HistoryRecord(t.Account, t.Teller, t.Branch, t.Amount, int64(s.clock.Now()))); err != nil {
-		proc.TxnAbort()
+		s.abort(proc)
 		return err
 	}
 	return proc.TxnCommit()

@@ -104,6 +104,11 @@ type CleanerSection struct {
 	StallTime       time.Duration `json:"stall"`
 	HotBlocks       int64         `json:"hot_blocks"`
 	ColdBlocks      int64         `json:"cold_blocks"`
+	// Snapshot-retention gauges (omitted when no snapshot subsystem ran, so
+	// historical snapshots stay byte-identical).
+	RetentionSkips int64 `json:"retention_skips,omitempty"`
+	RetainedBlocks int64 `json:"retained_blocks,omitempty"`
+	HorizonLag     int64 `json:"horizon_lag,omitempty"`
 }
 
 // LFSSection mirrors lfs.Stats.
@@ -148,6 +153,22 @@ type EmbeddedSection struct {
 	CommitFlush  int64 `json:"commit_flushes"`
 	PagesFlushed int64 `json:"pages_flushed"`
 	BytesFlushed int64 `json:"bytes_flushed"`
+	// Multiversion-read counters (omitted when no snapshot ran).
+	Snapshots        int64 `json:"snapshots,omitempty"`
+	VersionsRecorded int64 `json:"versions_recorded,omitempty"`
+}
+
+// ScanSection reports the long-running-reader side of a mixed OLTP + scan
+// run: how the scans executed (locking vs snapshot) and what they cost the
+// writers (writer-only elapsed/TPS vs the run total).
+type ScanSection struct {
+	Mode          string        `json:"mode"`
+	Scanners      int           `json:"scanners"`
+	Scans         int           `json:"scans"`
+	Rows          int64         `json:"rows"`
+	Retries       int64         `json:"retries,omitempty"` // deadlock-victim scan retries
+	WriterElapsed time.Duration `json:"writer_elapsed"`
+	WriterTPS     float64       `json:"writer_tps"`
 }
 
 // WallStats reports the simulator's own wall-clock performance for a run:
@@ -179,6 +200,7 @@ type Snapshot struct {
 	WAL         *WALSection      `json:"wal,omitempty"`
 	Locks       *LockSection     `json:"locks,omitempty"`
 	Embedded    *EmbeddedSection `json:"embedded,omitempty"`
+	Scan        *ScanSection     `json:"scan,omitempty"`
 	Attribution []AttrRow        `json:"attribution,omitempty"`
 	Metrics     *MetricsSnapshot `json:"metrics,omitempty"`
 	Wall        *WallStats       `json:"wall,omitempty"`
@@ -226,10 +248,23 @@ func (s *Snapshot) Render() string {
 			fmt.Fprintf(&b, "cleaner: %d hot / %d cold blocks relocated, write amplification %.2f×\n",
 				cl.HotBlocks, cl.ColdBlocks, f.WriteAmp)
 		}
+		if cl.RetentionSkips > 0 || cl.RetainedBlocks > 0 || cl.HorizonLag > 0 {
+			fmt.Fprintf(&b, "cleaner: %d victim skips for pinned snapshots, %d block versions retained, horizon lag %d\n",
+				cl.RetentionSkips, cl.RetainedBlocks, cl.HorizonLag)
+		}
 	}
 	if e := s.Embedded; e != nil {
 		fmt.Fprintf(&b, "embedded: %d committed, %d aborted, %d commit flushes, %d pages (%d bytes) forced\n",
 			e.Committed, e.Aborted, e.CommitFlush, e.PagesFlushed, e.BytesFlushed)
+		if e.Snapshots > 0 || e.VersionsRecorded > 0 {
+			fmt.Fprintf(&b, "embedded: %d snapshots, %d page versions recorded\n",
+				e.Snapshots, e.VersionsRecorded)
+		}
+	}
+	if sc := s.Scan; sc != nil {
+		fmt.Fprintf(&b, "scan: %d scans (%d rows) by %d %s scanner(s), %d retries; writers: %d txns in %.1fs → %.2f TPS\n",
+			sc.Scans, sc.Rows, sc.Scanners, sc.Mode, sc.Retries,
+			s.Txns, sc.WriterElapsed.Seconds(), sc.WriterTPS)
 	}
 	if l := s.Locks; l != nil {
 		fmt.Fprintf(&b, "locks: %d acquired, %d waits (%v blocked), %d deadlocks (%d aborts)\n",
